@@ -1,0 +1,417 @@
+(** Benchmark harness: regenerates every figure and table of the paper
+    plus the ablations called out in DESIGN.md.
+
+    Sections (all printed to stdout):
+
+    + Figures 1–4 — deterministic simulator reproduction (the primary
+      one on this single-core host) and a live-STM reproduction on
+      OCaml domains.
+    + Section 4 table — the adversarial chain: greedy vs optimal
+      makespan for growing [s].
+    + Theorem 9 sweep — greedy makespan vs optimal list schedule on
+      random instances.
+    + Lemma 7 demo — scores of random partitions of G(m, s).
+    + Ablations — fresh-vs-retained timestamps, visible-vs-invisible
+      reads, greedy-vs-greedy-ft under the chain.
+    + Bechamel micro-benchmarks — one [Test.make] per figure workload
+      (single-thread per-operation cost) and one for the simulator.
+
+    Flags: [--quick] shrinks every sweep (used by CI/tests);
+    [--no-real] skips the live-STM sweeps; [--no-micro] skips
+    Bechamel. *)
+
+open Tcm_workload
+
+let quick = Array.exists (( = ) "--quick") Sys.argv
+let no_real = Array.exists (( = ) "--no-real") Sys.argv
+let no_micro = Array.exists (( = ) "--no-micro") Sys.argv
+
+let fmt = Format.std_formatter
+
+let section title =
+  Format.fprintf fmt "@.=====================================================@.";
+  Format.fprintf fmt "  %s@." title;
+  Format.fprintf fmt "=====================================================@.@."
+
+(* ------------------------------------------------------------------ *)
+(* Figures 1-4                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let sim_threads = if quick then [ 1; 4; 16 ] else [ 1; 2; 4; 8; 16; 24; 32 ]
+let sim_horizon = if quick then 2_000 else 6_000
+
+let run_sim_figures () =
+  section "Figures 1-4 (simulator; committed txns / 1000 ticks)";
+  List.iter
+    (fun spec ->
+      let r =
+        Figures.run ~threads_list:sim_threads ~mode:(Figures.Sim { horizon = sim_horizon }) spec
+      in
+      Report.print_figure fmt r;
+      let ws = Report.winners r in
+      Format.fprintf fmt "best manager per thread count: %s@.@."
+        (String.concat ", " (List.map (fun (t, n) -> Printf.sprintf "%d->%s" t n) ws)))
+    Figures.all
+
+let real_threads = if quick then [ 1; 2 ] else [ 1; 2; 4; 8 ]
+let real_duration = if quick then 0.05 else 0.15
+
+let run_real_figures () =
+  section
+    (Printf.sprintf "Figures 1-4 (live STM on domains; single-core host, %d-thread sweep)"
+       (List.length real_threads));
+  List.iter
+    (fun spec ->
+      let r =
+        Figures.run ~threads_list:real_threads
+          ~mode:(Figures.Real { duration_s = real_duration })
+          spec
+      in
+      Report.print_figure fmt r)
+    Figures.all
+
+(* ------------------------------------------------------------------ *)
+(* Theory tables                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let run_adversarial_table () =
+  section "Section 4 example: greedy vs optimal on the chain instance";
+  Format.fprintf fmt "%6s %16s %16s %8s %24s@." "s" "greedy makespan" "optimal makespan" "ratio"
+    "theorem-9 factor s(s+1)+2";
+  let granularity = 2 in
+  List.iter
+    (fun s ->
+      let inst, ranks = Tcm_sim.Scenarios.adversarial_chain ~granularity ~s () in
+      let r = Tcm_sim.Engine.run_instance ~ranks ~policy:(Tcm_sim.Policy.greedy ()) inst in
+      let greedy = Option.value r.Tcm_sim.Engine.makespan ~default:(-1) in
+      let optimal = granularity * Tcm_sched.Adversarial.optimal_makespan ~s in
+      Format.fprintf fmt "%6d %16d %16d %8.2f %24d@." s greedy optimal
+        (float_of_int greedy /. float_of_int optimal)
+        (Tcm_sched.Bounds.pending_commit_factor ~s))
+    (if quick then [ 1; 2; 4 ] else [ 1; 2; 3; 4; 6; 8; 12; 16 ]);
+  Format.fprintf fmt
+    "@.(paper: greedy needs s+1 time units where an optimal list schedule needs 2;@.";
+  Format.fprintf fmt " one time unit = 2 ticks here)@.@."
+
+let run_theorem9_sweep () =
+  section "Theorem 9 sweep: greedy makespan vs optimal list schedule (random instances)";
+  let trials = if quick then 20 else 200 in
+  let worst = ref 0. in
+  let violations = ref 0 in
+  List.iter
+    (fun (n, s) ->
+      for seed = 1 to trials do
+        let inst = Tcm_sim.Scenarios.random_instance ~seed ~n ~s () in
+        let r = Tcm_sim.Engine.run_instance ~policy:(Tcm_sim.Policy.greedy ()) inst in
+        let rep = Tcm_sim.Props.theorem9_check ~inst r in
+        if not rep.Tcm_sim.Props.ok then incr violations;
+        if rep.Tcm_sim.Props.optimal > 0 then
+          worst :=
+            Float.max !worst
+              (float_of_int rep.Tcm_sim.Props.measured
+              /. float_of_int rep.Tcm_sim.Props.optimal)
+      done)
+    [ (4, 2); (5, 3); (6, 4) ];
+  Format.fprintf fmt "instances: %d   violations of the s(s+1)+2 bound: %d@." (3 * trials)
+    !violations;
+  Format.fprintf fmt "worst measured/optimal ratio: %.2f (bound at s=4: %d)@.@." !worst
+    (Tcm_sched.Bounds.pending_commit_factor ~s:4)
+
+let run_lemma7_demo () =
+  section "Lemma 7: scores of random partitions of G(m, s)";
+  let open Tcm_sched in
+  List.iter
+    (fun (m, s) ->
+      let g = Graph.g_m_s ~m ~s in
+      let rng = Tcm_stm.Splitmix.create ((m * 31) + s) in
+      let worst = ref max_int in
+      let rounds = if quick then 5 else 25 in
+      for _ = 1 to rounds do
+        let parts = Graph.partition_edges g s (fun _ _ -> Tcm_stm.Splitmix.int rng s) in
+        let max_x2, _ = Labeling.lemma7_check ~m parts in
+        worst := min !worst max_x2
+      done;
+      Format.fprintf fmt
+        "G(%d,%d): min over %d partitions of max_i S(H_i) = %.1f (lemma: >= %d)@." m s rounds
+        (float_of_int !worst /. 2.)
+        m)
+    [ (2, 2); (3, 2); (2, 3) ];
+  Format.fprintf fmt "@."
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let run_ablations () =
+  section "Ablation: timestamps retained across aborts vs refreshed (Theorem 1)";
+  (* One long transaction competing with seven streams of short ones on
+     a hot object.  Retention bounds the long transaction's restarts by
+     the number of concurrent competitors; refreshing starves it. *)
+  let horizon = if quick then 2_000 else 8_000 in
+  let long_dur = 32 and short_dur = 2 in
+  let streams =
+    Array.init 8 (fun tid ->
+        if tid = 0 then fun _ -> Some (Tcm_sim.Spec.txn ~dur:long_dur [ Tcm_sim.Spec.write ~at:0 ~obj:0 ])
+        else fun _ -> Some (Tcm_sim.Spec.txn ~dur:short_dur [ Tcm_sim.Spec.write ~at:0 ~obj:0 ]))
+  in
+  List.iter
+    (fun (label, ts) ->
+      let r =
+        Tcm_sim.Engine.run ~horizon ~ts_on_restart:ts ~policy:(Tcm_sim.Policy.greedy ())
+          ~n_objects:1 streams
+      in
+      Format.fprintf fmt
+        "  greedy/%-22s long-txn commits=%4d  worst-restarts-of-one-txn=%5d  total commits=%5d@."
+        label
+        r.Tcm_sim.Engine.per_thread_commits.(0)
+        r.Tcm_sim.Engine.max_aborts_one_txn r.Tcm_sim.Engine.commits)
+    [ ("retained (paper)", `Keep); ("refreshed on restart", `Fresh) ];
+  Format.fprintf fmt
+    "  (retention bounds any transaction's restarts by its older competitors — Theorem 1;@.";
+  Format.fprintf fmt "   refreshing starves the long transaction)@.@.";
+
+  section "Section 6: progress with halted transactions";
+  (* Thread 0 halts while holding the hot object; three short
+     transactions need it.  Rule 2's unbounded wait dooms pure greedy;
+     greedy-ft's doubling timeout recovers, as do the timeout-based
+     Scherer-Scott managers. *)
+  let inst = Tcm_sim.Scenarios.halted_owner ~n:4 () in
+  List.iter
+    (fun p ->
+      let r = Tcm_sim.Engine.run_instance ~horizon:20_000 ~policy:p inst in
+      Format.fprintf fmt "  %-12s survivors-committed=%d/3 finished=%b@."
+        r.Tcm_sim.Engine.policy_name r.Tcm_sim.Engine.commits r.Tcm_sim.Engine.completed)
+    [
+      Tcm_sim.Policy.greedy ();
+      Tcm_sim.Policy.greedy_ft ();
+      Tcm_sim.Policy.timestamp ();
+      Tcm_sim.Policy.killblocked ();
+      Tcm_sim.Policy.aggressive ();
+    ];
+  Format.fprintf fmt "@.";
+
+  section "Ablation: greedy vs greedy-ft on the chain (no failures)";
+  List.iter
+    (fun s ->
+      let inst, ranks = Tcm_sim.Scenarios.adversarial_chain ~s () in
+      let m p =
+        let r = Tcm_sim.Engine.run_instance ~ranks ~policy:p inst in
+        Option.value r.Tcm_sim.Engine.makespan ~default:(-1)
+      in
+      Format.fprintf fmt "  s=%2d greedy=%4d greedy-ft=%4d@." s
+        (m (Tcm_sim.Policy.greedy ()))
+        (m (Tcm_sim.Policy.greedy_ft ())))
+    (if quick then [ 4 ] else [ 4; 8; 12 ]);
+  Format.fprintf fmt "@.";
+
+  if not no_real then begin
+    section "Ablation: visible vs invisible reads (live STM, rbtree)";
+    List.iter
+      (fun (label, read_mode) ->
+        let cfg =
+          {
+            Harness.default with
+            structure = Harness.Rbtree_s;
+            threads = 4;
+            duration_s = real_duration;
+            read_mode;
+          }
+        in
+        let o = Harness.run cfg in
+        Format.fprintf fmt "  %-10s commits=%6d aborts=%5d conflicts=%5d thr=%8.0f/s@." label
+          o.Harness.commits o.Harness.aborts o.Harness.conflicts o.Harness.throughput)
+      [ ("visible", `Visible); ("invisible", `Invisible) ];
+    Format.fprintf fmt "@."
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Update-rate sweep (live STM)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_update_rate_sweep () =
+  section "Ablation: update rate (live STM, rbtree, 4 domains; the paper fixes 100 %)";
+  Format.fprintf fmt "%-14s %12s %12s %12s@." "manager" "0% upd" "50% upd" "100% upd";
+  List.iter
+    (fun manager ->
+      let cell update_pct =
+        let cfg =
+          {
+            Harness.default with
+            structure = Harness.Rbtree_s;
+            manager;
+            threads = 4;
+            duration_s = real_duration;
+            update_pct;
+          }
+        in
+        (Harness.run cfg).Harness.throughput
+      in
+      Format.fprintf fmt "%-14s %12.0f %12.0f %12.0f@."
+        (Tcm_stm.Cm_intf.name manager)
+        (cell 0) (cell 50) (cell 100))
+    Tcm_core.Registry.paper_figures;
+  Format.fprintf fmt "@."
+
+(* ------------------------------------------------------------------ *)
+(* Latency table (live STM)                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_latency_table () =
+  section "Transaction latency by manager (live STM, skiplist, 4 domains)";
+  Format.fprintf fmt "%-14s %10s %12s %12s %8s@." "manager" "commits/s" "p50 (us)"
+    "p99 (us)" "aborts";
+  List.iter
+    (fun manager ->
+      let cfg =
+        {
+          Harness.default with
+          structure = Harness.Skiplist_s;
+          manager;
+          threads = 4;
+          duration_s = real_duration;
+        }
+      in
+      let o = Harness.run cfg in
+      Format.fprintf fmt "%-14s %10.0f %12.1f %12.1f %8d@."
+        (Tcm_stm.Cm_intf.name manager)
+        o.Harness.throughput o.Harness.latency_p50_us o.Harness.latency_p99_us
+        o.Harness.aborts)
+    (if quick then Tcm_core.Registry.paper_figures else Tcm_core.Registry.all);
+  Format.fprintf fmt "@."
+
+(* ------------------------------------------------------------------ *)
+(* Open problems (Section 6)                                           *)
+(* ------------------------------------------------------------------ *)
+
+let run_open_problems () =
+  section "Open problem: randomized priorities on the adversarial chain";
+  (* The chain is crafted against arrival-order priorities.  Random
+     ranks (retained across aborts) keep the pending-commit property
+     but randomize which cascades are possible: the expected makespan
+     drops well below s+1 while the worst case stays bounded. *)
+  let s = if quick then 6 else 10 in
+  let inst, ranks = Tcm_sim.Scenarios.adversarial_chain ~s () in
+  let greedy_m =
+    let r = Tcm_sim.Engine.run_instance ~ranks ~policy:(Tcm_sim.Policy.greedy ()) inst in
+    Option.value r.Tcm_sim.Engine.makespan ~default:(-1)
+  in
+  let trials = if quick then 10 else 50 in
+  let rand_ms =
+    List.init trials (fun seed ->
+        let r =
+          Tcm_sim.Engine.run_instance ~ranks
+            ~policy:(Tcm_sim.Policy.randomized_greedy ~seed ())
+            inst
+        in
+        float_of_int (Option.value r.Tcm_sim.Engine.makespan ~default:(-1)))
+  in
+  Format.fprintf fmt "  s=%d  greedy(arrival order) makespan=%d ticks@." s greedy_m;
+  Format.fprintf fmt
+    "  rand-greedy over %d seeds: mean=%.1f  median=%.1f  max=%.1f  (optimal=4)@." trials
+    (Stats.mean rand_ms) (Stats.median rand_ms)
+    (List.fold_left Float.max 0. rand_ms);
+  Format.fprintf fmt "@.";
+
+  section "Open problem: threads running sequences of transactions";
+  (* The paper leaves multi-transaction threads unanalysed; we measure
+     greedy's makespan for k transactions per thread against the
+     work-conservation lower bound (total work on the hottest object). *)
+  let threads = 6 and k = if quick then 5 else 20 in
+  let dur = 4 in
+  let streams =
+    Array.init threads (fun tid ->
+        fun idx ->
+         if idx >= k then None
+         else
+           (* Alternate between a hot object and a private one. *)
+           let obj = if (tid + idx) mod 2 = 0 then 0 else 1 + tid in
+           Some (Tcm_sim.Spec.txn ~dur [ Tcm_sim.Spec.write ~at:0 ~obj ]))
+  in
+  List.iter
+    (fun (p : Tcm_sim.Policy.t) ->
+      let r = Tcm_sim.Engine.run ~policy:p ~n_objects:(threads + 1) streams in
+      let hot_work = threads * k / 2 * dur in
+      match r.Tcm_sim.Engine.makespan with
+      | Some m ->
+          Format.fprintf fmt "  %-12s makespan=%5d ticks  hot-object lower bound=%d  ratio=%.2f@."
+            r.Tcm_sim.Engine.policy_name m hot_work
+            (float_of_int m /. float_of_int hot_work)
+      | None -> Format.fprintf fmt "  %-12s did not finish@." r.Tcm_sim.Engine.policy_name)
+    [ Tcm_sim.Policy.greedy (); Tcm_sim.Policy.karma (); Tcm_sim.Policy.aggressive () ];
+  Format.fprintf fmt "@."
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let micro_tests () =
+  let open Bechamel in
+  let op_test name structure =
+    let cfg = { Harness.default with structure; threads = 1 } in
+    let rt = Tcm_stm.Stm.create cfg.Harness.manager in
+    let ops = Harness.make_ops structure in
+    let rng = Tcm_stm.Splitmix.create 7 in
+    for k = 0 to 127 do
+      ignore
+        (Tcm_stm.Stm.atomically rt (fun tx ->
+             ops.Tcm_structures.Intset.insert tx ~key:(k * 2) ~r:k))
+    done;
+    Test.make ~name
+      (Staged.stage (fun () ->
+           let key = Tcm_stm.Splitmix.int rng 256 in
+           let r = Tcm_stm.Splitmix.int rng max_int in
+           ignore
+             (Tcm_stm.Stm.atomically rt (fun tx ->
+                  if Tcm_stm.Splitmix.bool rng then
+                    ops.Tcm_structures.Intset.insert tx ~key ~r
+                  else ops.Tcm_structures.Intset.remove tx ~key ~r))))
+  in
+  let sim_test =
+    Test.make ~name:"table:sec4-chain-sim"
+      (Staged.stage (fun () ->
+           let inst, ranks = Tcm_sim.Scenarios.adversarial_chain ~s:8 () in
+           ignore (Tcm_sim.Engine.run_instance ~ranks ~policy:(Tcm_sim.Policy.greedy ()) inst)))
+  in
+  Test.make_grouped ~name:"tcm"
+    [
+      op_test "fig1:list-op" Harness.List_s;
+      op_test "fig2:skiplist-op" Harness.Skiplist_s;
+      op_test "fig3:rbtree-op" Harness.Rbtree_s;
+      op_test "fig4:rbforest-op" Harness.Rbforest_s;
+      sim_test;
+    ]
+
+let run_micro () =
+  section "Bechamel micro-benchmarks (ns per op, single thread, greedy)";
+  let open Bechamel in
+  let quota = if quick then 0.2 else 0.5 in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] (micro_tests ()) in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| "run" |] in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) results []
+  |> List.sort compare
+  |> List.iter (fun (name, ols_result) ->
+         let est =
+           match Analyze.OLS.estimates ols_result with
+           | Some (e :: _) -> Printf.sprintf "%12.1f ns/op" e
+           | _ -> "n/a"
+         in
+         Format.fprintf fmt "  %-28s %s@." name est);
+  Format.fprintf fmt "@."
+
+let () =
+  Format.fprintf fmt "tcm benchmark harness (%s mode)@." (if quick then "quick" else "full");
+  run_sim_figures ();
+  if not no_real then run_real_figures ();
+  run_adversarial_table ();
+  run_theorem9_sweep ();
+  run_lemma7_demo ();
+  run_ablations ();
+  run_open_problems ();
+  if not no_real then begin
+    run_update_rate_sweep ();
+    run_latency_table ()
+  end;
+  if not no_micro then run_micro ();
+  Format.fprintf fmt "done.@."

@@ -1,0 +1,1 @@
+bin/tcm_figures.ml: Arg Cmd Cmdliner Figures Format List Printf Report String Tcm_workload Term

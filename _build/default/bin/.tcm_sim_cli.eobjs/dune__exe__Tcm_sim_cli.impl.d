@@ -1,0 +1,1 @@
+bin/tcm_sim_cli.ml: Arg Cmd Cmdliner Float Graph Labeling List Option Printf String Tcm_sched Tcm_sim Tcm_stm Term

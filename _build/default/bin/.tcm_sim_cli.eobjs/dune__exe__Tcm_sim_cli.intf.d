@@ -1,0 +1,1 @@
+bin/tcm_sim_cli.mli:

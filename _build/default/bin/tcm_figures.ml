@@ -1,0 +1,73 @@
+(** CLI for the Figure 1–4 reproductions.
+
+    Examples:
+
+    {v
+    tcm_figures fig1
+    tcm_figures fig3 --mode real --threads 1,2,4 --duration 0.2
+    tcm_figures all --mode sim --horizon 8000
+    v} *)
+
+open Cmdliner
+open Tcm_workload
+
+let figure_arg =
+  let doc = "Figure to run: fig1, fig2, fig3, fig4 or all." in
+  Arg.(value & pos 0 string "all" & info [] ~docv:"FIGURE" ~doc)
+
+let mode_arg =
+  let doc = "Execution mode: 'sim' (deterministic discrete-event) or 'real' (live STM)." in
+  Arg.(value & opt string "sim" & info [ "mode" ] ~doc)
+
+let threads_arg =
+  let doc = "Comma-separated thread counts." in
+  Arg.(value & opt string "1,2,4,8,16,24,32" & info [ "threads" ] ~doc)
+
+let duration_arg =
+  let doc = "Seconds per data point (real mode)." in
+  Arg.(value & opt float 0.2 & info [ "duration" ] ~doc)
+
+let horizon_arg =
+  let doc = "Ticks per data point (sim mode)." in
+  Arg.(value & opt int 6000 & info [ "horizon" ] ~doc)
+
+let seed_arg =
+  let doc = "Random seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+
+let parse_threads s =
+  String.split_on_char ',' s |> List.filter (fun x -> x <> "") |> List.map int_of_string
+
+let run figure mode threads duration horizon seed =
+  let specs =
+    match figure with
+    | "all" -> Figures.all
+    | id -> (
+        match Figures.of_id id with
+        | Some f -> [ f ]
+        | None -> (
+            Printf.eprintf "unknown figure %S (fig1..fig4 or all)\n" id;
+            exit 2))
+  in
+  let mode =
+    match mode with
+    | "sim" -> Figures.Sim { horizon }
+    | "real" -> Figures.Real { duration_s = duration }
+    | m ->
+        Printf.eprintf "unknown mode %S (sim or real)\n" m;
+        exit 2
+  in
+  let threads_list = parse_threads threads in
+  List.iter
+    (fun spec ->
+      let r = Figures.run ~threads_list ~seed ~mode spec in
+      Report.print_figure Format.std_formatter r)
+    specs
+
+let cmd =
+  let doc = "Reproduce the figures of 'Toward a Theory of Transactional Contention Managers'." in
+  Cmd.v
+    (Cmd.info "tcm-figures" ~doc)
+    Term.(const run $ figure_arg $ mode_arg $ threads_arg $ duration_arg $ horizon_arg $ seed_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/bank.ml: Array Atomic Domain List Printf Runtime Splitmix Stm Sys Tcm_core Tcm_stm Tvar Unix

@@ -1,0 +1,1 @@
+examples/makespan_demo.ml: Array List Option Printf Sys Tcm_sched Tcm_sim

@@ -1,0 +1,1 @@
+examples/makespan_demo.mli:

@@ -1,0 +1,1 @@
+examples/philosophers.ml: Array Atomic Domain List Printf Runtime Stm Sys Tcm_core Tcm_stm Tvar Unix

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Domain List Printf Runtime Splitmix Stm Tcm_core Tcm_stm Tvar

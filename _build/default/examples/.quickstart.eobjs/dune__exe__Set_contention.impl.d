@@ -1,0 +1,1 @@
+examples/set_contention.ml: Array Harness List Printf Sys Tcm_core Tcm_stm Tcm_workload

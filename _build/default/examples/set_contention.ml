@@ -1,0 +1,29 @@
+(** Side-by-side manager comparison on one workload — a miniature of
+    the paper's experiment, runnable in a couple of seconds.
+
+    Usage:
+    [dune exec examples/set_contention.exe -- [structure] [threads] [secs]]
+    e.g. [dune exec examples/set_contention.exe -- skiplist 8 0.3]. *)
+
+open Tcm_workload
+
+let () =
+  let structure =
+    if Array.length Sys.argv > 1 then Harness.structure_of_name Sys.argv.(1)
+    else Harness.Skiplist_s
+  in
+  let threads = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 4 in
+  let duration_s = if Array.length Sys.argv > 3 then float_of_string Sys.argv.(3) else 0.25 in
+  Printf.printf "structure=%s threads=%d duration=%.2fs (256 keys, 100%% updates)\n\n"
+    (Harness.structure_name structure) threads duration_s;
+  Printf.printf "%-14s %10s %8s %9s %s\n" "manager" "commits/s" "aborts" "conflicts"
+    "aborts/commit";
+  List.iter
+    (fun manager ->
+      let cfg = { Harness.default with structure; manager; threads; duration_s } in
+      let o = Harness.run cfg in
+      Printf.printf "%-14s %10.0f %8d %9d %12.4f\n"
+        (Tcm_stm.Cm_intf.name manager)
+        o.Harness.throughput o.Harness.aborts o.Harness.conflicts
+        (float_of_int o.Harness.aborts /. float_of_int (max 1 o.Harness.commits)))
+    Tcm_core.Registry.all

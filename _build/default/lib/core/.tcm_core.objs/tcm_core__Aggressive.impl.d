@@ -1,0 +1,1 @@
+lib/core/aggressive.ml: Cm_util Tcm_stm

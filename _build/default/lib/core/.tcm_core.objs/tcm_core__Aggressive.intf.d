@@ -1,0 +1,1 @@
+lib/core/aggressive.mli: Tcm_stm

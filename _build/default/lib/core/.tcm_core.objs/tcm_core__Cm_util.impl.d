@@ -1,0 +1,1 @@
+lib/core/cm_util.ml: Decision Splitmix Tcm_stm

@@ -1,0 +1,1 @@
+lib/core/cm_util.mli: Tcm_stm

@@ -1,0 +1,1 @@
+lib/core/eruption.mli: Tcm_stm

@@ -1,0 +1,1 @@
+lib/core/greedy.ml: Cm_util Decision Tcm_stm Txn

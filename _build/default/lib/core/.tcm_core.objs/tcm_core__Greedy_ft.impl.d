@@ -1,0 +1,1 @@
+lib/core/greedy_ft.ml: Cm_util Decision Hashtbl Option Tcm_stm Txn

@@ -1,0 +1,1 @@
+lib/core/greedy_ft.mli: Tcm_stm

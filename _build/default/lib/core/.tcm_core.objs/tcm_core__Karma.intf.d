@@ -1,0 +1,1 @@
+lib/core/karma.mli: Tcm_stm

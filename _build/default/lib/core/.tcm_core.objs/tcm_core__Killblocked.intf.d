@@ -1,0 +1,1 @@
+lib/core/killblocked.mli: Tcm_stm

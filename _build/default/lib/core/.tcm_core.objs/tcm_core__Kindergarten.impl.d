@@ -1,0 +1,1 @@
+lib/core/kindergarten.ml: Cm_util Decision Hashtbl Tcm_stm Txn

@@ -1,0 +1,1 @@
+lib/core/kindergarten.mli: Tcm_stm

@@ -1,0 +1,1 @@
+lib/core/polite.ml: Cm_util Decision Tcm_stm

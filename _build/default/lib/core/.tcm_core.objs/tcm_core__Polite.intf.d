@@ -1,0 +1,1 @@
+lib/core/polite.mli: Tcm_stm

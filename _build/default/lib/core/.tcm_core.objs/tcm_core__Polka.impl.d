@@ -1,0 +1,1 @@
+lib/core/polka.ml: Cm_util Decision Tcm_stm Txn

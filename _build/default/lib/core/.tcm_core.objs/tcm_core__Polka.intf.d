@@ -1,0 +1,1 @@
+lib/core/polka.mli: Tcm_stm

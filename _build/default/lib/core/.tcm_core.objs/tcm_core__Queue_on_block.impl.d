@@ -1,0 +1,1 @@
+lib/core/queue_on_block.ml: Cm_util Decision Tcm_stm

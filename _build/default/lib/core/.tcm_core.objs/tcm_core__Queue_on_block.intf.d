@@ -1,0 +1,1 @@
+lib/core/queue_on_block.mli: Tcm_stm

@@ -1,0 +1,1 @@
+lib/core/randomized.ml: Cm_util Decision Tcm_stm

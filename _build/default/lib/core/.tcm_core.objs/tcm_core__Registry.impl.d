@@ -1,0 +1,1 @@
+lib/core/registry.ml: Aggressive Cm_intf Eruption Greedy Greedy_ft Karma Killblocked Kindergarten List Polite Polka Printf Queue_on_block Randomized String Tcm_stm Timestamp Timid

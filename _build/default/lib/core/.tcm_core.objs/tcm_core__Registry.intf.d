@@ -1,0 +1,1 @@
+lib/core/registry.mli: Cm_intf Tcm_stm

@@ -1,0 +1,1 @@
+lib/core/timid.ml: Cm_util Tcm_stm

@@ -1,0 +1,1 @@
+lib/core/timid.mli: Tcm_stm

@@ -1,0 +1,15 @@
+(** The Aggressive manager (Scherer & Scott): always abort the enemy.
+
+    Trivially keeps the aggressor running but is prone to livelock —
+    two transactions repeatedly aborting each other make no progress.
+    The paper cites it as one extreme of the design space. *)
+
+let name = "aggressive"
+
+type t = unit
+
+let create () = ()
+
+include Cm_util.No_lifecycle
+
+let resolve () ~me:_ ~other:_ ~attempts:_ = Tcm_stm.Decision.Abort_other

@@ -1,0 +1,4 @@
+(** The Aggressive manager (Scherer & Scott): always abort the enemy.
+    One extreme of the design space; prone to livelock. *)
+
+include Tcm_stm.Cm_intf.S

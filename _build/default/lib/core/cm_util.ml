@@ -1,0 +1,30 @@
+(** Shared helpers for contention-manager implementations. *)
+
+open Tcm_stm
+
+(** Deterministic per-instance pseudo-random stream, used for jitter
+    and coin flips so that managers never need the global [Random]
+    state shared across domains. *)
+module Prng = struct
+  include Splitmix
+
+  let create () = Splitmix.create_self_seeded ()
+end
+
+(** Truncated exponential backoff: [base * 2^n] capped, with up to
+    [base]-sized jitter drawn from [prng]. *)
+let exp_backoff ?(base = 16) ?(cap = 65_536) prng n =
+  let n = min n 20 in
+  let d = min cap (base * (1 lsl n)) in
+  d + Prng.int prng (max 1 (d / 2))
+
+(** Default decision for managers that do not care: defer briefly. *)
+let brief_backoff prng = Decision.Backoff { usec = 16 + Prng.int prng 16 }
+
+(** A no-op lifecycle implementation managers can reuse. *)
+module No_lifecycle = struct
+  let begin_attempt _ _ = ()
+  let opened _ _ = ()
+  let committed _ _ = ()
+  let aborted _ _ = ()
+end

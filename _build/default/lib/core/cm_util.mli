@@ -1,0 +1,26 @@
+(** Shared helpers for contention-manager implementations. *)
+
+(** Per-instance deterministic pseudo-random stream (process-unique
+    seed), so managers never touch the global [Random] state. *)
+module Prng : sig
+  type t = Tcm_stm.Splitmix.t
+
+  val create : unit -> t
+  val next : t -> int64
+  val int : t -> int -> int
+  val bool : t -> bool
+  val float : t -> float
+end
+
+val exp_backoff : ?base:int -> ?cap:int -> Prng.t -> int -> int
+(** Truncated exponential backoff in microseconds with jitter. *)
+
+val brief_backoff : Prng.t -> Tcm_stm.Decision.t
+
+(** No-op lifecycle hooks for managers that do not track events. *)
+module No_lifecycle : sig
+  val begin_attempt : 'st -> Tcm_stm.Txn.t -> unit
+  val opened : 'st -> Tcm_stm.Txn.t -> unit
+  val committed : 'st -> Tcm_stm.Txn.t -> unit
+  val aborted : 'st -> Tcm_stm.Txn.t -> unit
+end

@@ -1,0 +1,28 @@
+(** The Eruption manager (Scherer & Scott).
+
+    Like Karma, priority reflects accumulated opens — but when a
+    transaction blocks behind an enemy it adds its own momentum to the
+    enemy's priority ("pressure erupts through the blocker"), so a
+    transaction blocking many others quickly gains enough priority to
+    finish and unblock them. *)
+
+open Tcm_stm
+
+let name = "eruption"
+
+let backoff_usec = 40
+
+type t = { prng : Cm_util.Prng.t }
+
+let create () = { prng = Cm_util.Prng.create () }
+
+include Cm_util.No_lifecycle
+
+let resolve t ~me ~other ~attempts =
+  if Txn.priority me + attempts > Txn.priority other then Decision.Abort_other
+  else begin
+    (* Transfer our momentum to the transaction in our way, once per
+       conflict discovery. *)
+    if attempts = 0 then Txn.add_priority other (max 1 (Txn.priority me));
+    Decision.Backoff { usec = backoff_usec + Cm_util.Prng.int t.prng backoff_usec }
+  end

@@ -1,0 +1,6 @@
+(** The Eruption manager (Scherer & Scott): Karma, plus blocked
+    transactions add their momentum to the blocker's priority so a
+    transaction blocking many others quickly gains enough priority to
+    finish and unblock them. *)
+
+include Tcm_stm.Cm_intf.S

@@ -1,0 +1,31 @@
+(** The greedy contention manager (Section 3 of the paper).
+
+    State per transaction: a timestamp taken at (logical) birth and
+    retained across aborts, the status word, and a public [waiting]
+    flag.  Two rules, for a transaction [A] about to conflict with
+    [B]:
+
+    + If [B] has lower priority (a later timestamp) than [A], {e or}
+      [B] is waiting for another transaction, then [A] aborts [B].
+    + If [B] has higher priority and is not waiting, [A] waits until
+      [B] commits, aborts, or starts waiting (in which case Rule 1
+      applies).
+
+    The highest-priority transaction never waits and is never aborted,
+    which yields both Theorem 1 (bounded commit delay, since only a
+    bounded number of transactions carry earlier timestamps) and the
+    pending-commit property used by Theorem 9. *)
+
+open Tcm_stm
+
+let name = "greedy"
+
+type t = unit
+
+let create () = ()
+
+include Cm_util.No_lifecycle
+
+let resolve () ~me ~other ~attempts:_ =
+  if Txn.older_than me other || Txn.is_waiting other then Decision.Abort_other
+  else Decision.Block { timeout_usec = None }

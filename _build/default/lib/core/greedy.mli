@@ -1,0 +1,11 @@
+(** The greedy contention manager (Section 3 of the paper).
+
+    Two rules for a transaction [A] conflicting with [B]:
+    + if [B] is lower priority (later timestamp) or waiting, abort [B];
+    + otherwise wait until [B] commits, aborts, or starts waiting.
+
+    The highest-priority transaction never waits and is never aborted,
+    giving Theorem 1 (bounded commit) and the pending-commit property
+    behind Theorem 9's [s(s+1)+2] competitive bound. *)
+
+include Tcm_stm.Cm_intf.S

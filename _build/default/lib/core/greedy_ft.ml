@@ -1,0 +1,38 @@
+(** Fault-tolerant greedy (Section 6 of the paper).
+
+    Identical to {!Greedy}, except that a transaction [A] waits for a
+    higher-priority [B] only until a timeout expires; the timeout is
+    proportional to the number of times [A] already had to wait for [B]
+    and then aborted it — doubling on each such discovery.  This copes
+    with transactions that halt undetectably: a crashed [B] delays [A]
+    by at most the current timeout, after which [A] aborts it. *)
+
+open Tcm_stm
+
+let name = "greedy-ft"
+
+type t = {
+  (* timeout currently granted to each enemy, keyed by its (stable)
+     timestamp; doubled every time a wait on that enemy expires. *)
+  grants : (int, int) Hashtbl.t;
+  base_usec : int;
+}
+
+let base_usec = 200
+
+let create () = { grants = Hashtbl.create 16; base_usec }
+
+include Cm_util.No_lifecycle
+
+let resolve t ~me ~other ~attempts =
+  if Txn.older_than me other || Txn.is_waiting other then Decision.Abort_other
+  else
+    let key = Txn.timestamp other in
+    let granted = Option.value (Hashtbl.find_opt t.grants key) ~default:t.base_usec in
+    if attempts > 0 then begin
+      (* Our previous wait on this enemy timed out: abort it and double
+         the patience we will extend to it next time. *)
+      Hashtbl.replace t.grants key (granted * 2);
+      Decision.Abort_other
+    end
+    else Decision.Block { timeout_usec = Some granted }

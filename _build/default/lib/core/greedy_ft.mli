@@ -1,0 +1,11 @@
+(** Fault-tolerant greedy (Section 6).
+
+    Like {!Greedy}, but waits behind a higher-priority enemy only until
+    a per-enemy timeout expires, doubling the enemy's grant after each
+    expiry — so a transaction that halted undetectably delays its
+    victims by at most the current timeout. *)
+
+include Tcm_stm.Cm_intf.S
+
+val base_usec : int
+(** Initial per-enemy patience. *)

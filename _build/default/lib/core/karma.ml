@@ -1,0 +1,30 @@
+(** The Karma manager (Scherer & Scott).
+
+    Priority = accumulated work: each object opened adds one karma
+    point; karma survives aborts (the investment is carried over to the
+    retry) and is spent on commit.  On conflict, abort the enemy if our
+    karma plus the number of rounds we have already fought for this
+    spot exceeds the enemy's karma; otherwise back off a fixed,
+    karma-independent amount.
+
+    The runtime increments [Txn.priority] on every successful open, so
+    karma is readable by enemies through the shared descriptor.  The
+    paper's Section 6 remark — a transaction can still starve if
+    newcomers keep out-investing it between its aborts — is exercised
+    in the simulator tests. *)
+
+open Tcm_stm
+
+let name = "karma"
+
+let backoff_usec = 40
+
+type t = { prng : Cm_util.Prng.t }
+
+let create () = { prng = Cm_util.Prng.create () }
+
+include Cm_util.No_lifecycle
+
+let resolve t ~me ~other ~attempts =
+  if Txn.priority me + attempts > Txn.priority other then Decision.Abort_other
+  else Decision.Backoff { usec = backoff_usec + Cm_util.Prng.int t.prng backoff_usec }

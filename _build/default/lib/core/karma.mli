@@ -1,0 +1,6 @@
+(** The Karma manager (Scherer & Scott): priority = accumulated opens,
+    kept across aborts and spent on commit.  Abort the enemy once our
+    karma plus the rounds already fought exceeds its karma; otherwise a
+    fixed-size backoff. *)
+
+include Tcm_stm.Cm_intf.S

@@ -1,0 +1,24 @@
+(** The KillBlocked manager (Scherer & Scott).
+
+    Abort the enemy immediately if it is itself blocked (waiting), on
+    the theory that a blocked transaction is not making progress
+    anyway; otherwise back off briefly and abort the enemy after a
+    maximum wait.  The paper notes that the time-out reduces but does
+    not eliminate the probability of livelock. *)
+
+open Tcm_stm
+
+let name = "killblocked"
+
+let max_tries = 4
+
+type t = { prng : Cm_util.Prng.t }
+
+let create () = { prng = Cm_util.Prng.create () }
+
+include Cm_util.No_lifecycle
+
+let resolve t ~me:_ ~other ~attempts =
+  if Txn.is_waiting other then Decision.Abort_other
+  else if attempts >= max_tries then Decision.Abort_other
+  else Decision.Backoff { usec = Cm_util.exp_backoff ~base:32 t.prng attempts }

@@ -1,0 +1,7 @@
+(** The KillBlocked manager (Scherer & Scott): abort enemies that are
+    themselves blocked; otherwise back off briefly, killing the enemy
+    after {!max_tries} rounds. *)
+
+include Tcm_stm.Cm_intf.S
+
+val max_tries : int

@@ -1,0 +1,37 @@
+(** The Kindergarten manager (Scherer & Scott): "taking turns".
+
+    A transaction maintains the set of enemies in whose favour it has
+    already backed off.  The first time it meets a given enemy it
+    politely backs off (a bounded number of rounds); if the same enemy
+    blocks it again, it is the enemy's turn to be aborted. *)
+
+open Tcm_stm
+
+let name = "kindergarten"
+
+let rounds_per_turn = 3
+
+type t = {
+  deferred_to : (int, unit) Hashtbl.t;  (* enemy timestamps we yielded to *)
+  prng : Cm_util.Prng.t;
+}
+
+let create () = { deferred_to = Hashtbl.create 16; prng = Cm_util.Prng.create () }
+
+let begin_attempt _ _ = ()
+let opened _ _ = ()
+let aborted _ _ = ()
+
+(* Forget old grudges when we finally commit. *)
+let committed t _ = Hashtbl.reset t.deferred_to
+
+let resolve t ~me:_ ~other ~attempts =
+  let key = Txn.timestamp other in
+  if Hashtbl.mem t.deferred_to key then Decision.Abort_other
+  else if attempts >= rounds_per_turn then begin
+    (* We gave this enemy its turn; remember that and abort it next
+       time, but let it win this round by restarting ourselves. *)
+    Hashtbl.replace t.deferred_to key ();
+    Decision.Abort_self
+  end
+  else Decision.Backoff { usec = Cm_util.exp_backoff ~base:24 t.prng attempts }

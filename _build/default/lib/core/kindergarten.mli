@@ -1,0 +1,8 @@
+(** The Kindergarten manager (Scherer & Scott): "taking turns" — defer
+    to a given enemy once ({!rounds_per_turn} polite rounds, then
+    restart yourself); abort it on the next encounter.  Grudges are
+    forgotten on commit. *)
+
+include Tcm_stm.Cm_intf.S
+
+val rounds_per_turn : int

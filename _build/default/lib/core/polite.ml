@@ -1,0 +1,22 @@
+(** The Polite manager (Scherer & Scott), a.k.a. adaptive backoff.
+
+    On conflict, spin-wait with randomized exponential backoff for up
+    to [max_tries] rounds, then abort the enemy.  Works well when
+    transactions are short and uniform; long transactions behind short
+    ones defeat it (Section 1 of the paper). *)
+
+open Tcm_stm
+
+let name = "backoff"
+
+let max_tries = 10
+
+type t = { prng : Cm_util.Prng.t }
+
+let create () = { prng = Cm_util.Prng.create () }
+
+include Cm_util.No_lifecycle
+
+let resolve t ~me:_ ~other:_ ~attempts =
+  if attempts >= max_tries then Decision.Abort_other
+  else Decision.Backoff { usec = Cm_util.exp_backoff t.prng attempts }

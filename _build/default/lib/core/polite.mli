@@ -1,0 +1,7 @@
+(** The Polite manager (Scherer & Scott), a.k.a. adaptive backoff:
+    randomized exponential backoff for up to {!max_tries} rounds, then
+    abort the enemy. *)
+
+include Tcm_stm.Cm_intf.S
+
+val max_tries : int

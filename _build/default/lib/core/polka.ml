@@ -1,0 +1,23 @@
+(** The Polka manager (Scherer & Scott 2005): Polite + Karma.
+
+    Karma's priority accounting combined with Polite's randomized
+    exponential backoff: back off a number of rounds equal to the
+    priority gap, with exponentially growing intervals, then abort the
+    enemy.  The 2005 paper found it the best all-rounder; our Figure
+    1–2 reproduction shows it and Karma leading under high contention,
+    matching the paper's reading. *)
+
+open Tcm_stm
+
+let name = "polka"
+
+type t = { prng : Cm_util.Prng.t }
+
+let create () = { prng = Cm_util.Prng.create () }
+
+include Cm_util.No_lifecycle
+
+let resolve t ~me ~other ~attempts =
+  let gap = Txn.priority other - Txn.priority me in
+  if attempts >= max 1 gap then Decision.Abort_other
+  else Decision.Backoff { usec = Cm_util.exp_backoff t.prng attempts }

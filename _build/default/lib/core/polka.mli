@@ -1,0 +1,5 @@
+(** The Polka manager (Scherer & Scott 2005): Polite + Karma — back off
+    a number of rounds equal to the priority gap with exponentially
+    growing randomized intervals, then abort the enemy. *)
+
+include Tcm_stm.Cm_intf.S

@@ -1,0 +1,25 @@
+(** The QueueOnBlock manager (Scherer & Scott).
+
+    Wait behind the enemy in FIFO spirit: block until it finishes.
+    The paper points out this manager is prone to dependency cycles —
+    our implementation bounds each wait with a generous timeout (after
+    which the enemy is presumed cyclic or dead and is aborted), because
+    an unbounded version can deadlock two real threads; the simulator
+    demonstrates the unbounded cycle safely. *)
+
+open Tcm_stm
+
+let name = "queueonblock"
+
+let patience_usec = 2_000
+let max_waits = 4
+
+type t = unit
+
+let create () = ()
+
+include Cm_util.No_lifecycle
+
+let resolve () ~me:_ ~other:_ ~attempts =
+  if attempts >= max_waits then Decision.Abort_other
+  else Decision.Block { timeout_usec = Some patience_usec }

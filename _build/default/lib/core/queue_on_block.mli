@@ -1,0 +1,10 @@
+(** The QueueOnBlock manager: FIFO-style waiting behind the enemy.  The
+    paper notes it is prone to dependency cycles; this implementation
+    bounds each wait ({!max_waits} waits of a generous timeout) so real
+    threads cannot deadlock — the simulator demonstrates the unbounded
+    cycle safely. *)
+
+include Tcm_stm.Cm_intf.S
+
+val patience_usec : int
+val max_waits : int

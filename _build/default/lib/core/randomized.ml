@@ -1,0 +1,17 @@
+(** The Randomized manager (Scherer & Scott): flip a coin between
+    aborting the enemy and backing off a random duration.  Provides no
+    deterministic guarantee (paper, Section 6). *)
+
+open Tcm_stm
+
+let name = "randomized"
+
+type t = { prng : Cm_util.Prng.t }
+
+let create () = { prng = Cm_util.Prng.create () }
+
+include Cm_util.No_lifecycle
+
+let resolve t ~me:_ ~other:_ ~attempts:_ =
+  if Cm_util.Prng.bool t.prng then Decision.Abort_other
+  else Decision.Backoff { usec = 16 + Cm_util.Prng.int t.prng 112 }

@@ -1,0 +1,5 @@
+(** The Randomized manager (Scherer & Scott): coin-flip between
+    aborting the enemy and a short random backoff.  No deterministic
+    guarantee. *)
+
+include Tcm_stm.Cm_intf.S

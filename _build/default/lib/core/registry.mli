@@ -1,0 +1,16 @@
+(** Name-indexed registry of all shipped contention managers. *)
+
+open Tcm_stm
+
+val all : Cm_intf.factory list
+val names : string list
+
+val find : string -> Cm_intf.factory option
+(** Case-insensitive lookup. *)
+
+val find_exn : string -> Cm_intf.factory
+(** @raise Invalid_argument on unknown names, listing the options. *)
+
+val paper_figures : Cm_intf.factory list
+(** The five managers compared in the paper's Figures 1–4:
+    greedy, karma, eruption, aggressive, backoff. *)

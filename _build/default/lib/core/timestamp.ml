@@ -1,0 +1,26 @@
+(** The Timestamp manager (Scherer & Scott).
+
+    Abort the enemy if it started later than us; otherwise wait for a
+    series of fixed intervals, flagging the enemy as potentially
+    defunct, and kill it once the patience budget is exhausted.  This
+    is the one pre-greedy manager the paper credits with progress in
+    the presence of prematurely halted transactions, thanks to the
+    time-out. *)
+
+open Tcm_stm
+
+let name = "timestamp"
+
+let quantum_usec = 150
+let max_quanta = 8
+
+type t = unit
+
+let create () = ()
+
+include Cm_util.No_lifecycle
+
+let resolve () ~me ~other ~attempts =
+  if Txn.older_than me other then Decision.Abort_other
+  else if attempts >= max_quanta then Decision.Abort_other
+  else Decision.Block { timeout_usec = Some quantum_usec }

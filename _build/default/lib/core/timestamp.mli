@@ -1,0 +1,9 @@
+(** The Timestamp manager (Scherer & Scott): abort younger enemies;
+    wait for older ones in fixed quanta, presuming them dead after
+    {!max_quanta}.  The one pre-greedy manager the paper credits with
+    progress under prematurely halted transactions. *)
+
+include Tcm_stm.Cm_intf.S
+
+val quantum_usec : int
+val max_quanta : int

@@ -1,0 +1,15 @@
+(** The Timid manager: always abort yourself on conflict.
+
+    The dual of {!Aggressive}; never impedes the enemy but starves
+    under any recurring conflict.  Included as the other extreme of
+    the design space for the decision-table tests and ablations. *)
+
+let name = "timid"
+
+type t = unit
+
+let create () = ()
+
+include Cm_util.No_lifecycle
+
+let resolve () ~me:_ ~other:_ ~attempts:_ = Tcm_stm.Decision.Abort_self

@@ -1,0 +1,4 @@
+(** The Timid manager: always abort yourself — the dual of
+    {!Aggressive}; starves under any recurring conflict. *)
+
+include Tcm_stm.Cm_intf.S

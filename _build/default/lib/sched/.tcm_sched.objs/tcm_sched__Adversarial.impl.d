@@ -1,0 +1,1 @@
+lib/sched/adversarial.ml: Array Fun List List_scheduler Task_system

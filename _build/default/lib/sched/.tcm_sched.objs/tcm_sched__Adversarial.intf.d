@@ -1,0 +1,1 @@
+lib/sched/adversarial.mli: Task_system

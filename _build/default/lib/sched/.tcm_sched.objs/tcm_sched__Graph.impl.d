@@ -1,0 +1,1 @@
+lib/sched/graph.ml: Array List

@@ -1,0 +1,1 @@
+lib/sched/labeling.ml: Array Graph List Matching

@@ -1,0 +1,1 @@
+lib/sched/labeling.mli: Graph

@@ -1,0 +1,1 @@
+lib/sched/list_scheduler.mli: Task_system

@@ -1,0 +1,1 @@
+lib/sched/optimal.ml: Array Fun List List_scheduler Task_system

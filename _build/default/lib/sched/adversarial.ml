@@ -1,0 +1,46 @@
+(** The Section 4 adversarial chain instance.
+
+    Transactions [T0 .. Ts] and objects [X1 .. Xs]; every transaction
+    runs for one time unit.  [T0] accesses [X1], [Ts] accesses [Xs],
+    and each remaining [Ti] accesses [Xi] and [Xi+1].  [Ti] has higher
+    priority (an earlier timestamp) than [Ti-1].
+
+    As a task system (resources held for the whole duration) a list
+    scheduler can run the even tasks then the odd tasks for a makespan
+    of 2 — which is optimal.  The greedy contention manager, which
+    discovers accesses only when they happen, is tricked into a cascade
+    of aborts and needs makespan [s + 1] (reproduced in the simulator,
+    see [Tcm_sim.Scenarios.adversarial_chain]). *)
+
+(** Objects used by transaction [i] of the chain with parameter [s]
+    (1-based object names, as in the paper). *)
+let objects_of ~s i =
+  if i = 0 then [ 1 ]
+  else if i = s then [ s ]
+  else [ i; i + 1 ]
+
+(** The corresponding Garey–Graham task system.  Object [Xi] becomes
+    resource [i - 1]; all accesses are updates (amount 1). *)
+let task_system ~s : Task_system.t =
+  if s < 1 then invalid_arg "Adversarial.task_system: s >= 1 required";
+  let tasks =
+    List.init (s + 1) (fun i ->
+        Task_system.task ~id:i ~dur:1
+          (List.map (fun x -> (x - 1, Task_system.update_amount)) (objects_of ~s i)))
+  in
+  Task_system.make tasks
+
+(** Even-then-odd order achieving makespan 2 (optimal for s >= 2). *)
+let even_odd_order ~s =
+  let evens = List.filter (fun i -> i mod 2 = 0) (List.init (s + 1) Fun.id) in
+  let odds = List.filter (fun i -> i mod 2 = 1) (List.init (s + 1) Fun.id) in
+  Array.of_list (evens @ odds)
+
+let optimal_makespan ~s =
+  if s = 1 then 2 (* T0 and T1 share X1: they must serialize. *)
+  else
+    let ts = task_system ~s in
+    (List_scheduler.run ts (even_odd_order ~s)).List_scheduler.makespan
+
+(** Makespan the greedy manager achieves on the chain (paper: s + 1). *)
+let greedy_makespan ~s = s + 1

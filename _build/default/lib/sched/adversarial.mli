@@ -1,0 +1,18 @@
+(** The Section 4 adversarial chain: transactions [T0..Ts] over objects
+    [X1..Xs], unit durations, priorities inverted so that [T_i] is
+    older than [T_{i-1}].  A list scheduler can run evens then odds for
+    makespan 2; greedy is tricked into a cascade of aborts and needs
+    [s + 1]. *)
+
+val objects_of : s:int -> int -> int list
+(** 1-based objects accessed by transaction [i]. *)
+
+val task_system : s:int -> Task_system.t
+(** @raise Invalid_argument if [s < 1]. *)
+
+val even_odd_order : s:int -> int array
+(** Order achieving makespan 2 (optimal for s >= 2). *)
+
+val optimal_makespan : s:int -> int
+val greedy_makespan : s:int -> int
+(** The paper's [s + 1]. *)

@@ -1,0 +1,15 @@
+(** The bounds proved or cited in the paper. *)
+
+(** Garey–Graham: any list schedule is within a factor [(s + 1)] of the
+    optimal schedule, where [s] is the number of resources. *)
+let list_schedule_factor ~s = s + 1
+
+(** Theorem 9: any contention manager satisfying the pending-commit
+    property produces a makespan within a factor [s(s+1) + 2] of the
+    optimal off-line list schedule. *)
+let pending_commit_factor ~s = (s * (s + 1)) + 2
+
+(** Does a measured makespan respect Theorem 9 against a given optimal
+    makespan? *)
+let within_theorem9 ~s ~measured ~optimal =
+  measured <= pending_commit_factor ~s * optimal

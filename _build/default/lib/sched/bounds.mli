@@ -1,0 +1,9 @@
+(** The bounds proved or cited in the paper. *)
+
+val list_schedule_factor : s:int -> int
+(** Garey–Graham: any list schedule is within [(s+1)] of optimal. *)
+
+val pending_commit_factor : s:int -> int
+(** Theorem 9: [s(s+1) + 2]. *)
+
+val within_theorem9 : s:int -> measured:int -> optimal:int -> bool

@@ -1,0 +1,63 @@
+(** Simple undirected graphs on vertex set [0 .. n-1], used by the
+    Lemma 7 / Corollary 8 machinery (Section 4.3). *)
+
+type t = {
+  n : int;
+  adj : int list array;  (** Sorted neighbour lists, no duplicates. *)
+}
+
+let empty n =
+  if n < 0 then invalid_arg "Graph.empty";
+  { n; adj = Array.make n [] }
+
+let n_vertices g = g.n
+
+let has_edge g u v = List.mem v g.adj.(u)
+
+let add_edge g u v =
+  if u < 0 || v < 0 || u >= g.n || v >= g.n then invalid_arg "Graph.add_edge: out of range";
+  if u <> v && not (has_edge g u v) then begin
+    g.adj.(u) <- List.sort compare (v :: g.adj.(u));
+    g.adj.(v) <- List.sort compare (u :: g.adj.(v))
+  end
+
+let of_edges n edges =
+  let g = empty n in
+  List.iter (fun (u, v) -> add_edge g u v) edges;
+  g
+
+let edges g =
+  let acc = ref [] in
+  for u = 0 to g.n - 1 do
+    List.iter (fun v -> if u < v then acc := (u, v) :: !acc) g.adj.(u)
+  done;
+  List.rev !acc
+
+let n_edges g = List.length (edges g)
+
+let neighbours g u = g.adj.(u)
+
+(** The paper's graph [G(m, s)]: vertex set [{0 .. (s+1)m - 1}] with an
+    edge between [a] and [b] whenever [|a - b| >= m]. *)
+let g_m_s ~m ~s =
+  if m < 1 || s < 1 then invalid_arg "Graph.g_m_s";
+  let n = (s + 1) * m in
+  let g = empty n in
+  for a = 0 to n - 1 do
+    for b = a + m to n - 1 do
+      add_edge g a b
+    done
+  done;
+  g
+
+(** Partition the edges of [g] into [k] spanning subgraphs (same vertex
+    set, edge sets partitioned) according to [assign e -> 0..k-1]. *)
+let partition_edges g k assign =
+  let parts = Array.init k (fun _ -> empty g.n) in
+  List.iteri
+    (fun i (u, v) ->
+      let p = assign i (u, v) in
+      if p < 0 || p >= k then invalid_arg "Graph.partition_edges: bad part";
+      add_edge parts.(p) u v)
+    (edges g);
+  Array.to_list parts

@@ -1,0 +1,24 @@
+(** Simple undirected graphs on [0 .. n-1] for the Lemma 7 machinery. *)
+
+type t
+
+val empty : int -> t
+val n_vertices : t -> int
+val has_edge : t -> int -> int -> bool
+
+val add_edge : t -> int -> int -> unit
+(** Idempotent; ignores self-loops.
+    @raise Invalid_argument out of range. *)
+
+val of_edges : int -> (int * int) list -> t
+val edges : t -> (int * int) list
+val n_edges : t -> int
+val neighbours : t -> int -> int list
+
+val g_m_s : m:int -> s:int -> t
+(** The paper's [G(m, s)]: vertices [{0 .. (s+1)m - 1}], an edge
+    between [a] and [b] whenever [|a - b| >= m]. *)
+
+val partition_edges : t -> int -> (int -> int * int -> int) -> t list
+(** Partition the edges into [k] spanning subgraphs according to the
+    assignment function (edge index, endpoints) -> part. *)

@@ -1,0 +1,36 @@
+(** Valid labelings and graph scores (Section 4.3).
+
+    A valid labeling of [G] is [L : V -> [0, inf)] with
+    [L(u) + L(v) >= 1] for every edge; the score [S(G)] is the infimum
+    of [sum_v L(v)] — i.e. the minimum {e fractional vertex cover}.
+    Fractional vertex covers are half-integral, and by König/LP duality
+    [S(G) = (max matching of the bipartite double cover) / 2], which is
+    what we compute.  Scores are therefore returned doubled, as exact
+    integers. *)
+
+(** [2 * S(G)], exact. *)
+let score_x2 (g : Graph.t) : int = Matching.max_matching (Matching.double_cover g)
+
+let score (g : Graph.t) : float = float_of_int (score_x2 g) /. 2.
+
+(** Is [l] a valid labeling of [g]? *)
+let valid g l =
+  Array.length l = Graph.n_vertices g
+  && Array.for_all (fun x -> x >= 0.) l
+  && List.for_all (fun (u, v) -> l.(u) +. l.(v) >= 1. -. 1e-9) (Graph.edges g)
+
+let sum l = Array.fold_left ( +. ) 0. l
+
+(** Lemma 7 (Garey & Graham): if [G(m, s)] is partitioned into [s]
+    spanning subgraphs [H1..Hs] then [max_i S(Hi) >= m].  This checks
+    the claim for one concrete partition (returns the doubled maximum
+    score and whether the bound holds). *)
+let lemma7_check ~m parts =
+  let max_x2 = List.fold_left (fun acc h -> max acc (score_x2 h)) 0 parts in
+  (max_x2, max_x2 >= 2 * m)
+
+(** Corollary 8: partitioning [G(2m, s(s+1)/2)] into [s(s+1)/2]
+    spanning subgraphs forces [max_i S(Hi) >= 2m]. *)
+let corollary8_check ~m parts =
+  let max_x2 = List.fold_left (fun acc h -> max acc (score_x2 h)) 0 parts in
+  (max_x2, max_x2 >= 4 * m)

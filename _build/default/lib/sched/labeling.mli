@@ -1,0 +1,20 @@
+(** Valid labelings and graph scores (Section 4.3).
+
+    A valid labeling has [L(u) + L(v) >= 1] on every edge; the score
+    [S(G)] is the minimum label sum — a minimum fractional vertex
+    cover, half-integral, computed exactly via matching. *)
+
+val score_x2 : Graph.t -> int
+(** [2 * S(G)], exact. *)
+
+val score : Graph.t -> float
+
+val valid : Graph.t -> float array -> bool
+val sum : float array -> float
+
+val lemma7_check : m:int -> Graph.t list -> int * bool
+(** For a partition of [G(m,s)] into spanning subgraphs: the doubled
+    maximum score and whether Lemma 7's [max_i S(H_i) >= m] holds. *)
+
+val corollary8_check : m:int -> Graph.t list -> int * bool
+(** Same for Corollary 8's [>= 2m] over G(2m, s(s+1)/2). *)

@@ -1,0 +1,88 @@
+(** List scheduling (Garey–Graham).
+
+    A list scheduler keeps a fixed priority list of tasks; at every
+    tick it scans the list front to back and starts every unstarted
+    task whose resource requirements are currently satisfiable (we have
+    as many processors as tasks, as in the paper).  List schedules obey
+    the {e list-scheduler property}: no task waits while the resources
+    it needs are available. *)
+
+type schedule = {
+  start : int array;  (** start.(i) = tick at which task i starts. *)
+  makespan : int;
+}
+
+let eps = Task_system.eps
+
+(** Simulate the list schedule for [order] (a permutation of task
+    indices, highest priority first). *)
+let run (ts : Task_system.t) (order : int array) : schedule =
+  let n = Task_system.n_tasks ts in
+  if Array.length order <> n then invalid_arg "List_scheduler.run: bad order length";
+  let start = Array.make n (-1) in
+  let finish = Array.make n max_int in
+  let in_use = Array.make (Task_system.n_resources ts) 0. in
+  let started = ref 0 in
+  let t = ref 0 in
+  let makespan = ref 0 in
+  while !started < n do
+    (* Release resources of tasks finishing at time !t. *)
+    Array.iteri
+      (fun i f ->
+        if f = !t then
+          List.iter
+            (fun (r, a) -> in_use.(r) <- in_use.(r) -. a)
+            ts.tasks.(i).Task_system.needs)
+      finish;
+    (* Scan the list, starting every task that now fits. *)
+    Array.iter
+      (fun i ->
+        if start.(i) < 0 then begin
+          let fits =
+            List.for_all
+              (fun (r, a) -> in_use.(r) +. a <= 1. +. eps)
+              ts.tasks.(i).Task_system.needs
+          in
+          if fits then begin
+            start.(i) <- !t;
+            finish.(i) <- !t + ts.tasks.(i).Task_system.dur;
+            makespan := max !makespan finish.(i);
+            incr started;
+            List.iter
+              (fun (r, a) -> in_use.(r) <- in_use.(r) +. a)
+              ts.tasks.(i).Task_system.needs
+          end
+        end)
+      order;
+    incr t
+  done;
+  { start; makespan = !makespan }
+
+let identity_order ts = Array.init (Task_system.n_tasks ts) Fun.id
+
+(** Check the list-scheduler property on a schedule: at no tick is an
+    unstarted task's demand satisfiable by the idle resources.  Used in
+    tests to validate [run] and in the Theorem 9 machinery. *)
+let satisfies_list_property (ts : Task_system.t) (s : schedule) : bool =
+  let n = Task_system.n_tasks ts in
+  let ok = ref true in
+  for t = 0 to s.makespan - 1 do
+    let in_use = Array.make (Task_system.n_resources ts) 0. in
+    for i = 0 to n - 1 do
+      if s.start.(i) <= t && t < s.start.(i) + ts.tasks.(i).Task_system.dur then
+        List.iter
+          (fun (r, a) -> in_use.(r) <- in_use.(r) +. a)
+          ts.tasks.(i).Task_system.needs
+    done;
+    for i = 0 to n - 1 do
+      if s.start.(i) > t then begin
+        let fits =
+          List.for_all
+            (fun (r, a) -> in_use.(r) +. a <= 1. +. eps)
+            ts.tasks.(i).Task_system.needs
+        in
+        if fits then ok := false
+      end
+    done
+  done;
+  !ok

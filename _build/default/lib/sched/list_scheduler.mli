@@ -1,0 +1,19 @@
+(** List scheduling (Garey–Graham): scan a fixed priority list every
+    tick and start every unstarted task whose resources fit (as many
+    processors as tasks). *)
+
+type schedule = {
+  start : int array;  (** start.(i) = tick task i starts. *)
+  makespan : int;
+}
+
+val run : Task_system.t -> int array -> schedule
+(** Simulate the schedule for a permutation of task indices (highest
+    priority first). *)
+
+val identity_order : Task_system.t -> int array
+
+val satisfies_list_property : Task_system.t -> schedule -> bool
+(** No task waits at a tick when its demand is satisfiable — the
+    defining property of list schedules, reused by the Theorem 9
+    machinery. *)

@@ -1,0 +1,93 @@
+(** Maximum bipartite matching (Hopcroft–Karp).
+
+    Used to compute graph scores: the score [S(G)] of Section 4.3 is a
+    minimum fractional vertex cover, which by LP duality equals the
+    maximum fractional matching, which in turn is half the maximum
+    (integral) matching of the bipartite double cover of [G]. *)
+
+type bipartite = {
+  n_left : int;
+  n_right : int;
+  adj : int list array;  (** adj.(u) = right-neighbours of left vertex u. *)
+}
+
+let make ~n_left ~n_right edges =
+  let adj = Array.make n_left [] in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n_left || v < 0 || v >= n_right then
+        invalid_arg "Matching.make: edge out of range";
+      adj.(u) <- v :: adj.(u))
+    edges;
+  { n_left; n_right; adj }
+
+let inf = max_int
+
+(** Size of a maximum matching. *)
+let max_matching (g : bipartite) : int =
+  let match_l = Array.make g.n_left (-1) in
+  let match_r = Array.make g.n_right (-1) in
+  let dist = Array.make g.n_left inf in
+  let q = Queue.create () in
+  let bfs () =
+    Queue.clear q;
+    let found = ref false in
+    for u = 0 to g.n_left - 1 do
+      if match_l.(u) = -1 then begin
+        dist.(u) <- 0;
+        Queue.add u q
+      end
+      else dist.(u) <- inf
+    done;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun v ->
+          match match_r.(v) with
+          | -1 -> found := true
+          | w ->
+              if dist.(w) = inf then begin
+                dist.(w) <- dist.(u) + 1;
+                Queue.add w q
+              end)
+        g.adj.(u)
+    done;
+    !found
+  in
+  let rec dfs u =
+    List.exists
+      (fun v ->
+        match match_r.(v) with
+        | -1 ->
+            match_l.(u) <- v;
+            match_r.(v) <- u;
+            true
+        | w ->
+            if dist.(w) = dist.(u) + 1 && dfs w then begin
+              match_l.(u) <- v;
+              match_r.(v) <- u;
+              true
+            end
+            else false)
+      g.adj.(u)
+    ||
+    (dist.(u) <- inf;
+     false)
+  in
+  let size = ref 0 in
+  while bfs () do
+    for u = 0 to g.n_left - 1 do
+      if match_l.(u) = -1 && dfs u then incr size
+    done
+  done;
+  !size
+
+(** Bipartite double cover of an undirected graph: each vertex [u]
+    splits into a left and a right copy; each edge {u, v} yields
+    (uL, vR) and (vL, uR). *)
+let double_cover (g : Graph.t) : bipartite =
+  let n = Graph.n_vertices g in
+  let edges =
+    List.concat_map (fun (u, v) -> [ (u, v); (v, u) ]) (Graph.edges g)
+  in
+  make ~n_left:n ~n_right:n edges

@@ -1,0 +1,14 @@
+(** Maximum bipartite matching (Hopcroft–Karp), used to compute graph
+    scores: S(G) is a minimum fractional vertex cover, which equals
+    half the maximum matching of the bipartite double cover. *)
+
+type bipartite
+
+val make : n_left:int -> n_right:int -> (int * int) list -> bipartite
+(** @raise Invalid_argument on out-of-range edges. *)
+
+val max_matching : bipartite -> int
+
+val double_cover : Graph.t -> bipartite
+(** Each vertex splits into left and right copies; each edge {u,v}
+    yields (uL,vR) and (vL,uR). *)

@@ -1,0 +1,91 @@
+(** Optimal off-line list schedules.
+
+    Computing an optimal schedule is NP-complete (Garey–Graham), so we
+    search the permutation space exhaustively with branch-and-bound for
+    small instances — exactly the comparator the paper's Theorem 9 uses
+    ("an optimal off-line list scheduler, one that knows transactions'
+    resource requirements in advance") — and fall back to the best of a
+    deterministic sample of orders for larger ones. *)
+
+(** Work-based lower bound: no schedule beats the heaviest resource's
+    aggregate demand, nor the longest task. *)
+let lower_bound (ts : Task_system.t) : int =
+  let loads = Array.make (Task_system.n_resources ts) 0. in
+  let longest = ref 0 in
+  Array.iter
+    (fun task ->
+      longest := max !longest task.Task_system.dur;
+      List.iter
+        (fun (r, a) -> loads.(r) <- loads.(r) +. (a *. float_of_int task.Task_system.dur))
+        task.Task_system.needs)
+    ts.tasks;
+  let heaviest =
+    Array.fold_left (fun acc l -> max acc (int_of_float (ceil (l -. Task_system.eps)))) 0 loads
+  in
+  max !longest heaviest
+
+(* Enumerate permutations of [0..n-1], invoking [f] on each; [f]
+   returning [true] stops the enumeration early. *)
+let iter_permutations n f =
+  let arr = Array.init n Fun.id in
+  let stop = ref false in
+  let rec go k =
+    if not !stop then
+      if k = n then (if f arr then stop := true)
+      else
+        for i = k to n - 1 do
+          if not !stop then begin
+            let tmp = arr.(k) in
+            arr.(k) <- arr.(i);
+            arr.(i) <- tmp;
+            go (k + 1);
+            let tmp = arr.(k) in
+            arr.(k) <- arr.(i);
+            arr.(i) <- tmp
+          end
+        done
+  in
+  go 0
+
+(** Makespan of the best list order, exhaustive for [n <= exact_limit]
+    (default 8).  Also returns the best order found. *)
+let best_list_schedule ?(exact_limit = 8) (ts : Task_system.t) : int array * int =
+  let n = Task_system.n_tasks ts in
+  if n = 0 then ([||], 0)
+  else begin
+    let lb = lower_bound ts in
+    let best_order = ref (List_scheduler.identity_order ts) in
+    let best = ref (List_scheduler.run ts !best_order).List_scheduler.makespan in
+    let try_order order =
+      let m = (List_scheduler.run ts order).List_scheduler.makespan in
+      if m < !best then begin
+        best := m;
+        best_order := Array.copy order
+      end;
+      !best <= lb
+    in
+    if n <= exact_limit then iter_permutations n try_order
+    else begin
+      (* Deterministic heuristics: longest-first, shortest-first,
+         most-demanding-first, plus rotations of the identity. *)
+      let by cmp =
+        let order = Array.init n Fun.id in
+        Array.sort (fun i j -> cmp ts.tasks.(i) ts.tasks.(j)) order;
+        order
+      in
+      let dur t = t.Task_system.dur in
+      let demand t = List.fold_left (fun acc (_, a) -> acc +. a) 0. t.Task_system.needs in
+      let candidates =
+        [
+          by (fun a b -> compare (dur b) (dur a));
+          by (fun a b -> compare (dur a) (dur b));
+          by (fun a b -> compare (demand b) (demand a));
+        ]
+        @ List.init (min n 16) (fun k -> Array.init n (fun i -> (i + k) mod n))
+      in
+      List.iter (fun o -> ignore (try_order o)) candidates
+    end;
+    (!best_order, !best)
+  end
+
+let optimal_makespan ?exact_limit ts = snd (best_list_schedule ?exact_limit ts)

@@ -1,0 +1,16 @@
+(** Optimal off-line list schedules — the comparator of Theorem 9.
+    Exhaustive branch-and-bound over permutations for small instances,
+    deterministic heuristics beyond [exact_limit]. *)
+
+val lower_bound : Task_system.t -> int
+(** Max of the heaviest resource's aggregate demand and the longest
+    task. *)
+
+val iter_permutations : int -> (int array -> bool) -> unit
+(** Visit permutations of [0..n-1]; callback returns [true] to stop. *)
+
+val best_list_schedule : ?exact_limit:int -> Task_system.t -> int array * int
+(** Best order found and its makespan (exact for [n <= exact_limit],
+    default 8). *)
+
+val optimal_makespan : ?exact_limit:int -> Task_system.t -> int

@@ -1,0 +1,61 @@
+(** Task systems in the model of Garey and Graham (Section 4.1).
+
+    A task system is a set of tasks {T1..Tn} and shared resources
+    {R1..Rs}.  Each task [Tj] has a length [dur_j > 0] (in integer
+    ticks) and uses [Ri(Tj)] units of resource [Ri], normalized to
+    [0 <= Ri(Tj) <= 1].  A running task holds its resource units for
+    its entire duration; tasks are non-preemptable. *)
+
+type task = {
+  id : int;
+  dur : int;  (** Length in ticks, > 0. *)
+  needs : (int * float) list;
+      (** [(resource, amount)] pairs, each amount in (0, 1]. *)
+}
+
+type t = {
+  tasks : task array;
+  n_resources : int;
+}
+
+let eps = 1e-9
+
+let task ~id ~dur needs =
+  if dur <= 0 then invalid_arg "Task_system.task: dur must be positive";
+  List.iter
+    (fun (r, a) ->
+      if r < 0 then invalid_arg "Task_system.task: negative resource index";
+      if a <= 0. || a > 1. +. eps then
+        invalid_arg "Task_system.task: amount out of (0,1]")
+    needs;
+  { id; dur; needs }
+
+let make tasks =
+  let n_resources =
+    List.fold_left
+      (fun acc t -> List.fold_left (fun acc (r, _) -> max acc (r + 1)) acc t.needs)
+      0 tasks
+  in
+  { tasks = Array.of_list tasks; n_resources }
+
+let n_tasks t = Array.length t.tasks
+let n_resources t = t.n_resources
+let total_work t = Array.fold_left (fun acc task -> acc + task.dur) 0 t.tasks
+
+(** Amount of resource [r] used by [task]. *)
+let usage task r =
+  match List.assoc_opt r task.needs with Some a -> a | None -> 0.
+
+(** Do two tasks conflict, i.e. does some resource overflow if they run
+    together?  With update access = 1.0 this is the paper's conflict
+    relation. *)
+let conflicts a b =
+  List.exists
+    (fun (r, amt) -> amt +. usage b r > 1. +. eps)
+    a.needs
+
+(** Transaction-style helper: an update uses the whole object, a read
+    uses [1/n] of it (Section 4.2). *)
+let update_amount = 1.0
+
+let read_amount ~n = 1.0 /. float_of_int (max 1 n)

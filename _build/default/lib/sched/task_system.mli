@@ -1,0 +1,35 @@
+(** Task systems in the model of Garey and Graham (Section 4.1): tasks
+    with integer-tick lengths holding fractional resource amounts for
+    their whole duration; non-preemptable. *)
+
+type task = {
+  id : int;
+  dur : int;  (** Ticks; > 0. *)
+  needs : (int * float) list;  (** [(resource, amount)], amounts in (0, 1]. *)
+}
+
+type t = { tasks : task array; n_resources : int }
+
+val eps : float
+(** Comparison slack for fractional amounts. *)
+
+val task : id:int -> dur:int -> (int * float) list -> task
+(** @raise Invalid_argument on non-positive durations, negative
+    resource indices or amounts outside (0, 1]. *)
+
+val make : task list -> t
+val n_tasks : t -> int
+val n_resources : t -> int
+val total_work : t -> int
+
+val usage : task -> int -> float
+(** Amount of a resource used by a task (0. if undeclared). *)
+
+val conflicts : task -> task -> bool
+(** Do the two tasks overflow some resource if run together? *)
+
+val update_amount : float
+(** A transactional update uses the whole object (1.0). *)
+
+val read_amount : n:int -> float
+(** A read uses [1/n] of the object (Section 4.2). *)

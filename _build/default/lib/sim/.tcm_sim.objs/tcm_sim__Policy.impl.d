@@ -1,0 +1,1 @@
+lib/sim/policy.ml: Hashtbl Int64 Option Tcm_stm

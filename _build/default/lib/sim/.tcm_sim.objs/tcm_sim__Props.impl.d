@@ -1,0 +1,1 @@
+lib/sim/props.ml: Array Engine Spec Tcm_sched

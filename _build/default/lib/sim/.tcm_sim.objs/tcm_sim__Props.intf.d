@@ -1,0 +1,1 @@
+lib/sim/props.mli: Engine Spec

@@ -1,0 +1,1 @@
+lib/sim/scenarios.ml: Array Hashtbl List Policy Spec

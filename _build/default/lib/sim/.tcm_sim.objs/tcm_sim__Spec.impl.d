@@ -1,0 +1,1 @@
+lib/sim/spec.ml: Array Float List Tcm_sched

@@ -1,0 +1,391 @@
+(** Deterministic two-phase tick engine.
+
+    Each simulated thread executes a stream of transactions.  A tick
+    has two phases:
+
+    - {b Phase A} (access phase, thread-id order): threads start
+      pending transactions, re-check waits and backoffs, and attempt
+      the object accesses due at their current progress point.
+      Conflicts are resolved through the policy; aborts take effect
+      immediately (the victim restarts at the next tick, keeping its
+      timestamp).
+    - {b Phase B} (work phase): every thread still running advances one
+      tick of work; a thread completing its duration commits at the end
+      of the tick.
+
+    Accesses thus happen strictly before the commits of the same tick,
+    which reproduces the paper's "at time 1 - epsilon, T1 accesses X1,
+    aborting T0" scheduling of the Section 4 chain exactly.
+
+    Everything is deterministic: thread-id order breaks ties, policies
+    draw randomness from seeded streams, and timestamps are assigned in
+    arrival order. *)
+
+type cell_kind = Run | Wait | Back | Idle | Done
+
+type cell = { attempt : int; kind : cell_kind }
+
+type thread_status =
+  | Idle_s
+  | Running_s
+  | Waiting_s of { obj : int; enemy : int * int; deadline : int option }
+  | Backing_off_s of { until : int }
+  | Finished_s
+
+type tstate = {
+  tid : int;
+  stream : int -> Spec.txn option;
+  mutable txn_index : int;
+  mutable txn : Spec.txn option;
+  mutable timestamp : int;
+  mutable attempt : int;  (** Global per-thread attempt counter. *)
+  mutable status : thread_status;
+  mutable progress : int;
+  mutable pending : Spec.access list;
+  mutable held : int list;  (** Objects owned for writing. *)
+  mutable reading : int list;  (** Objects registered as reader. *)
+  mutable waiting_flag : bool;
+  priority : int ref;
+  mutable aborts : int;
+  mutable opens : int;
+  mutable stuck : int;  (** Consecutive resolves at the current access. *)
+  mutable commits : int;
+  mutable cur_aborts : int;  (** Restarts of the current transaction. *)
+  mutable aborted_this_tick : bool;
+}
+
+type obj_state = { mutable owner : int option; mutable readers : int list }
+
+type result = {
+  ticks : int;
+  completed : bool;  (** All streams exhausted within the horizon. *)
+  makespan : int option;  (** Tick of the last commit, when [completed]. *)
+  commits : int;
+  aborts : int;
+  commit_log : (int * int * int) list;
+      (** [(thread, txn_index, tick)] in commit order. *)
+  per_thread_commits : int array;
+  per_thread_aborts : int array;
+  max_aborts_one_txn : int;
+      (** Worst number of restarts any single transaction needed — the
+          starvation metric for the timestamp-retention ablation. *)
+  grid : cell array array;  (** [grid.(tick).(thread)], possibly empty. *)
+  policy_name : string;
+}
+
+let default_horizon = 1_000_000
+
+let view_of (t : tstate) : Policy.view =
+  {
+    Policy.id = t.tid;
+    timestamp = t.timestamp;
+    waiting = t.waiting_flag;
+    priority = t.priority;
+    aborts = t.aborts;
+    opens = t.opens;
+  }
+
+let run ?(horizon = default_horizon) ?(record_grid = false) ?ranks
+    ?(ts_on_restart = `Keep) ~(policy : Policy.t) ~n_objects
+    (streams : (int -> Spec.txn option) array) : result =
+  let n = Array.length streams in
+  let ts_counter =
+    (* Later transactions must be younger than any explicit rank. *)
+    ref (match ranks with None -> 0 | Some r -> Array.fold_left max 0 r)
+  in
+  let fresh_timestamp () =
+    incr ts_counter;
+    !ts_counter
+  in
+  let initial_timestamp tid =
+    match ranks with
+    | Some r when tid < Array.length r -> r.(tid)
+    | _ -> fresh_timestamp ()
+  in
+  let threads =
+    Array.init n (fun tid ->
+        {
+          tid;
+          stream = streams.(tid);
+          txn_index = 0;
+          txn = None;
+          timestamp = max_int;
+          attempt = 0;
+          status = Idle_s;
+          progress = 0;
+          pending = [];
+          held = [];
+          reading = [];
+          waiting_flag = false;
+          priority = ref 0;
+          aborts = 0;
+          opens = 0;
+          stuck = 0;
+          commits = 0;
+          cur_aborts = 0;
+          aborted_this_tick = false;
+        })
+  in
+  let objs = Array.init n_objects (fun _ -> { owner = None; readers = [] }) in
+  let total_aborts = ref 0 in
+  let total_commits = ref 0 in
+  let max_aborts_one_txn = ref 0 in
+  let commit_log = ref [] in
+  let grid = ref [] in
+
+  (* Fault injection: a halted transaction stops acting but stays
+     active and keeps its objects (Section 6's "transactions that stop
+     prematurely").  Its thread is dead: if an enemy aborts it, the
+     thread is finished rather than restarted. *)
+  let is_halted (t : tstate) =
+    match t.txn with
+    | Some { Spec.halts_at = Some p; _ } -> t.progress >= p
+    | _ -> false
+  in
+
+  let release (t : tstate) =
+    List.iter (fun o -> if objs.(o).owner = Some t.tid then objs.(o).owner <- None) t.held;
+    List.iter
+      (fun o -> objs.(o).readers <- List.filter (fun r -> r <> t.tid) objs.(o).readers)
+      t.reading;
+    t.held <- [];
+    t.reading <- []
+  in
+
+  let abort (victim : tstate) ~now =
+    let halted = is_halted victim in
+    release victim;
+    victim.waiting_flag <- false;
+    victim.aborts <- victim.aborts + 1;
+    victim.cur_aborts <- victim.cur_aborts + 1;
+    max_aborts_one_txn := max !max_aborts_one_txn victim.cur_aborts;
+    if halted then begin
+      (* The thread behind it is dead; clearing the objects is all an
+         enemy can do. *)
+      victim.txn <- None;
+      victim.status <- Finished_s;
+      victim.aborted_this_tick <- true
+    end
+    else begin
+      (* Ablation hook: the paper's greedy retains the timestamp across
+         aborts; [`Fresh] deliberately breaks that to demonstrate why. *)
+      (match ts_on_restart with
+      | `Keep -> ()
+      | `Fresh -> victim.timestamp <- fresh_timestamp ());
+      victim.progress <- 0;
+      victim.stuck <- 0;
+      victim.pending <- (match victim.txn with Some t -> t.Spec.accesses | None -> []);
+      victim.aborted_this_tick <- true;
+      (* Restart (same timestamp, same txn) at the next tick. *)
+      victim.status <- Backing_off_s { until = now + 1 };
+      victim.attempt <- victim.attempt + 1
+    end;
+    incr total_aborts
+  in
+
+  (* First conflicting party for an access, if any. *)
+  let conflict_of (t : tstate) (a : Spec.access) : tstate option =
+    let o = objs.(a.Spec.obj) in
+    let owner_conflict =
+      match o.owner with Some w when w <> t.tid -> Some threads.(w) | _ -> None
+    in
+    match a.Spec.kind with
+    | Spec.Read -> owner_conflict
+    | Spec.Write -> (
+        match owner_conflict with
+        | Some _ as c -> c
+        | None -> (
+            match List.find_opt (fun r -> r <> t.tid) o.readers with
+            | Some r -> Some threads.(r)
+            | None -> None))
+  in
+
+  let do_acquire (t : tstate) (a : Spec.access) =
+    let o = objs.(a.Spec.obj) in
+    (match a.Spec.kind with
+    | Spec.Write ->
+        o.owner <- Some t.tid;
+        o.readers <- List.filter (fun r -> r <> t.tid) o.readers;
+        if not (List.mem a.Spec.obj t.held) then t.held <- a.Spec.obj :: t.held;
+        t.reading <- List.filter (fun x -> x <> a.Spec.obj) t.reading
+    | Spec.Read ->
+        if o.owner <> Some t.tid && not (List.mem t.tid o.readers) then begin
+          o.readers <- t.tid :: o.readers;
+          t.reading <- a.Spec.obj :: t.reading
+        end);
+    t.opens <- t.opens + 1;
+    t.priority := !(t.priority) + 1;
+    t.stuck <- 0
+  in
+
+  (* Attempt all accesses due at the current progress point.  Returns
+     when the thread is no longer Running or all due accesses are in. *)
+  let rec process_accesses (t : tstate) ~now =
+    match t.pending with
+    | a :: rest when a.Spec.at <= t.progress -> (
+        if
+          (* Already own it for writing: nothing to do. *)
+          objs.(a.Spec.obj).owner = Some t.tid
+        then begin
+          t.pending <- rest;
+          t.stuck <- 0;
+          process_accesses t ~now
+        end
+        else
+          match conflict_of t a with
+          | None ->
+              do_acquire t a;
+              t.pending <- rest;
+              process_accesses t ~now
+          | Some enemy -> (
+              let d =
+                policy.Policy.resolve ~me:(view_of t) ~other:(view_of enemy) ~attempts:t.stuck
+                  ~now
+              in
+              t.stuck <- t.stuck + 1;
+              match d with
+              | Policy.Abort_other ->
+                  abort enemy ~now;
+                  process_accesses t ~now
+              | Policy.Abort_self -> abort t ~now
+              | Policy.Block { timeout } ->
+                  t.waiting_flag <- true;
+                  t.status <-
+                    Waiting_s
+                      {
+                        obj = a.Spec.obj;
+                        enemy = (enemy.tid, enemy.attempt);
+                        deadline = Option.map (fun d -> now + d) timeout;
+                      }
+              | Policy.Backoff d ->
+                  t.status <- Backing_off_s { until = now + max 1 d }))
+    | _ -> ()
+  in
+
+  let start_next_txn (t : tstate) ~now =
+    match t.stream t.txn_index with
+    | None -> t.status <- Finished_s
+    | Some txn ->
+        t.txn <- Some txn;
+        t.timestamp <-
+          (if t.txn_index = 0 then initial_timestamp t.tid else fresh_timestamp ());
+        t.cur_aborts <- 0;
+        t.progress <- 0;
+        t.pending <- txn.Spec.accesses;
+        t.stuck <- 0;
+        t.priority := 0;
+        t.attempt <- t.attempt + 1;
+        t.status <- Running_s;
+        process_accesses t ~now
+  in
+
+  let phase_a now =
+    Array.iter
+      (fun t ->
+        t.aborted_this_tick <- false;
+        match t.status with
+        | Finished_s -> ()
+        | Idle_s -> start_next_txn t ~now
+        | Running_s -> if not (is_halted t) then process_accesses t ~now
+        | Backing_off_s { until } ->
+            if now >= until then begin
+              t.status <- Running_s;
+              process_accesses t ~now
+            end
+        | Waiting_s { obj; enemy = enemy_tid, enemy_attempt; deadline } ->
+            let resume =
+              (match objs.(obj).owner with
+              | None -> true
+              | Some w ->
+                  w <> enemy_tid
+                  || threads.(w).attempt <> enemy_attempt
+                  || threads.(w).waiting_flag)
+              || match deadline with Some d -> now >= d | None -> false
+            in
+            if resume then begin
+              t.waiting_flag <- false;
+              t.status <- Running_s;
+              process_accesses t ~now
+            end)
+      threads
+  in
+
+  let phase_b now =
+    Array.iter
+      (fun t ->
+        match t.status with
+        | Running_s when (not t.aborted_this_tick) && not (is_halted t) -> (
+            match t.txn with
+            | None -> ()
+            | Some txn ->
+                t.progress <- t.progress + 1;
+                if t.progress >= txn.Spec.dur then begin
+                  release t;
+                  t.commits <- t.commits + 1;
+                  incr total_commits;
+                  commit_log := (t.tid, t.txn_index, now + 1) :: !commit_log;
+                  t.txn <- None;
+                  t.txn_index <- t.txn_index + 1;
+                  t.priority := 0;
+                  t.status <- Idle_s
+                end)
+        | _ -> ())
+      threads
+  in
+
+  let snapshot () =
+    Array.map
+      (fun t ->
+        let kind =
+          match t.status with
+          | Running_s -> Run
+          | Waiting_s _ -> Wait
+          | Backing_off_s _ -> Back
+          | Idle_s -> Idle
+          | Finished_s -> Done
+        in
+        { attempt = t.attempt; kind })
+      threads
+  in
+
+  let all_finished () = Array.for_all (fun t -> t.status = Finished_s) threads in
+
+  let tick = ref 0 in
+  (* Threads discover stream exhaustion when Idle; prime the check. *)
+  while (not (all_finished ())) && !tick < horizon do
+    phase_a !tick;
+    if record_grid then grid := snapshot () :: !grid;
+    phase_b !tick;
+    incr tick
+  done;
+  let completed = all_finished () in
+  let commit_log = List.rev !commit_log in
+  let makespan =
+    if completed then
+      Some (List.fold_left (fun acc (_, _, t) -> max acc t) 0 commit_log)
+    else None
+  in
+  {
+    ticks = !tick;
+    completed;
+    makespan;
+    commits = !total_commits;
+    aborts = !total_aborts;
+    commit_log;
+    per_thread_commits = Array.map (fun (t : tstate) -> t.commits) threads;
+    per_thread_aborts = Array.map (fun (t : tstate) -> t.aborts) threads;
+    max_aborts_one_txn = !max_aborts_one_txn;
+    grid = Array.of_list (List.rev !grid);
+    policy_name = policy.Policy.name;
+  }
+
+(** One transaction per thread, all arriving at tick 0.  Without
+    [ranks], thread order is priority order (thread 0 oldest);
+    [ranks.(i)] overrides the timestamp of thread [i]'s transaction
+    (smaller = older). *)
+let run_instance ?horizon ?record_grid ?ranks ?ts_on_restart ~policy (inst : Spec.instance) :
+    result =
+  let streams =
+    Array.map (fun txn k -> if k = 0 then Some txn else None) inst.txns
+  in
+  run ?horizon ?record_grid ?ranks ?ts_on_restart ~policy ~n_objects:inst.n_objects streams

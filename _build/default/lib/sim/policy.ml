@@ -1,0 +1,226 @@
+(** Simulated contention-manager policies.
+
+    These mirror the real managers in [Tcm_core] but operate on the
+    simulator's deterministic tick clock, so theory experiments are
+    exactly reproducible.  A policy sees only the public view of the
+    two parties — timestamp, waiting flag, accumulated priority, abort
+    count — matching the decentralised model of Section 2. *)
+
+type view = {
+  id : int;
+  timestamp : int;  (** Smaller = older = higher priority. *)
+  waiting : bool;
+  priority : int ref;
+      (** Karma-style accumulated priority.  A [ref] shared with the
+          engine so Eruption can push pressure onto the blocker. *)
+  aborts : int;
+  opens : int;
+}
+
+type decision =
+  | Abort_other
+  | Abort_self
+  | Block of { timeout : int option }  (** Ticks. *)
+  | Backoff of int  (** Ticks. *)
+
+(* Deterministic stream for randomized policies. *)
+module Prng = Tcm_stm.Splitmix
+
+type t = {
+  name : string;
+  resolve : me:view -> other:view -> attempts:int -> now:int -> decision;
+}
+
+let older_than a b = a.timestamp < b.timestamp
+
+(** The greedy manager, Section 3: abort younger or waiting enemies,
+    wait (unboundedly) behind older non-waiting ones. *)
+let greedy () =
+  {
+    name = "greedy";
+    resolve =
+      (fun ~me ~other ~attempts:_ ~now:_ ->
+        if older_than me other || other.waiting then Abort_other
+        else Block { timeout = None });
+  }
+
+(** Fault-tolerant greedy, Section 6: wait behind older enemies only up
+    to a per-enemy timeout that doubles after each expiry. *)
+let greedy_ft ?(base = 4) () =
+  let grants = Hashtbl.create 16 in
+  {
+    name = "greedy-ft";
+    resolve =
+      (fun ~me ~other ~attempts ~now:_ ->
+        if older_than me other || other.waiting then Abort_other
+        else
+          let granted = Option.value (Hashtbl.find_opt grants other.timestamp) ~default:base in
+          if attempts > 0 then begin
+            Hashtbl.replace grants other.timestamp (granted * 2);
+            Abort_other
+          end
+          else Block { timeout = Some granted });
+  }
+
+let aggressive () =
+  { name = "aggressive"; resolve = (fun ~me:_ ~other:_ ~attempts:_ ~now:_ -> Abort_other) }
+
+let timid () =
+  { name = "timid"; resolve = (fun ~me:_ ~other:_ ~attempts:_ ~now:_ -> Abort_self) }
+
+let polite ?(max_tries = 6) ?(base = 1) ~seed () =
+  let prng = Prng.create seed in
+  {
+    name = "backoff";
+    resolve =
+      (fun ~me:_ ~other:_ ~attempts ~now:_ ->
+        if attempts >= max_tries then Abort_other
+        else
+          let d = base * (1 lsl min attempts 10) in
+          Backoff (d + Prng.int prng (max 1 d)));
+  }
+
+let randomized ~seed () =
+  let prng = Prng.create seed in
+  {
+    name = "randomized";
+    resolve =
+      (fun ~me:_ ~other:_ ~attempts:_ ~now:_ ->
+        if Prng.bool prng then Abort_other else Backoff (1 + Prng.int prng 4));
+  }
+
+let karma ?(backoff = 2) () =
+  {
+    name = "karma";
+    resolve =
+      (fun ~me ~other ~attempts ~now:_ ->
+        if !(me.priority) + attempts > !(other.priority) then Abort_other else Backoff backoff);
+  }
+
+let eruption ?(backoff = 2) () =
+  {
+    name = "eruption";
+    resolve =
+      (fun ~me ~other ~attempts ~now:_ ->
+        if !(me.priority) + attempts > !(other.priority) then Abort_other
+        else begin
+          if attempts = 0 then other.priority := !(other.priority) + max 1 !(me.priority);
+          Backoff backoff
+        end);
+  }
+
+let kindergarten ?(rounds = 2) () =
+  let deferred = Hashtbl.create 16 in
+  {
+    name = "kindergarten";
+    resolve =
+      (fun ~me:_ ~other ~attempts ~now:_ ->
+        if Hashtbl.mem deferred other.timestamp then Abort_other
+        else if attempts >= rounds then begin
+          Hashtbl.replace deferred other.timestamp ();
+          Abort_self
+        end
+        else Backoff 1);
+  }
+
+let timestamp ?(quantum = 2) ?(max_quanta = 4) () =
+  {
+    name = "timestamp";
+    resolve =
+      (fun ~me ~other ~attempts ~now:_ ->
+        if older_than me other then Abort_other
+        else if attempts >= max_quanta then Abort_other
+        else Block { timeout = Some quantum });
+  }
+
+let killblocked ?(max_tries = 3) () =
+  {
+    name = "killblocked";
+    resolve =
+      (fun ~me:_ ~other ~attempts ~now:_ ->
+        if other.waiting then Abort_other
+        else if attempts >= max_tries then Abort_other
+        else Backoff 1);
+  }
+
+let polka ?(base = 1) ~seed () =
+  let prng = Prng.create seed in
+  {
+    name = "polka";
+    resolve =
+      (fun ~me ~other ~attempts ~now:_ ->
+        let gap = !(other.priority) - !(me.priority) in
+        if attempts >= max 1 gap then Abort_other
+        else
+          let d = base * (1 lsl min attempts 10) in
+          Backoff (d + Prng.int prng (max 1 d)));
+  }
+
+(** Randomized-priority greedy — a stab at the paper's closing open
+    problem ("can one use randomization to implement a contention
+    manager that is proved to behave well with high probability?").
+    Greedy's rules, but priorities are random ranks drawn once per
+    logical transaction instead of arrival timestamps: each transaction
+    hashes its (stable) timestamp through a keyed mix, so the rank is
+    retained across aborts yet independent of arrival order.  Every
+    conflict still has a strict winner, so the pending-commit property
+    and Theorem 9 carry over; what randomization buys is immunity to
+    adversaries that exploit arrival order (the Section 4 chain), at
+    the price of only probabilistic — not deterministic — bounds on any
+    one transaction's commit time. *)
+let randomized_greedy ~seed () =
+  let rank ts =
+    (* splitmix-style keyed hash of the stable timestamp. *)
+    let z = Int64.add (Int64.of_int ts) (Int64.mul (Int64.of_int (seed + 1)) 0x9E3779B97F4A7C15L) in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    Int64.to_int (Int64.logand (Int64.logxor z (Int64.shift_right_logical z 31)) 0x3FFFFFFFFFFFFFFFL)
+  in
+  {
+    name = "rand-greedy";
+    resolve =
+      (fun ~me ~other ~attempts:_ ~now:_ ->
+        (* Ties broken by the underlying timestamp, so a strict total
+           order survives hashing collisions. *)
+        let rm = (rank me.timestamp, me.timestamp)
+        and ro = (rank other.timestamp, other.timestamp) in
+        if rm < ro || other.waiting then Abort_other else Block { timeout = None });
+  }
+
+(** Unbounded FIFO waiting: the manager the paper calls prone to
+    dependency cycles.  [`Unbounded`] reproduces the deadlock in the
+    simulator (the engine's horizon turns it into a detected livelock);
+    [`Bounded] matches the defensive real implementation. *)
+let queue_on_block ?(mode = `Bounded) () =
+  {
+    name = "queueonblock";
+    resolve =
+      (fun ~me:_ ~other:_ ~attempts ~now:_ ->
+        match mode with
+        | `Unbounded -> Block { timeout = None }
+        | `Bounded -> if attempts >= 3 then Abort_other else Block { timeout = Some 8 });
+  }
+
+(** Everything comparable, for sweeps.  [seed] feeds the randomized
+    policies so whole sweeps stay deterministic. *)
+let all ~seed () =
+  [
+    greedy ();
+    greedy_ft ();
+    randomized_greedy ~seed ();
+    aggressive ();
+    polite ~seed ();
+    randomized ~seed ();
+    karma ();
+    eruption ();
+    kindergarten ();
+    timestamp ();
+    killblocked ();
+    polka ~seed ();
+    queue_on_block ();
+    timid ();
+  ]
+
+(** The paper's Figure 1–4 line-up. *)
+let paper_figures ~seed () =
+  [ greedy (); karma (); eruption (); aggressive (); polite ~seed () ]

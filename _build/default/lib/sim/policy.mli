@@ -1,0 +1,56 @@
+(** Simulated contention-manager policies, mirroring [Tcm_core] on the
+    deterministic tick clock.  A policy sees only the public view of
+    the two parties (Section 2's decentralised model). *)
+
+type view = {
+  id : int;
+  timestamp : int;  (** Smaller = older = higher priority. *)
+  waiting : bool;
+  priority : int ref;  (** Shared with the engine; Eruption mutates it. *)
+  aborts : int;
+  opens : int;
+}
+
+type decision =
+  | Abort_other
+  | Abort_self
+  | Block of { timeout : int option }  (** Ticks. *)
+  | Backoff of int  (** Ticks. *)
+
+module Prng = Tcm_stm.Splitmix
+
+type t = {
+  name : string;
+  resolve : me:view -> other:view -> attempts:int -> now:int -> decision;
+}
+
+val older_than : view -> view -> bool
+
+val greedy : unit -> t
+val greedy_ft : ?base:int -> unit -> t
+val aggressive : unit -> t
+val timid : unit -> t
+val polite : ?max_tries:int -> ?base:int -> seed:int -> unit -> t
+val randomized : seed:int -> unit -> t
+val karma : ?backoff:int -> unit -> t
+val eruption : ?backoff:int -> unit -> t
+val kindergarten : ?rounds:int -> unit -> t
+val timestamp : ?quantum:int -> ?max_quanta:int -> unit -> t
+val killblocked : ?max_tries:int -> unit -> t
+val polka : ?base:int -> seed:int -> unit -> t
+
+val randomized_greedy : seed:int -> unit -> t
+(** Greedy with random (hash-of-timestamp) priorities retained across
+    aborts — an experiment on the paper's closing open problem.  Keeps
+    the pending-commit property (strict total order on ranks) but is
+    immune to adversaries that exploit arrival order. *)
+
+val queue_on_block : ?mode:[ `Bounded | `Unbounded ] -> unit -> t
+(** [`Unbounded] reproduces the dependency-cycle livelock the paper
+    warns about; [`Bounded] matches the defensive real manager. *)
+
+val all : seed:int -> unit -> t list
+
+val paper_figures : seed:int -> unit -> t list
+(** The Figure 1–4 line-up: greedy, karma, eruption, aggressive,
+    backoff. *)

@@ -1,0 +1,24 @@
+(** Executable checkers for the paper's properties. *)
+
+val all_committed : Engine.result -> bool
+(** Every thread finished all its transactions (Theorem 1 under
+    greedy, given finite delays). *)
+
+val pending_commit : Engine.result -> bool
+(** Section 4.3: at any tick before the makespan, some running attempt
+    runs uninterrupted until its commit.
+    @raise Invalid_argument unless run with [~record_grid:true]. *)
+
+type bound_report = {
+  s : int;
+  measured : int;
+  optimal : int;
+  factor : int;  (** s(s+1) + 2. *)
+  ok : bool;
+}
+
+val theorem9_check : inst:Spec.instance -> Engine.result -> bound_report
+(** Simulated makespan vs the best off-line list schedule. *)
+
+val greedy_abort_budget : n:int -> Engine.result -> bool
+(** Aggregate Theorem 1 check: one-shot aborts <= n(n-1)/2. *)

@@ -1,0 +1,51 @@
+(** ASCII rendering of a recorded execution grid: one row per thread,
+    one column per tick.
+
+    Legend: ['R'] running, ['w'] waiting, ['b'] backing off / restart
+    gap, ['.'] idle between transactions, ['C'] the tick whose end the
+    thread committed at, ['X'] the tick in which the attempt was
+    aborted (the attempt number changed afterwards), [' '] after the
+    thread finished. *)
+
+let cell_char (grid : Engine.cell array array) ~tick ~thread =
+  let c = grid.(tick).(thread) in
+  let next = if tick + 1 < Array.length grid then Some grid.(tick + 1).(thread) else None in
+  match c.Engine.kind with
+  | Engine.Done -> ' '
+  | Engine.Idle -> '.'
+  | Engine.Wait -> 'w'
+  | Engine.Back -> 'b'
+  | Engine.Run -> (
+      match next with
+      | Some n when n.Engine.kind = Engine.Idle || n.Engine.kind = Engine.Done -> 'C'
+      | Some n when n.Engine.attempt <> c.Engine.attempt -> 'X'
+      | None -> 'C'
+      | Some _ -> 'R')
+
+(** Render the grid of a result produced with [~record_grid:true]. *)
+let render (r : Engine.result) : string =
+  let grid = r.Engine.grid in
+  if Array.length grid = 0 then "(no grid recorded; run with ~record_grid:true)"
+  else begin
+    let ticks = Array.length grid in
+    let threads = Array.length grid.(0) in
+    let buf = Buffer.create ((threads + 2) * (ticks + 16)) in
+    (* Tick ruler every 10 columns. *)
+    Buffer.add_string buf "        ";
+    for t = 0 to ticks - 1 do
+      Buffer.add_char buf (if t mod 10 = 0 then '|' else ' ')
+    done;
+    Buffer.add_char buf '\n';
+    for i = 0 to threads - 1 do
+      Buffer.add_string buf (Printf.sprintf "T%-3d    " i);
+      for t = 0 to ticks - 1 do
+        Buffer.add_char buf (cell_char grid ~tick:t ~thread:i)
+      done;
+      Buffer.add_char buf '\n'
+    done;
+    Buffer.add_string buf
+      "        R running  w waiting  b backoff/restart  . idle  C commit  X aborted\n";
+    Buffer.contents buf
+  end
+
+let print fmt r = Format.pp_print_string fmt (render r)

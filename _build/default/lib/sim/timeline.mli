@@ -1,0 +1,9 @@
+(** ASCII rendering of a recorded execution grid (one row per thread,
+    one column per tick); requires the result to have been produced
+    with [~record_grid:true]. *)
+
+val cell_char : Engine.cell array array -> tick:int -> thread:int -> char
+
+val render : Engine.result -> string
+
+val print : Format.formatter -> Engine.result -> unit

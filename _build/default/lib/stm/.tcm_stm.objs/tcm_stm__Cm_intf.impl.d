@@ -1,0 +1,1 @@
+lib/stm/cm_intf.ml: Decision Txn

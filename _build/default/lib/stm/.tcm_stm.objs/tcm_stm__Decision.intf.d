@@ -1,0 +1,1 @@
+lib/stm/decision.mli: Format

@@ -1,0 +1,1 @@
+lib/stm/runtime.ml: Atomic Cm_intf Decision Domain Format List Option Status Tvar Txn Unix

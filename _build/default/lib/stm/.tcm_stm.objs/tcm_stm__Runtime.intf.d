@@ -1,0 +1,1 @@
+lib/stm/runtime.mli: Cm_intf Format Tvar Txn

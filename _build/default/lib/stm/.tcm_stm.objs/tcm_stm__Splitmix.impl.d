@@ -1,0 +1,1 @@
+lib/stm/splitmix.ml: Atomic Int64

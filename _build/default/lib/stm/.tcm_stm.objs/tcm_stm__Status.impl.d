@@ -1,0 +1,1 @@
+lib/stm/status.ml: Format

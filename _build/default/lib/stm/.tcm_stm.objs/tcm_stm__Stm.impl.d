@@ -1,0 +1,1 @@
+lib/stm/stm.ml: Cm_intf Decision Runtime Splitmix Status Tvar Txid Txn

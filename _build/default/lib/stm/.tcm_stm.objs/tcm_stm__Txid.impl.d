@@ -1,0 +1,1 @@
+lib/stm/txid.ml: Atomic

@@ -1,0 +1,1 @@
+lib/stm/txn.ml: Atomic Format Status Txid Unix

@@ -1,0 +1,1 @@
+lib/stm/txn.mli: Atomic Format Status

@@ -1,0 +1,46 @@
+(** The contention-manager interface.
+
+    A contention manager is a per-thread module instance consulted by
+    the STM runtime whenever a conflict is discovered, and notified of
+    the interesting transaction-lifecycle events.  Managers communicate
+    with the rest of the system only through the public fields of the
+    two transaction descriptors involved ([Txn.t]) — they are
+    decentralised in exactly the sense of Section 2 of the paper: "one
+    transaction decides whether to abort another based only on a
+    comparison of the two transactions' states". *)
+
+module type S = sig
+  val name : string
+
+  type t
+  (** Per-thread manager state. *)
+
+  val create : unit -> t
+
+  val begin_attempt : t -> Txn.t -> unit
+  (** Called when an attempt (initial or retry) starts. *)
+
+  val opened : t -> Txn.t -> unit
+  (** Called after each successful object open (read or write). *)
+
+  val committed : t -> Txn.t -> unit
+  (** Called after the attempt committed. *)
+
+  val aborted : t -> Txn.t -> unit
+  (** Called after the attempt aborted (by itself or an enemy). *)
+
+  val resolve : t -> me:Txn.t -> other:Txn.t -> attempts:int -> Decision.t
+  (** Conflict: [me] wants an object currently held by the active
+      attempt [other].  [attempts] counts consecutive [resolve] calls
+      for the same spot (0 on first discovery). *)
+end
+
+type factory = (module S)
+
+(** Existential package of a manager module with its state, used by the
+    runtime to keep one instance per domain. *)
+type packed = Packed : (module S with type t = 'a) * 'a -> packed
+
+let instantiate (module M : S) = Packed ((module M), M.create ())
+
+let name (module M : S) = M.name

@@ -1,0 +1,26 @@
+(** Contention-manager decisions.
+
+    When transaction [A] is about to perform an access that conflicts
+    with transaction [B], [A]'s contention manager returns one of these
+    verdicts.  The runtime executes the verdict and, unless it was
+    terminal for [A], calls the manager again with an incremented
+    [attempts] counter until the conflict is gone. *)
+
+type t =
+  | Abort_other  (** Abort the enemy attempt (CAS its status). *)
+  | Abort_self   (** Abort and restart the calling transaction. *)
+  | Block of { timeout_usec : int option }
+      (** Greedy-style wait: set our public [waiting] flag and block
+          until the enemy commits, aborts or starts waiting itself —
+          or until the optional timeout expires.  Either way the
+          manager is consulted again afterwards. *)
+  | Backoff of { usec : int }
+      (** Sleep for the given duration, then consult the manager
+          again.  Used by Polite/Polka-style managers. *)
+
+let pp fmt = function
+  | Abort_other -> Format.pp_print_string fmt "abort-other"
+  | Abort_self -> Format.pp_print_string fmt "abort-self"
+  | Block { timeout_usec = None } -> Format.pp_print_string fmt "block"
+  | Block { timeout_usec = Some t } -> Format.fprintf fmt "block(%dus)" t
+  | Backoff { usec } -> Format.fprintf fmt "backoff(%dus)" usec

@@ -1,0 +1,18 @@
+(** Contention-manager decisions.
+
+    When transaction [A] is about to perform an access that conflicts
+    with transaction [B], [A]'s manager returns one of these verdicts;
+    the runtime executes it and, unless it was terminal for [A],
+    consults the manager again with an incremented attempt counter
+    until the conflict is gone. *)
+
+type t =
+  | Abort_other  (** Abort the enemy attempt (CAS on its status). *)
+  | Abort_self  (** Abort and restart the calling transaction. *)
+  | Block of { timeout_usec : int option }
+      (** Greedy-style wait: set the public [waiting] flag and block
+          until the enemy commits, aborts or starts waiting itself — or
+          the optional timeout expires. *)
+  | Backoff of { usec : int }  (** Sleep, then ask again. *)
+
+val pp : Format.formatter -> t -> unit

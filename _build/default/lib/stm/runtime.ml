@@ -1,0 +1,392 @@
+(** The STM execution engine.
+
+    [atomically rt f] runs [f] as a transaction under the runtime's
+    contention manager, retrying on abort until the commit CAS
+    succeeds.  Conflicts are detected eagerly, at access time, exactly
+    as in DSTM/SXM: the acquiring transaction consults its local
+    contention manager and either aborts the enemy or stands back.
+
+    Two read modes are supported:
+
+    - [`Visible] (default): readers register on the variable; writers
+      resolve each active reader through the contention manager after
+      acquiring the locator.  This makes read-write conflicts go
+      through the manager (the paper's model) and yields serializable
+      executions without commit-time validation.
+    - [`Invisible]: DSTM-style invisible reads with re-validation of
+      the whole read set on every subsequent open and before the commit
+      CAS.  Cheaper under read-mostly loads; provided for the ablation
+      benchmarks.  Note the classic caveat: the window between the last
+      validation and the commit CAS admits a narrow write-skew race, so
+      this mode trades strictness for speed. *)
+
+exception Abort_attempt
+(** Internal control flow: the current attempt is (being) aborted and
+    must restart. *)
+
+exception Too_many_attempts of int
+(** Raised when [max_attempts] is exceeded. *)
+
+exception Retry_wait
+(** Internal control flow for [retry_wait]/[check]: abort the attempt
+    and re-run after a pause, i.e. block until the world changes. *)
+
+type read_mode = [ `Visible | `Invisible ]
+
+type config = {
+  read_mode : read_mode;
+  max_attempts : int option;  (** [None] = retry forever. *)
+  block_poll_usec : int;
+      (** Polling period while blocked on an enemy.  Small values react
+          faster; on an oversubscribed machine the sleep also serves as
+          a yield. *)
+  backoff_cap_usec : int;  (** Upper bound applied to [Backoff] verdicts. *)
+}
+
+let default_config =
+  { read_mode = `Visible; max_attempts = None; block_poll_usec = 50; backoff_cap_usec = 100_000 }
+
+type stats = {
+  commits : int Atomic.t;
+  aborts : int Atomic.t;
+  conflicts : int Atomic.t;
+  enemy_aborts : int Atomic.t;  (** Times we aborted an enemy. *)
+  self_aborts : int Atomic.t;
+  blocks : int Atomic.t;
+  backoffs : int Atomic.t;
+}
+
+let make_stats () =
+  {
+    commits = Atomic.make 0;
+    aborts = Atomic.make 0;
+    conflicts = Atomic.make 0;
+    enemy_aborts = Atomic.make 0;
+    self_aborts = Atomic.make 0;
+    blocks = Atomic.make 0;
+    backoffs = Atomic.make 0;
+  }
+
+type stats_snapshot = {
+  n_commits : int;
+  n_aborts : int;
+  n_conflicts : int;
+  n_enemy_aborts : int;
+  n_self_aborts : int;
+  n_blocks : int;
+  n_backoffs : int;
+}
+
+(* A validated invisible read.  The entry stays valid while the
+   variable still carries the locator we resolved the value from and
+   the resolution is unchanged — or once the reading transaction itself
+   owns the variable with the observed value as the locator's old
+   version (read-then-write upgrade). *)
+type read_entry = { tvar_id : int; check : unit -> bool }
+
+type t = {
+  config : config;
+  cm : Cm_intf.factory;
+  stats : stats;
+  dls : per_domain Domain.DLS.key;
+}
+
+and per_domain = { cm_state : Cm_intf.packed; mutable current : tx option }
+
+and tx = {
+  rt : t;
+  txn : Txn.t;
+  dom : per_domain;
+  mutable read_log : read_entry list;  (** Invisible mode only. *)
+}
+
+let create ?(config = default_config) cm =
+  let dls =
+    Domain.DLS.new_key (fun () -> { cm_state = Cm_intf.instantiate cm; current = None })
+  in
+  { config; cm; stats = make_stats (); dls }
+
+let manager_name t = Cm_intf.name t.cm
+
+let stats t =
+  {
+    n_commits = Atomic.get t.stats.commits;
+    n_aborts = Atomic.get t.stats.aborts;
+    n_conflicts = Atomic.get t.stats.conflicts;
+    n_enemy_aborts = Atomic.get t.stats.enemy_aborts;
+    n_self_aborts = Atomic.get t.stats.self_aborts;
+    n_blocks = Atomic.get t.stats.blocks;
+    n_backoffs = Atomic.get t.stats.backoffs;
+  }
+
+let pp_stats fmt s =
+  Format.fprintf fmt "commits=%d aborts=%d conflicts=%d enemy-aborts=%d blocks=%d backoffs=%d"
+    s.n_commits s.n_aborts s.n_conflicts s.n_enemy_aborts s.n_blocks s.n_backoffs
+
+(* ------------------------------------------------------------------ *)
+(* Attempt-local helpers                                               *)
+(* ------------------------------------------------------------------ *)
+
+let check_self tx = if not (Txn.is_active tx.txn) then raise Abort_attempt
+
+let sleep_usec usec = if usec > 0 then Unix.sleepf (float_of_int usec *. 1e-6)
+
+(* Block until [other] is no longer active, or starts waiting itself,
+   or the timeout expires.  Sets our public waiting flag for the
+   duration, so that greedy enemies may abort us (Rule 1). *)
+let block_on tx (other : Txn.t) timeout_usec =
+  Atomic.incr tx.rt.stats.blocks;
+  Atomic.set tx.txn.Txn.waiting true;
+  let deadline =
+    match timeout_usec with
+    | None -> infinity
+    | Some us -> Unix.gettimeofday () +. (float_of_int us *. 1e-6)
+  in
+  let rec wait () =
+    if not (Txn.is_active tx.txn) then begin
+      Atomic.set tx.txn.Txn.waiting false;
+      raise Abort_attempt
+    end;
+    if Txn.is_active other && not (Txn.is_waiting other) && Unix.gettimeofday () < deadline
+    then begin
+      sleep_usec tx.rt.config.block_poll_usec;
+      wait ()
+    end
+  in
+  wait ();
+  Atomic.set tx.txn.Txn.waiting false
+
+(* Execute one contention-manager verdict for a conflict with [other].
+   Returns when the caller should re-examine the object. *)
+let resolve_conflict tx ~(other : Txn.t) ~attempts =
+  check_self tx;
+  Atomic.incr tx.rt.stats.conflicts;
+  let (Cm_intf.Packed ((module M), st)) = tx.dom.cm_state in
+  match M.resolve st ~me:tx.txn ~other ~attempts with
+  | Decision.Abort_other ->
+      if Txn.try_abort other then Atomic.incr tx.rt.stats.enemy_aborts
+  | Decision.Abort_self ->
+      Atomic.incr tx.rt.stats.self_aborts;
+      ignore (Txn.try_abort tx.txn);
+      raise Abort_attempt
+  | Decision.Block { timeout_usec } -> block_on tx other timeout_usec
+  | Decision.Backoff { usec } ->
+      Atomic.incr tx.rt.stats.backoffs;
+      sleep_usec (min usec tx.rt.config.backoff_cap_usec);
+      check_self tx
+
+let cm_opened tx =
+  Txn.record_open tx.txn;
+  let (Cm_intf.Packed ((module M), st)) = tx.dom.cm_state in
+  M.opened st tx.txn
+
+(* ------------------------------------------------------------------ *)
+(* Invisible-read validation                                           *)
+(* ------------------------------------------------------------------ *)
+
+let make_read_entry (type v) (tx : tx) (tvar : v Tvar.t) (loc : v Tvar.locator)
+    ~saw_committed (seen : v) : read_entry =
+  let check () =
+    let cur = Atomic.get tvar.Tvar.loc in
+    if cur == loc then
+      (* Committed owners stay committed; for active/aborted owners the
+         value we used becomes wrong only if the owner commits. *)
+      saw_committed || Txn.status loc.Tvar.owner <> Status.Committed
+    else
+      (* Upgrade: we acquired the variable ourselves after reading it;
+         the read stays consistent iff the stable value we captured at
+         acquisition is the one we had read. *)
+      cur.Tvar.owner == tx.txn && cur.Tvar.old_v == seen
+  in
+  { tvar_id = tvar.Tvar.id; check }
+
+let validate tx =
+  if not (List.for_all (fun e -> e.check ()) tx.read_log) then begin
+    ignore (Txn.try_abort tx.txn);
+    raise Abort_attempt
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Open for write                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* After acquiring the locator, resolve every active visible reader.
+   Readers registering after our CAS observe us as active owner and
+   resolve from their side, so scanning once per remaining active
+   reader suffices for mutual awareness. *)
+let rec drain_readers tx tvar attempts =
+  check_self tx;
+  match Tvar.find_active_reader tvar tx.txn with
+  | None -> Tvar.purge_readers tvar
+  | Some r ->
+      resolve_conflict tx ~other:r ~attempts;
+      drain_readers tx tvar (attempts + 1)
+
+let rec acquire : 'a. tx -> 'a Tvar.t -> int -> 'a Tvar.locator =
+  fun tx tvar attempts ->
+   check_self tx;
+   let loc = Atomic.get tvar.Tvar.loc in
+   if loc.Tvar.owner == tx.txn then loc
+   else
+     match Txn.status loc.Tvar.owner with
+     | Status.Active ->
+         resolve_conflict tx ~other:loc.Tvar.owner ~attempts;
+         acquire tx tvar (attempts + 1)
+     | Status.Committed | Status.Aborted ->
+         let cur = Tvar.value_of_locator loc in
+         let nloc = { Tvar.owner = tx.txn; old_v = cur; new_v = ref cur } in
+         if Atomic.compare_and_set tvar.Tvar.loc loc nloc then begin
+           if tx.rt.config.read_mode = `Visible then drain_readers tx tvar 0
+           else validate tx;
+           cm_opened tx;
+           nloc
+         end
+         else acquire tx tvar attempts
+
+(* ------------------------------------------------------------------ *)
+(* Public transactional operations                                     *)
+(* ------------------------------------------------------------------ *)
+
+let write tx tvar v =
+  let loc = acquire tx tvar 0 in
+  loc.Tvar.new_v := v
+
+let rec read_visible : 'a. tx -> 'a Tvar.t -> int -> 'a =
+  fun tx tvar attempts ->
+   check_self tx;
+   let loc = Atomic.get tvar.Tvar.loc in
+   if loc.Tvar.owner == tx.txn then !(loc.Tvar.new_v)
+   else begin
+     Tvar.register_reader tvar tx.txn;
+     (* Re-read after registration: any writer that acquired before our
+        registration either drained us (sees us in the list) or is
+        observed right here. *)
+     let loc = Atomic.get tvar.Tvar.loc in
+     if loc.Tvar.owner == tx.txn then !(loc.Tvar.new_v)
+     else
+       match Txn.status loc.Tvar.owner with
+       | Status.Active ->
+           resolve_conflict tx ~other:loc.Tvar.owner ~attempts;
+           read_visible tx tvar (attempts + 1)
+       | Status.Committed ->
+           cm_opened tx;
+           !(loc.Tvar.new_v)
+       | Status.Aborted ->
+           cm_opened tx;
+           loc.Tvar.old_v
+   end
+
+let read_invisible tx tvar =
+  check_self tx;
+  let loc = Atomic.get tvar.Tvar.loc in
+  if loc.Tvar.owner == tx.txn then !(loc.Tvar.new_v)
+  else begin
+    let saw_committed = Txn.status loc.Tvar.owner = Status.Committed in
+    let v = if saw_committed then !(loc.Tvar.new_v) else loc.Tvar.old_v in
+    tx.read_log <- make_read_entry tx tvar loc ~saw_committed v :: tx.read_log;
+    validate tx;
+    cm_opened tx;
+    v
+  end
+
+let read tx tvar =
+  match tx.rt.config.read_mode with
+  | `Visible -> read_visible tx tvar 0
+  | `Invisible -> read_invisible tx tvar
+
+(** Read through the write path: acquires the variable exclusively.
+    Use for read-modify-write accesses to avoid upgrade conflicts. *)
+let read_for_write tx tvar =
+  let loc = acquire tx tvar 0 in
+  !(loc.Tvar.new_v)
+
+let modify tx tvar f =
+  let loc = acquire tx tvar 0 in
+  loc.Tvar.new_v := f !(loc.Tvar.new_v)
+
+(** User-requested abort-and-retry of the current attempt. *)
+let retry_now tx : 'a =
+  ignore (Txn.try_abort tx.txn);
+  raise Abort_attempt
+
+(** Blocking retry (Harris-et-al style [retry]): abort and re-run the
+    transaction after a pause, so the caller effectively waits for the
+    state it read to change.  The pause grows geometrically up to the
+    configured cap. *)
+let retry_wait tx : 'a =
+  ignore (Txn.try_abort tx.txn);
+  raise Retry_wait
+
+(** [check tx cond]: proceed if [cond] holds, otherwise block (via
+    {!retry_wait}) until a later re-execution sees it hold. *)
+let check tx cond = if not cond then retry_wait tx
+
+(* ------------------------------------------------------------------ *)
+(* The atomic block                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let commit tx =
+  if tx.rt.config.read_mode = `Invisible then validate tx;
+  Txn.try_commit tx.txn
+
+let atomically rt f =
+  let dom = Domain.DLS.get rt.dls in
+  match dom.current with
+  | Some tx when Txn.is_active tx.txn ->
+      (* Nested atomically: flatten into the enclosing transaction. *)
+      f tx
+  | _ ->
+      let (Cm_intf.Packed ((module M), cm_st)) = dom.cm_state in
+      let shared = Txn.new_shared () in
+      let rec attempt ?(wait_round = 0) n =
+        (match rt.config.max_attempts with
+        | Some m when n > m -> raise (Too_many_attempts n)
+        | _ -> ());
+        let txn = Txn.new_attempt shared in
+        let tx = { rt; txn; dom; read_log = [] } in
+        dom.current <- Some tx;
+        M.begin_attempt cm_st txn;
+        let finish_abort () =
+          ignore (Txn.try_abort txn);
+          Atomic.set txn.Txn.waiting false;
+          Atomic.incr rt.stats.aborts;
+          M.aborted cm_st txn;
+          dom.current <- None
+        in
+        match f tx with
+        | v ->
+            if commit tx then begin
+              Atomic.incr rt.stats.commits;
+              M.committed cm_st txn;
+              dom.current <- None;
+              v
+            end
+            else begin
+              finish_abort ();
+              attempt (n + 1)
+            end
+        | exception Abort_attempt ->
+            finish_abort ();
+            attempt (n + 1)
+        | exception Retry_wait ->
+            finish_abort ();
+            (* Geometrically growing pause: the caller is waiting for
+               another transaction to change the state it checked. *)
+            let usec =
+              min rt.config.backoff_cap_usec
+                (rt.config.block_poll_usec * (1 lsl min wait_round 12))
+            in
+            sleep_usec usec;
+            attempt ~wait_round:(wait_round + 1) (n + 1)
+        | exception e ->
+            (* User exception: abort the transaction, propagate. *)
+            finish_abort ();
+            raise e
+      in
+      attempt 1
+
+(** Number of attempts the currently running transaction has made so
+    far on this domain (1 for the first attempt); for diagnostics. *)
+let current_txn rt =
+  let dom = Domain.DLS.get rt.dls in
+  Option.map (fun tx -> tx.txn) dom.current

@@ -1,0 +1,21 @@
+(** Transaction lifecycle status.
+
+    A transaction attempt is [Active] from its creation until a single
+    successful compare-and-set moves it to [Committed] (performed by the
+    owner) or [Aborted] (performed by the owner or by an enemy
+    transaction that won a conflict).  The transition is one-shot: a
+    committed or aborted attempt never changes status again. *)
+
+type t =
+  | Active
+  | Committed
+  | Aborted
+
+let to_string = function
+  | Active -> "active"
+  | Committed -> "committed"
+  | Aborted -> "aborted"
+
+let pp fmt s = Format.pp_print_string fmt (to_string s)
+
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,15 @@
+(** Transaction lifecycle status.
+
+    An attempt is [Active] from creation until one successful
+    compare-and-set moves it to [Committed] (by its owner) or [Aborted]
+    (by its owner or by an enemy that won a conflict).  The transition
+    is one-shot. *)
+
+type t =
+  | Active
+  | Committed
+  | Aborted
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,43 @@
+(** Public facade of the STM substrate.
+
+    Typical use:
+
+    {[
+      let cm = Tcm_core.Registry.find_exn "greedy" in
+      let rt = Stm.create cm in
+      let acct = Stm.Tvar.make 100 in
+      Stm.atomically rt (fun tx ->
+          let v = Stm.read tx acct in
+          Stm.write tx acct (v + 1))
+    ]} *)
+
+module Status = Status
+module Splitmix = Splitmix
+module Txid = Txid
+module Txn = Txn
+module Decision = Decision
+module Cm_intf = Cm_intf
+module Tvar = Tvar
+module Runtime = Runtime
+
+type runtime = Runtime.t
+type tx = Runtime.tx
+type config = Runtime.config = {
+  read_mode : Runtime.read_mode;
+  max_attempts : int option;
+  block_poll_usec : int;
+  backoff_cap_usec : int;
+}
+
+let default_config = Runtime.default_config
+let create = Runtime.create
+let atomically = Runtime.atomically
+let read = Runtime.read
+let write = Runtime.write
+let read_for_write = Runtime.read_for_write
+let modify = Runtime.modify
+let retry_now = Runtime.retry_now
+let retry_wait = Runtime.retry_wait
+let check = Runtime.check
+let stats = Runtime.stats
+let manager_name = Runtime.manager_name

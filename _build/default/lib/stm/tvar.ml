@@ -1,0 +1,78 @@
+(** Transactional variables (the STM's shared objects).
+
+    A [Tvar] follows the DSTM/SXM locator protocol.  The variable
+    points atomically at a {e locator}: the owning transaction attempt,
+    the last committed value [old_v] and the tentative value [new_v].
+    The logical value of the variable is
+
+    - [!new_v]  if the owner committed,
+    - [old_v]   if the owner is active or aborted.
+
+    A writer acquires the variable by installing (with CAS) a fresh
+    locator that carries itself as owner; [new_v] is a ref mutated
+    exclusively by the owner while it is active, and becomes the
+    committed value if the owner's commit CAS succeeds.  Publication of
+    [new_v] happens through the owner's atomic status transition, which
+    makes the plain ref safe under the OCaml memory model
+    (message-passing pattern).
+
+    Readers are {e visible}: they register in the [readers] list so
+    that writers resolve read-write conflicts through the contention
+    manager, matching the paper's conflict definition ("two
+    transactions conflict if they access the same object and one access
+    is a write").  Dead entries are purged lazily. *)
+
+type 'a locator = { owner : Txn.t; old_v : 'a; new_v : 'a ref }
+
+type 'a t = {
+  id : int;
+  loc : 'a locator Atomic.t;
+  readers : Txn.t list Atomic.t;
+}
+
+let make v =
+  {
+    id = Txid.next_tvar_id ();
+    loc = Atomic.make { owner = Txn.committed_sentinel; old_v = v; new_v = ref v };
+    readers = Atomic.make [];
+  }
+
+let id t = t.id
+
+(** Value of a locator as seen by an outside observer, given the
+    owner's status read {e after} the locator itself. *)
+let value_of_locator (loc : 'a locator) : 'a =
+  match Txn.status loc.owner with
+  | Status.Committed -> !(loc.new_v)
+  | Status.Active | Status.Aborted -> loc.old_v
+
+(** Latest committed value, for non-transactional inspection (tests,
+    debugging).  Linearizes at the atomic load of the locator. *)
+let peek t =
+  let loc = Atomic.get t.loc in
+  value_of_locator loc
+
+(** Register [txn] as a visible reader.  Idempotent; purges dead
+    entries while it is at it. *)
+let register_reader t (txn : Txn.t) =
+  let rec go () =
+    let rs = Atomic.get t.readers in
+    if List.memq txn rs then ()
+    else
+      let live = List.filter Txn.is_active rs in
+      let nrs = txn :: live in
+      if not (Atomic.compare_and_set t.readers rs nrs) then go ()
+  in
+  go ()
+
+(** First active reader other than [txn], if any. *)
+let find_active_reader t (txn : Txn.t) =
+  let rs = Atomic.get t.readers in
+  List.find_opt (fun r -> r != txn && Txn.is_active r) rs
+
+(** Opportunistically drop dead reader entries. *)
+let purge_readers t =
+  let rs = Atomic.get t.readers in
+  let live = List.filter Txn.is_active rs in
+  if List.length live < List.length rs then
+    ignore (Atomic.compare_and_set t.readers rs live)

@@ -1,0 +1,43 @@
+(** Transactional variables — the STM's shared objects, following the
+    DSTM/SXM locator protocol.
+
+    The variable atomically points at a {e locator}: the owning
+    attempt, the last committed value [old_v], and the tentative value
+    [new_v].  The logical value is [!new_v] if the owner committed,
+    [old_v] otherwise.  Writers acquire by CAS-installing a fresh
+    locator; [new_v] is mutated exclusively by the active owner and is
+    published through the owner's atomic status transition
+    (message-passing pattern, safe under the OCaml memory model).
+
+    Readers are visible: they register in [readers] so writers resolve
+    read-write conflicts through the contention manager, matching the
+    paper's conflict definition. *)
+
+type 'a locator = { owner : Txn.t; old_v : 'a; new_v : 'a ref }
+
+type 'a t = {
+  id : int;
+  loc : 'a locator Atomic.t;
+  readers : Txn.t list Atomic.t;
+}
+
+val make : 'a -> 'a t
+
+val id : 'a t -> int
+
+val value_of_locator : 'a locator -> 'a
+(** Value as seen by an outside observer (owner status read after the
+    locator itself). *)
+
+val peek : 'a t -> 'a
+(** Latest committed value, for non-transactional inspection (tests,
+    debugging); linearizes at the atomic load of the locator. *)
+
+val register_reader : 'a t -> Txn.t -> unit
+(** Add a visible reader; idempotent, purges dead entries. *)
+
+val find_active_reader : 'a t -> Txn.t -> Txn.t option
+(** First active reader other than the given transaction. *)
+
+val purge_readers : 'a t -> unit
+(** Opportunistically drop dead reader entries. *)

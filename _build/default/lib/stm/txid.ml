@@ -1,0 +1,23 @@
+(** Global timestamp and attempt-id sources.
+
+    Timestamps implement the paper's priority scheme: they are generated
+    by atomically incrementing a shared counter, so if a transaction
+    takes timestamp [t] there is a fixed bound on the number of
+    transactions that ever run with an earlier timestamp — the key
+    property behind Theorem 1. *)
+
+let timestamp_counter = Atomic.make 1
+
+let attempt_counter = Atomic.make 1
+
+let tvar_counter = Atomic.make 1
+
+(** Fresh timestamp for a new logical transaction.  Smaller timestamps
+    mean older transactions, which have higher priority. *)
+let next_timestamp () = Atomic.fetch_and_add timestamp_counter 1
+
+(** Fresh id for a transaction attempt (unique across retries). *)
+let next_attempt_id () = Atomic.fetch_and_add attempt_counter 1
+
+(** Fresh id for a transactional variable. *)
+let next_tvar_id () = Atomic.fetch_and_add tvar_counter 1

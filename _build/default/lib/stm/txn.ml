@@ -1,0 +1,114 @@
+(** Transaction descriptors.
+
+    A {e logical transaction} corresponds to one call to
+    [Runtime.atomically].  It may run as several {e attempts}: when an
+    attempt aborts, the runtime starts a new attempt of the same logical
+    transaction.  Fields that the paper requires to survive aborts — the
+    timestamp above all (Section 3: "when a transaction begins, it is
+    given a timestamp which it retains even if it aborts and restarts")
+    — live in the [shared] record, which all attempts of one logical
+    transaction point to.  Per-attempt fields ([status], [waiting]) are
+    fresh for every attempt, because enemies abort a specific attempt by
+    CAS-ing its status word.
+
+    All fields read by other threads are [Atomic.t]; the contention
+    managers compare two descriptors using only these public fields,
+    reflecting the decentralised setting described in Section 2. *)
+
+type shared = {
+  timestamp : int;
+      (** Priority: smaller is older is higher-priority.  Retained
+          across aborts, refreshed only for a new logical transaction. *)
+  priority : int Atomic.t;
+      (** Accumulated priority used by Karma / Eruption / Polka:
+          incremented on each successful object open, retained across
+          aborts, reset on commit (by virtue of the logical transaction
+          ending). Other managers ignore it. *)
+  aborts : int Atomic.t;
+      (** Number of times this logical transaction was aborted. *)
+  opens : int Atomic.t;
+      (** Number of successful object opens over all attempts. *)
+  born : float;  (** Wall-clock time of the logical transaction start. *)
+}
+
+type t = {
+  attempt_id : int;  (** Unique across all attempts of all transactions. *)
+  status : Status.t Atomic.t;
+  waiting : bool Atomic.t;
+      (** Public flag: true while this attempt is blocked waiting for an
+          enemy.  Greedy Rule 1 aborts enemies whose flag is set. *)
+  shared : shared;
+}
+
+let new_shared () =
+  {
+    timestamp = Txid.next_timestamp ();
+    priority = Atomic.make 0;
+    aborts = Atomic.make 0;
+    opens = Atomic.make 0;
+    born = Unix.gettimeofday ();
+  }
+
+let new_attempt shared =
+  {
+    attempt_id = Txid.next_attempt_id ();
+    status = Atomic.make Status.Active;
+    waiting = Atomic.make false;
+    shared;
+  }
+
+(** Sentinel owner used for the initial locator of every tvar: a
+    permanently committed transaction. *)
+let committed_sentinel =
+  let shared =
+    {
+      timestamp = 0;
+      priority = Atomic.make 0;
+      aborts = Atomic.make 0;
+      opens = Atomic.make 0;
+      born = 0.;
+    }
+  in
+  {
+    attempt_id = 0;
+    status = Atomic.make Status.Committed;
+    waiting = Atomic.make false;
+    shared;
+  }
+
+let status t = Atomic.get t.status
+let is_active t = status t = Status.Active
+let is_committed t = status t = Status.Committed
+let is_aborted t = status t = Status.Aborted
+let is_waiting t = Atomic.get t.waiting
+
+let timestamp t = t.shared.timestamp
+let priority t = Atomic.get t.shared.priority
+let abort_count t = Atomic.get t.shared.aborts
+let open_count t = Atomic.get t.shared.opens
+
+(** [older_than a b] is true when [a] has higher (older) priority. *)
+let older_than a b = timestamp a < timestamp b
+
+(** Enemy-side abort.  Returns [true] if the attempt is aborted after
+    the call (whether we did it or it already was). *)
+let try_abort t =
+  if Atomic.compare_and_set t.status Status.Active Status.Aborted then begin
+    Atomic.incr t.shared.aborts;
+    true
+  end
+  else is_aborted t
+
+(** Owner-side commit.  Fails iff an enemy aborted us first. *)
+let try_commit t = Atomic.compare_and_set t.status Status.Active Status.Committed
+
+let add_priority t n = ignore (Atomic.fetch_and_add t.shared.priority n)
+
+let record_open t =
+  Atomic.incr t.shared.opens;
+  Atomic.incr t.shared.priority
+
+let pp fmt t =
+  Format.fprintf fmt "tx#%d[ts=%d;%a%s]" t.attempt_id (timestamp t) Status.pp
+    (status t)
+    (if is_waiting t then ";waiting" else "")

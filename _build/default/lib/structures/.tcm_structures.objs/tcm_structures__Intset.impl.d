@@ -1,0 +1,1 @@
+lib/structures/intset.ml: Stm Tcm_stm

@@ -1,0 +1,1 @@
+lib/structures/intset.mli: Stm Tcm_stm

@@ -1,0 +1,1 @@
+lib/structures/tarray.ml: Array Stm Tcm_stm Tvar

@@ -1,0 +1,1 @@
+lib/structures/tarray.mli: Tcm_stm

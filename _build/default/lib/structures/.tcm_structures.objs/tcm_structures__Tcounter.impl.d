@@ -1,0 +1,1 @@
+lib/structures/tcounter.ml: Stm Tcm_stm Tvar

@@ -1,0 +1,1 @@
+lib/structures/tcounter.mli: Tcm_stm

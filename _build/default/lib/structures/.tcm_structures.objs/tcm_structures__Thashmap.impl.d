@@ -1,0 +1,1 @@
+lib/structures/thashmap.ml: Array List Stm Tcm_stm Tvar

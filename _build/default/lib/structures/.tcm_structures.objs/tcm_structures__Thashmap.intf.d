@@ -1,0 +1,1 @@
+lib/structures/thashmap.mli: Tcm_stm

@@ -1,0 +1,1 @@
+lib/structures/tlist.ml: List Stm Tcm_stm Tvar

@@ -1,0 +1,1 @@
+lib/structures/tlist.mli: Intset

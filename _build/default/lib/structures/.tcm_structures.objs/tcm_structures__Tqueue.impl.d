@@ -1,0 +1,1 @@
+lib/structures/tqueue.ml: List Stm Tcm_stm Tvar

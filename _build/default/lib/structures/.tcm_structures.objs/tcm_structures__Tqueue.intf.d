@@ -1,0 +1,1 @@
+lib/structures/tqueue.mli: Tcm_stm

@@ -1,0 +1,1 @@
+lib/structures/trbforest.ml: Array Intset List Trbtree

@@ -1,0 +1,1 @@
+lib/structures/trbforest.mli: Intset Tcm_stm

@@ -1,0 +1,1 @@
+lib/structures/trbtree.ml: Stm Tcm_stm Tvar

@@ -1,0 +1,1 @@
+lib/structures/trbtree.mli: Intset Tcm_stm

@@ -1,0 +1,1 @@
+lib/structures/tskiplist.ml: Array Atomic List Stm Tcm_stm Tvar

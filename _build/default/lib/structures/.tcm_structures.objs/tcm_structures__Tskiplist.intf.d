@@ -1,0 +1,1 @@
+lib/structures/tskiplist.mli: Intset

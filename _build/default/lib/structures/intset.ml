@@ -1,0 +1,45 @@
+(** Common interface of the transactional integer-set structures used
+    by the paper's benchmarks (list, skiplist, red-black tree,
+    red-black forest). *)
+
+open Tcm_stm
+
+module type S = sig
+  val name : string
+
+  type t
+
+  val create : unit -> t
+
+  val insert : Stm.tx -> t -> int -> bool
+  (** [true] if the key was absent and is now present. *)
+
+  val remove : Stm.tx -> t -> int -> bool
+  (** [true] if the key was present and is now absent. *)
+
+  val member : Stm.tx -> t -> int -> bool
+
+  val to_list : Stm.tx -> t -> int list
+  (** Sorted contents; used by tests. *)
+end
+
+(** Closure-style handle used by the workload harness: one instance of
+    a structure with its operations, where [r] supplies per-operation
+    randomness for structures that need it (the red-black forest picks
+    one-vs-all trees from it; the others ignore it). *)
+type ops = {
+  name : string;
+  insert : Stm.tx -> key:int -> r:int -> bool;
+  remove : Stm.tx -> key:int -> r:int -> bool;
+  member : Stm.tx -> key:int -> r:int -> bool;
+  snapshot : Stm.tx -> int list;
+}
+
+let ops_of (type a) (module M : S with type t = a) (t : a) : ops =
+  {
+    name = M.name;
+    insert = (fun tx ~key ~r:_ -> M.insert tx t key);
+    remove = (fun tx ~key ~r:_ -> M.remove tx t key);
+    member = (fun tx ~key ~r:_ -> M.member tx t key);
+    snapshot = (fun tx -> M.to_list tx t);
+  }

@@ -1,0 +1,36 @@
+(** Common interface of the transactional integer-set structures used
+    by the paper's benchmarks. *)
+
+open Tcm_stm
+
+module type S = sig
+  val name : string
+
+  type t
+
+  val create : unit -> t
+
+  val insert : Stm.tx -> t -> int -> bool
+  (** [true] if the key was absent and is now present. *)
+
+  val remove : Stm.tx -> t -> int -> bool
+  (** [true] if the key was present and is now absent. *)
+
+  val member : Stm.tx -> t -> int -> bool
+
+  val to_list : Stm.tx -> t -> int list
+  (** Sorted contents. *)
+end
+
+(** Closure-style handle used by the workload harness; [r] supplies
+    per-operation randomness (the red-black forest picks one-vs-all
+    trees from it, others ignore it). *)
+type ops = {
+  name : string;
+  insert : Stm.tx -> key:int -> r:int -> bool;
+  remove : Stm.tx -> key:int -> r:int -> bool;
+  member : Stm.tx -> key:int -> r:int -> bool;
+  snapshot : Stm.tx -> int list;
+}
+
+val ops_of : (module S with type t = 'a) -> 'a -> ops

@@ -1,0 +1,24 @@
+(** Transactional array: one [Tvar] per slot; disjoint indices never
+    conflict. *)
+
+type 'a t
+
+val make : int -> 'a -> 'a t
+(** @raise Invalid_argument on negative length. *)
+
+val init : int -> (int -> 'a) -> 'a t
+val length : 'a t -> int
+val get : Tcm_stm.Stm.tx -> 'a t -> int -> 'a
+val set : Tcm_stm.Stm.tx -> 'a t -> int -> 'a -> unit
+val modify : Tcm_stm.Stm.tx -> 'a t -> int -> ('a -> 'a) -> unit
+
+val swap : Tcm_stm.Stm.tx -> 'a t -> int -> int -> unit
+(** Atomic two-slot exchange. *)
+
+val snapshot : Tcm_stm.Stm.tx -> 'a t -> 'a array
+(** Consistent snapshot (reads every slot transactionally). *)
+
+val fold : Tcm_stm.Stm.tx -> ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+
+val peek : 'a t -> 'a array
+(** Per-slot committed values; not a consistent cross-slot snapshot. *)

@@ -1,0 +1,17 @@
+(** Transactional counter: the smallest useful transactional object,
+    used by examples and as a maximally contended workload. *)
+
+open Tcm_stm
+
+type t = int Tvar.t
+
+let create ?(init = 0) () : t = Tvar.make init
+let get tx (t : t) = Stm.read tx t
+let set tx (t : t) v = Stm.write tx t v
+
+(** Read-modify-write through the write path to avoid upgrade
+    conflicts. *)
+let add tx (t : t) n = Stm.modify tx t (fun v -> v + n)
+
+let incr tx t = add tx t 1
+let peek (t : t) = Tvar.peek t

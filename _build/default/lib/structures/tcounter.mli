@@ -1,0 +1,10 @@
+(** Transactional counter: the smallest useful transactional object. *)
+
+type t = int Tcm_stm.Tvar.t
+
+val create : ?init:int -> unit -> t
+val get : Tcm_stm.Stm.tx -> t -> int
+val set : Tcm_stm.Stm.tx -> t -> int -> unit
+val add : Tcm_stm.Stm.tx -> t -> int -> unit
+val incr : Tcm_stm.Stm.tx -> t -> unit
+val peek : t -> int

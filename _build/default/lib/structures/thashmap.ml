@@ -1,0 +1,65 @@
+(** Transactional hash map (int keys), bucketed into per-bucket
+    association lists each held in its own [Tvar] — so transactions on
+    different buckets never conflict, giving adopters a lower-contention
+    alternative to the intset structures for key-value state. *)
+
+open Tcm_stm
+
+type 'v t = { buckets : (int * 'v) list Tvar.t array; mask : int }
+
+let default_buckets = 64
+
+(* Round up to a power of two so the mask works. *)
+let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (k * 2)
+
+let create ?(buckets = default_buckets) () =
+  let n = pow2_at_least (max 1 buckets) 1 in
+  { buckets = Array.init n (fun _ -> Tvar.make []); mask = n - 1 }
+
+let n_buckets t = Array.length t.buckets
+
+(* Finalizing multiplicative hash; keys are often sequential. *)
+let slot t k =
+  let h = k * 0x9E3779B1 in
+  let h = h lxor (h lsr 16) in
+  t.buckets.(h land t.mask)
+
+let find tx t k = List.assoc_opt k (Stm.read tx (slot t k))
+
+let mem tx t k = find tx t k <> None
+
+(** Insert or replace. *)
+let add tx t k v =
+  let b = slot t k in
+  let l = Stm.read_for_write tx b in
+  let l = List.remove_assoc k l in
+  Stm.write tx b ((k, v) :: l)
+
+(** [true] if the key was present. *)
+let remove tx t k =
+  let b = slot t k in
+  let l = Stm.read_for_write tx b in
+  if List.mem_assoc k l then begin
+    Stm.write tx b (List.remove_assoc k l);
+    true
+  end
+  else false
+
+(** Atomically update one binding: [f None] inserts, [f (Some v)]
+    replaces; returning [None] deletes. *)
+let update tx t k f =
+  let b = slot t k in
+  let l = Stm.read_for_write tx b in
+  let old_v = List.assoc_opt k l in
+  let rest = List.remove_assoc k l in
+  match f old_v with
+  | Some v -> Stm.write tx b ((k, v) :: rest)
+  | None -> Stm.write tx b rest
+
+let length tx t =
+  Array.fold_left (fun acc b -> acc + List.length (Stm.read tx b)) 0 t.buckets
+
+(** All bindings, sorted by key. *)
+let bindings tx t =
+  Array.fold_left (fun acc b -> List.rev_append (Stm.read tx b) acc) [] t.buckets
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

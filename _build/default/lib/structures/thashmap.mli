@@ -1,0 +1,28 @@
+(** Transactional hash map (int keys): per-bucket association lists in
+    individual [Tvar]s, so transactions on different buckets never
+    conflict. *)
+
+type 'v t
+
+val default_buckets : int
+
+val create : ?buckets:int -> unit -> 'v t
+(** Bucket count is rounded up to a power of two. *)
+
+val n_buckets : 'v t -> int
+val find : Tcm_stm.Stm.tx -> 'v t -> int -> 'v option
+val mem : Tcm_stm.Stm.tx -> 'v t -> int -> bool
+
+val add : Tcm_stm.Stm.tx -> 'v t -> int -> 'v -> unit
+(** Insert or replace. *)
+
+val remove : Tcm_stm.Stm.tx -> 'v t -> int -> bool
+(** [true] if the key was present. *)
+
+val update : Tcm_stm.Stm.tx -> 'v t -> int -> ('v option -> 'v option) -> unit
+(** Atomic read-modify-write of one binding; [None] deletes. *)
+
+val length : Tcm_stm.Stm.tx -> 'v t -> int
+
+val bindings : Tcm_stm.Stm.tx -> 'v t -> (int * 'v) list
+(** Sorted by key. *)

@@ -1,0 +1,5 @@
+(** Sorted singly-linked transactional list (Figure 1's application):
+    every [next] pointer is a [Tvar], maximising read-write conflicts
+    between long overlapping traversals. *)
+
+include Intset.S

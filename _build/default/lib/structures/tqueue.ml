@@ -1,0 +1,36 @@
+(** Transactional FIFO queue (two-list functional queue in a pair of
+    tvars), used by the examples. *)
+
+open Tcm_stm
+
+type 'a t = { front : 'a list Tvar.t; back : 'a list Tvar.t }
+
+let create () = { front = Tvar.make []; back = Tvar.make [] }
+
+let push tx t v = Stm.modify tx t.back (fun l -> v :: l)
+
+let pop tx t =
+  match Stm.read_for_write tx t.front with
+  | v :: rest ->
+      Stm.write tx t.front rest;
+      Some v
+  | [] -> (
+      match List.rev (Stm.read_for_write tx t.back) with
+      | [] -> None
+      | v :: rest ->
+          Stm.write tx t.back [];
+          Stm.write tx t.front rest;
+          Some v)
+
+(** Blocking pop: waits (via {!Tcm_stm.Stm.check}) until an element is
+    available. *)
+let pop_wait tx t =
+  match pop tx t with
+  | Some v -> v
+  | None -> Stm.retry_wait tx
+
+let is_empty tx t = Stm.read tx t.front = [] && Stm.read tx t.back = []
+
+let length tx t = List.length (Stm.read tx t.front) + List.length (Stm.read tx t.back)
+
+let to_list tx t = Stm.read tx t.front @ List.rev (Stm.read tx t.back)

@@ -1,0 +1,13 @@
+(** Transactional FIFO queue (two-list functional queue in tvars). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val push : Tcm_stm.Stm.tx -> 'a t -> 'a -> unit
+val pop : Tcm_stm.Stm.tx -> 'a t -> 'a option
+
+(** Blocking pop: the transaction re-runs until an element is there. *)
+val pop_wait : Tcm_stm.Stm.tx -> 'a t -> 'a
+val is_empty : Tcm_stm.Stm.tx -> 'a t -> bool
+val length : Tcm_stm.Stm.tx -> 'a t -> int
+val to_list : Tcm_stm.Stm.tx -> 'a t -> 'a list

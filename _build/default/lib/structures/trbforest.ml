@@ -1,0 +1,57 @@
+(** Transactional red-black forest (the paper's Figure 4 application).
+
+    "A data structure made of fifty red-black trees, in which
+    insertions and removals of elements proceed in either one or all
+    trees on a random basis; the distribution of the lengths of the
+    transactions [...] thus exhibits a high variance."
+
+    An operation receives a random value [r]; with probability
+    [all_pct]% it touches every tree (a long transaction), otherwise a
+    single tree chosen from [r] (a short one). *)
+
+let name = "rbforest"
+
+let default_trees = 50
+let default_all_pct = 2
+
+type t = { trees : Trbtree.t array; all_pct : int }
+
+let create ?(n_trees = default_trees) ?(all_pct = default_all_pct) () =
+  { trees = Array.init n_trees (fun _ -> Trbtree.create ()); all_pct }
+
+let n_trees t = Array.length t.trees
+
+let pick t r =
+  let r = abs r in
+  if r mod 100 < t.all_pct then `All else `One ((r / 100) mod Array.length t.trees)
+
+let insert tx t ~r k =
+  match pick t r with
+  | `All ->
+      Array.fold_left (fun acc tree -> Trbtree.insert tx tree k || acc) false t.trees
+  | `One i -> Trbtree.insert tx t.trees.(i) k
+
+let remove tx t ~r k =
+  match pick t r with
+  | `All ->
+      Array.fold_left (fun acc tree -> Trbtree.remove tx tree k || acc) false t.trees
+  | `One i -> Trbtree.remove tx t.trees.(i) k
+
+let member tx t ~r k =
+  match pick t r with
+  | `All -> Array.exists (fun tree -> Trbtree.member tx tree k) t.trees
+  | `One i -> Trbtree.member tx t.trees.(i) k
+
+(** Union of all trees' contents, sorted and deduplicated. *)
+let to_list tx t =
+  Array.fold_left (fun acc tree -> List.rev_append (Trbtree.to_list tx tree) acc) [] t.trees
+  |> List.sort_uniq compare
+
+let ops t : Intset.ops =
+  {
+    Intset.name;
+    insert = (fun tx ~key ~r -> insert tx t ~r key);
+    remove = (fun tx ~key ~r -> remove tx t ~r key);
+    member = (fun tx ~key ~r -> member tx t ~r key);
+    snapshot = (fun tx -> to_list tx t);
+  }

@@ -1,0 +1,24 @@
+(** Transactional red-black forest (Figure 4's application): fifty
+    red-black trees; operations touch one tree or all of them at
+    random, yielding the paper's high-variance transaction lengths. *)
+
+type t
+
+val name : string
+val default_trees : int
+val default_all_pct : int
+
+val create : ?n_trees:int -> ?all_pct:int -> unit -> t
+val n_trees : t -> int
+
+val pick : t -> int -> [ `All | `One of int ]
+(** Tree-selection rule applied to the per-operation random value. *)
+
+val insert : Tcm_stm.Stm.tx -> t -> r:int -> int -> bool
+val remove : Tcm_stm.Stm.tx -> t -> r:int -> int -> bool
+val member : Tcm_stm.Stm.tx -> t -> r:int -> int -> bool
+
+val to_list : Tcm_stm.Stm.tx -> t -> int list
+(** Sorted, deduplicated union of all trees. *)
+
+val ops : t -> Intset.ops

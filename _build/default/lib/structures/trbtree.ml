@@ -1,0 +1,370 @@
+(** Transactional red-black tree (the paper's "Red-black application",
+    Figure 3).
+
+    An imperative CLRS-style red-black tree in which every node field —
+    colour, children, parent — is a [Tvar], so transactions conflict at
+    node granularity like the original DSTM benchmark.  Leaves are the
+    immutable [Leaf] constant; the delete fix-up therefore carries the
+    doubly-black position's parent explicitly instead of storing a
+    parent in a sentinel. *)
+
+open Tcm_stm
+
+let name = "rbtree"
+
+type color = Red | Black
+
+type link = Leaf | N of node
+
+and node = {
+  key : int;
+  color : color Tvar.t;
+  left : link Tvar.t;
+  right : link Tvar.t;
+  parent : link Tvar.t;
+}
+
+type t = { root : link Tvar.t }
+
+let create () = { root = Tvar.make Leaf }
+
+let same_link a b =
+  match (a, b) with Leaf, Leaf -> true | N x, N y -> x == y | _ -> false
+
+let color_of tx = function Leaf -> Black | N n -> Stm.read tx n.color
+
+let set_color tx link c =
+  match link with
+  | N n -> Stm.write tx n.color c
+  | Leaf -> assert (c = Black)
+
+let set_parent tx link p = match link with N n -> Stm.write tx n.parent p | Leaf -> ()
+
+(* A shape the algorithm proves impossible was observed: under
+   contention this means the attempt raced with an enemy's commit and
+   is reading an inconsistent view — abort and re-run it rather than
+   corrupt the tree.  (In a single-threaded run this would be a logic
+   bug; the invariant-checking tests soak for that separately.) *)
+let inconsistent tx : 'a = Stm.retry_now tx
+
+(* Replace the child slot of [p] that currently holds [old_child] (or
+   the root if [p] is Leaf) with [v]. *)
+let replace_child tx t ~p ~old_child ~v =
+  match p with
+  | Leaf -> Stm.write tx t.root v
+  | N pn ->
+      if same_link (Stm.read tx pn.left) old_child then Stm.write tx pn.left v
+      else Stm.write tx pn.right v
+
+let rotate_left tx t (x : node) =
+  match Stm.read tx x.right with
+  | Leaf -> inconsistent tx
+  | N y ->
+      let yl = Stm.read tx y.left in
+      Stm.write tx x.right yl;
+      set_parent tx yl (N x);
+      let xp = Stm.read tx x.parent in
+      Stm.write tx y.parent xp;
+      replace_child tx t ~p:xp ~old_child:(N x) ~v:(N y);
+      Stm.write tx y.left (N x);
+      Stm.write tx x.parent (N y)
+
+let rotate_right tx t (x : node) =
+  match Stm.read tx x.left with
+  | Leaf -> inconsistent tx
+  | N y ->
+      let yr = Stm.read tx y.right in
+      Stm.write tx x.left yr;
+      set_parent tx yr (N x);
+      let xp = Stm.read tx x.parent in
+      Stm.write tx y.parent xp;
+      replace_child tx t ~p:xp ~old_child:(N x) ~v:(N y);
+      Stm.write tx y.right (N x);
+      Stm.write tx x.parent (N y)
+
+(* ------------------------------------------------------------------ *)
+(* Search                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let rec find_link tx link k =
+  match link with
+  | Leaf -> Leaf
+  | N n ->
+      if k = n.key then link
+      else if k < n.key then find_link tx (Stm.read tx n.left) k
+      else find_link tx (Stm.read tx n.right) k
+
+let member tx t k =
+  match find_link tx (Stm.read tx t.root) k with Leaf -> false | N _ -> true
+
+(* ------------------------------------------------------------------ *)
+(* Insertion                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec insert_fixup tx t (z : node) =
+  let zp = Stm.read tx z.parent in
+  if color_of tx zp = Red then begin
+    match zp with
+    | Leaf -> assert false
+    | N p -> (
+        let g = Stm.read tx p.parent in
+        match g with
+        | Leaf ->
+            (* Red parent with no grandparent: parent is the root;
+               recolouring below settles it. *)
+            ()
+        | N gn ->
+            if same_link (Stm.read tx gn.left) zp then begin
+              let uncle = Stm.read tx gn.right in
+              if color_of tx uncle = Red then begin
+                set_color tx zp Black;
+                set_color tx uncle Black;
+                set_color tx g Red;
+                match g with Leaf -> () | N gnode -> insert_fixup tx t gnode
+              end
+              else begin
+                let z, p =
+                  if same_link (Stm.read tx p.right) (N z) then begin
+                    rotate_left tx t p;
+                    (p, match Stm.read tx p.parent with N q -> q | Leaf -> inconsistent tx)
+                  end
+                  else (z, p)
+                in
+                ignore z;
+                Stm.write tx p.color Black;
+                match Stm.read tx p.parent with
+                | Leaf -> ()
+                | N gn' ->
+                    Stm.write tx gn'.color Red;
+                    rotate_right tx t gn'
+              end
+            end
+            else begin
+              let uncle = Stm.read tx gn.left in
+              if color_of tx uncle = Red then begin
+                set_color tx zp Black;
+                set_color tx uncle Black;
+                set_color tx g Red;
+                match g with Leaf -> () | N gnode -> insert_fixup tx t gnode
+              end
+              else begin
+                let z, p =
+                  if same_link (Stm.read tx p.left) (N z) then begin
+                    rotate_right tx t p;
+                    (p, match Stm.read tx p.parent with N q -> q | Leaf -> inconsistent tx)
+                  end
+                  else (z, p)
+                in
+                ignore z;
+                Stm.write tx p.color Black;
+                match Stm.read tx p.parent with
+                | Leaf -> ()
+                | N gn' ->
+                    Stm.write tx gn'.color Red;
+                    rotate_left tx t gn'
+              end
+            end)
+  end;
+  (* Re-blacken the root. *)
+  set_color tx (Stm.read tx t.root) Black
+
+let insert tx t k =
+  let rec down link parent =
+    match link with
+    | Leaf ->
+        let z =
+          {
+            key = k;
+            color = Tvar.make Red;
+            left = Tvar.make Leaf;
+            right = Tvar.make Leaf;
+            parent = Tvar.make parent;
+          }
+        in
+        (match parent with
+        | Leaf -> Stm.write tx t.root (N z)
+        | N p -> if k < p.key then Stm.write tx p.left (N z) else Stm.write tx p.right (N z));
+        insert_fixup tx t z;
+        true
+    | N n ->
+        if k = n.key then false
+        else if k < n.key then down (Stm.read tx n.left) link
+        else down (Stm.read tx n.right) link
+  in
+  down (Stm.read tx t.root) Leaf
+
+(* ------------------------------------------------------------------ *)
+(* Deletion                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec minimum tx (n : node) =
+  match Stm.read tx n.left with Leaf -> n | N l -> minimum tx l
+
+(* CLRS delete fix-up; [x] may be Leaf, so its parent [xp] is carried
+   explicitly.  The doubly-black [x]'s sibling is never Leaf. *)
+let rec delete_fixup tx t (x : link) (xp : link) =
+  let root = Stm.read tx t.root in
+  if same_link x root || color_of tx x = Red then set_color tx x Black
+  else
+    match xp with
+    | Leaf -> set_color tx x Black
+    | N p ->
+        if same_link (Stm.read tx p.left) x then begin
+          let w = Stm.read tx p.right in
+          let w =
+            if color_of tx w = Red then begin
+              set_color tx w Black;
+              Stm.write tx p.color Red;
+              rotate_left tx t p;
+              Stm.read tx p.right
+            end
+            else w
+          in
+          match w with
+          | Leaf -> set_color tx x Black (* cannot happen in a valid tree *)
+          | N wn ->
+              if
+                color_of tx (Stm.read tx wn.left) = Black
+                && color_of tx (Stm.read tx wn.right) = Black
+              then begin
+                Stm.write tx wn.color Red;
+                delete_fixup tx t (N p) (Stm.read tx p.parent)
+              end
+              else begin
+                let wn =
+                  if color_of tx (Stm.read tx wn.right) = Black then begin
+                    set_color tx (Stm.read tx wn.left) Black;
+                    Stm.write tx wn.color Red;
+                    rotate_right tx t wn;
+                    match Stm.read tx p.right with N w' -> w' | Leaf -> inconsistent tx
+                  end
+                  else wn
+                in
+                Stm.write tx wn.color (Stm.read tx p.color);
+                Stm.write tx p.color Black;
+                set_color tx (Stm.read tx wn.right) Black;
+                rotate_left tx t p;
+                set_color tx (Stm.read tx t.root) Black
+              end
+        end
+        else begin
+          let w = Stm.read tx p.left in
+          let w =
+            if color_of tx w = Red then begin
+              set_color tx w Black;
+              Stm.write tx p.color Red;
+              rotate_right tx t p;
+              Stm.read tx p.left
+            end
+            else w
+          in
+          match w with
+          | Leaf -> set_color tx x Black
+          | N wn ->
+              if
+                color_of tx (Stm.read tx wn.left) = Black
+                && color_of tx (Stm.read tx wn.right) = Black
+              then begin
+                Stm.write tx wn.color Red;
+                delete_fixup tx t (N p) (Stm.read tx p.parent)
+              end
+              else begin
+                let wn =
+                  if color_of tx (Stm.read tx wn.left) = Black then begin
+                    set_color tx (Stm.read tx wn.right) Black;
+                    Stm.write tx wn.color Red;
+                    rotate_left tx t wn;
+                    match Stm.read tx p.left with N w' -> w' | Leaf -> inconsistent tx
+                  end
+                  else wn
+                in
+                Stm.write tx wn.color (Stm.read tx p.color);
+                Stm.write tx p.color Black;
+                set_color tx (Stm.read tx wn.left) Black;
+                rotate_right tx t p;
+                set_color tx (Stm.read tx t.root) Black
+              end
+        end
+
+(* Replace subtree rooted at [u] (a node) with [v] (a link). *)
+let transplant tx t (u : node) (v : link) =
+  let up = Stm.read tx u.parent in
+  replace_child tx t ~p:up ~old_child:(N u) ~v;
+  set_parent tx v up
+
+let remove tx t k =
+  match find_link tx (Stm.read tx t.root) k with
+  | Leaf -> false
+  | N z ->
+      let y_color, x, xp =
+        match (Stm.read tx z.left, Stm.read tx z.right) with
+        | Leaf, zr ->
+            let zp = Stm.read tx z.parent in
+            transplant tx t z zr;
+            (Stm.read tx z.color, zr, zp)
+        | zl, Leaf ->
+            let zp = Stm.read tx z.parent in
+            transplant tx t z zl;
+            (Stm.read tx z.color, zl, zp)
+        | _, N zr ->
+            let y = minimum tx zr in
+            let y_color = Stm.read tx y.color in
+            let x = Stm.read tx y.right in
+            let xp =
+              if same_link (Stm.read tx y.parent) (N z) then N y
+              else begin
+                let yp = Stm.read tx y.parent in
+                transplant tx t y x;
+                Stm.write tx y.right (Stm.read tx z.right);
+                set_parent tx (Stm.read tx y.right) (N y);
+                yp
+              end
+            in
+            transplant tx t z (N y);
+            Stm.write tx y.left (Stm.read tx z.left);
+            set_parent tx (Stm.read tx y.left) (N y);
+            Stm.write tx y.color (Stm.read tx z.color);
+            (y_color, x, xp)
+      in
+      if y_color = Black then delete_fixup tx t x xp;
+      true
+
+(* ------------------------------------------------------------------ *)
+(* Traversal and invariants                                            *)
+(* ------------------------------------------------------------------ *)
+
+let to_list tx t =
+  let rec go link acc =
+    match link with
+    | Leaf -> acc
+    | N n -> go (Stm.read tx n.left) (n.key :: go (Stm.read tx n.right) acc)
+  in
+  go (Stm.read tx t.root) []
+
+(** Structural invariants, checked within a transaction: BST order, no
+    red node with a red child, equal black heights, consistent parent
+    pointers, black root.  Returns the black height. *)
+let check_invariants tx t : (int, string) result =
+  let exception Bad of string in
+  let rec go link lo hi parent =
+    match link with
+    | Leaf -> 1
+    | N n ->
+        (match lo with Some l when n.key <= l -> raise (Bad "bst-order-lo") | _ -> ());
+        (match hi with Some h when n.key >= h -> raise (Bad "bst-order-hi") | _ -> ());
+        if not (same_link (Stm.read tx n.parent) parent) then raise (Bad "parent-pointer");
+        let c = Stm.read tx n.color in
+        let l = Stm.read tx n.left and r = Stm.read tx n.right in
+        if c = Red && (color_of tx l = Red || color_of tx r = Red) then raise (Bad "red-red");
+        let bl = go l lo (Some n.key) link in
+        let br = go r (Some n.key) hi link in
+        if bl <> br then raise (Bad "black-height");
+        bl + (if c = Black then 1 else 0)
+  in
+  match
+    let root = Stm.read tx t.root in
+    if color_of tx root = Red then raise (Bad "red-root");
+    go root None None Leaf
+  with
+  | bh -> Ok bh
+  | exception Bad msg -> Error msg

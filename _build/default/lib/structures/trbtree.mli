@@ -1,0 +1,10 @@
+(** Transactional red-black tree (Figure 3's application): imperative
+    CLRS-style tree in which every node field — colour, children,
+    parent — is a [Tvar], so transactions conflict at node
+    granularity. *)
+
+include Intset.S
+
+val check_invariants : Tcm_stm.Stm.tx -> t -> (int, string) result
+(** BST order, no red-red edges, equal black heights, consistent
+    parent pointers, black root.  Returns the black height. *)

@@ -1,0 +1,6 @@
+(** Transactional skiplist (Figure 2's application) with per-level
+    forward pointers in [Tvar]s and deterministic level choice. *)
+
+include Intset.S
+
+val max_level : int

@@ -1,0 +1,1 @@
+lib/workload/figures.ml: Cm_intf Harness List Sim_load String Tcm_core Tcm_sim Tcm_stm

@@ -1,0 +1,1 @@
+lib/workload/harness.ml: Array Atomic Cm_intf Domain List Printf Runtime Splitmix Stats Stm Tcm_core Tcm_stm Tcm_structures Unix

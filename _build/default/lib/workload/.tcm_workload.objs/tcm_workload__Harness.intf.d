@@ -1,0 +1,1 @@
+lib/workload/harness.mli: Cm_intf Runtime Tcm_stm Tcm_structures

@@ -1,0 +1,1 @@
+lib/workload/report.ml: Figures Format List Printf

@@ -1,0 +1,1 @@
+lib/workload/sim_load.ml: Array Engine Harness List Policy Spec Splitmix Tcm_sim Tcm_stm

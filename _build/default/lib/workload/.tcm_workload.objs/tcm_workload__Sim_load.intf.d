@@ -1,0 +1,1 @@
+lib/workload/sim_load.mli: Harness Policy Spec Tcm_sim Tcm_stm

@@ -1,0 +1,117 @@
+(** Parameter sweeps reproducing the paper's Figures 1–4.
+
+    Each figure sweeps thread counts for a fixed application and
+    reports committed transactions per second (real mode) or per 1000
+    simulated ticks (sim mode) for each contention manager.  The five
+    managers plotted are the paper's: Greedy, Karma, Eruption,
+    Aggressive and Backoff (Polite). *)
+
+open Tcm_stm
+
+type mode =
+  | Real of { duration_s : float }
+      (** Live STM on OCaml domains.  Wall-clock dependent; on a
+          single-core host the curves flatten but relative manager
+          behaviour under conflicts survives. *)
+  | Sim of { horizon : int }
+      (** Deterministic discrete-event simulation of the same access
+          patterns; reproduces the paper's shapes hardware-
+          independently. *)
+
+type spec = {
+  id : string;
+  title : string;
+  structure : Harness.structure;
+  post_work : int;  (** Real mode: uncontended tail iterations. *)
+  sim_tail : int;  (** Sim mode: uncontended tail ticks. *)
+}
+
+let fig1 = { id = "fig1"; title = "List application"; structure = Harness.List_s; post_work = 0; sim_tail = 0 }
+
+let fig2 =
+  { id = "fig2"; title = "Skiplist application"; structure = Harness.Skiplist_s; post_work = 0; sim_tail = 0 }
+
+let fig3 =
+  {
+    id = "fig3";
+    title = "Red-black application (low contention)";
+    structure = Harness.Rbtree_s;
+    post_work = 4_000;
+    sim_tail = 20;
+  }
+
+let fig4 =
+  {
+    id = "fig4";
+    title = "Red-black forest application";
+    structure = Harness.Rbforest_s;
+    post_work = 0;
+    sim_tail = 0;
+  }
+
+let all = [ fig1; fig2; fig3; fig4 ]
+
+let of_id id = List.find_opt (fun f -> String.equal f.id id) all
+
+let default_threads = [ 1; 2; 4; 8; 16; 24; 32 ]
+
+type row = { threads : int; cells : (string * float) list }
+
+type result = {
+  spec : spec;
+  mode : mode;
+  unit_label : string;
+  rows : row list;
+}
+
+(* Managers for real mode; names are shared with sim policies. *)
+let real_managers : Cm_intf.factory list = Tcm_core.Registry.paper_figures
+
+let sim_policies ~seed () = Tcm_sim.Policy.paper_figures ~seed ()
+
+let run ?(threads_list = default_threads) ?(seed = 42) ~mode (spec : spec) : result =
+  match mode with
+  | Real { duration_s } ->
+      let rows =
+        List.map
+          (fun threads ->
+            let cells =
+              List.map
+                (fun manager ->
+                  let cfg =
+                    {
+                      Harness.default with
+                      structure = spec.structure;
+                      manager;
+                      threads;
+                      duration_s;
+                      post_work = spec.post_work;
+                      seed;
+                    }
+                  in
+                  let o = Harness.run cfg in
+                  (Cm_intf.name manager, o.Harness.throughput))
+                real_managers
+            in
+            { threads; cells })
+          threads_list
+      in
+      { spec; mode; unit_label = "committed txns/sec"; rows }
+  | Sim { horizon } ->
+      let model = Sim_load.model_of_structure spec.structure in
+      let rows =
+        List.map
+          (fun threads ->
+            let cells =
+              List.map
+                (fun policy ->
+                  let o =
+                    Sim_load.run ~horizon ~seed ~tail:spec.sim_tail ~threads ~policy model
+                  in
+                  (policy.Tcm_sim.Policy.name, o.Sim_load.throughput))
+                (sim_policies ~seed ())
+            in
+            { threads; cells })
+          threads_list
+      in
+      { spec; mode; unit_label = "committed txns / 1000 ticks"; rows }

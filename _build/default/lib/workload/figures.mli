@@ -1,0 +1,42 @@
+(** Parameter sweeps reproducing the paper's Figures 1–4 with the
+    paper's manager line-up (greedy, karma, eruption, aggressive,
+    backoff). *)
+
+type mode =
+  | Real of { duration_s : float }  (** Live STM on domains. *)
+  | Sim of { horizon : int }  (** Deterministic simulation. *)
+
+type spec = {
+  id : string;
+  title : string;
+  structure : Harness.structure;
+  post_work : int;
+  sim_tail : int;
+}
+
+(** List application. *)
+val fig1 : spec
+
+(** Skiplist application. *)
+val fig2 : spec
+
+(** Red-black tree, low contention. *)
+val fig3 : spec
+
+(** Red-black forest. *)
+val fig4 : spec
+val all : spec list
+val of_id : string -> spec option
+
+val default_threads : int list
+
+type row = { threads : int; cells : (string * float) list }
+
+type result = {
+  spec : spec;
+  mode : mode;
+  unit_label : string;
+  rows : row list;
+}
+
+val run : ?threads_list:int list -> ?seed:int -> mode:mode -> spec -> result

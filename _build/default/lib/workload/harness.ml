@@ -1,0 +1,150 @@
+(** Real-thread benchmark harness.
+
+    Reproduces the paper's experimental setup on the live STM: a number
+    of threads (OCaml domains) continuously insert and remove elements
+    taken from a small set of integers, forcing contention, with a
+    configurable update rate and an optional uncontended computation at
+    the end of each transaction (the paper's Figure 3 "low contention"
+    variant).  Reported metric: committed transactions per second. *)
+
+open Tcm_stm
+
+type structure = List_s | Skiplist_s | Rbtree_s | Rbforest_s
+
+let structure_name = function
+  | List_s -> "list"
+  | Skiplist_s -> "skiplist"
+  | Rbtree_s -> "rbtree"
+  | Rbforest_s -> "rbforest"
+
+let structure_of_name = function
+  | "list" -> List_s
+  | "skiplist" -> Skiplist_s
+  | "rbtree" -> Rbtree_s
+  | "rbforest" -> Rbforest_s
+  | s -> invalid_arg (Printf.sprintf "unknown structure %S" s)
+
+type config = {
+  structure : structure;
+  manager : Cm_intf.factory;
+  threads : int;
+  duration_s : float;
+  key_range : int;  (** The paper uses 256. *)
+  update_pct : int;  (** The paper uses 100. *)
+  post_work : int;
+      (** Iterations of computation unrelated to the transaction,
+          performed inside the transaction after its accesses — the
+          paper's low-contention tail (Figure 3). *)
+  prefill : int;  (** Keys inserted before measuring (half-full set). *)
+  seed : int;
+  read_mode : Runtime.read_mode;
+}
+
+let default =
+  {
+    structure = List_s;
+    manager = (module Tcm_core.Greedy : Cm_intf.S);
+    threads = 2;
+    duration_s = 0.25;
+    key_range = 256;
+    update_pct = 100;
+    post_work = 0;
+    prefill = 128;
+    seed = 42;
+    read_mode = `Visible;
+  }
+
+type outcome = {
+  commits : int;
+  aborts : int;
+  conflicts : int;
+  throughput : float;  (** Committed transactions per second. *)
+  per_thread : int array;
+  elapsed_s : float;
+  latency_p50_us : float;  (** Median transaction latency, sampled. *)
+  latency_p99_us : float;
+      (** Tail latency: where contention-manager fairness shows up. *)
+}
+
+(* Sample every k-th operation's latency to keep overhead negligible. *)
+let latency_sample_period = 16
+
+let make_ops structure : Tcm_structures.Intset.ops =
+  let module I = Tcm_structures.Intset in
+  match structure with
+  | List_s -> I.ops_of (module Tcm_structures.Tlist) (Tcm_structures.Tlist.create ())
+  | Skiplist_s -> I.ops_of (module Tcm_structures.Tskiplist) (Tcm_structures.Tskiplist.create ())
+  | Rbtree_s -> I.ops_of (module Tcm_structures.Trbtree) (Tcm_structures.Trbtree.create ())
+  | Rbforest_s -> Tcm_structures.Trbforest.ops (Tcm_structures.Trbforest.create ())
+
+(* Opaque spin so the compiler cannot drop the low-contention tail. *)
+let sink = Atomic.make 0
+
+let spin n =
+  let acc = ref 0 in
+  for i = 1 to n do
+    acc := !acc + (i land 7)
+  done;
+  if !acc = -1 then Atomic.incr sink
+
+let run (cfg : config) : outcome =
+  let config = { Runtime.default_config with read_mode = cfg.read_mode } in
+  let rt = Stm.create ~config cfg.manager in
+  let ops = make_ops cfg.structure in
+  (* Prefill with every other key so inserts and removes both hit. *)
+  let prefill_rng = Splitmix.create cfg.seed in
+  for k = 0 to cfg.prefill - 1 do
+    let key = k * 2 mod cfg.key_range in
+    ignore
+      (Stm.atomically rt (fun tx ->
+           ops.Tcm_structures.Intset.insert tx ~key
+             ~r:(Splitmix.int prefill_rng max_int)))
+  done;
+  let stop = Atomic.make false in
+  let per_thread = Array.make cfg.threads 0 in
+  let latencies = Array.make cfg.threads [] in
+  let body tid () =
+    let rng = Splitmix.create (cfg.seed + (tid * 7919) + 1) in
+    let count = ref 0 in
+    let samples = ref [] in
+    while not (Atomic.get stop) do
+      let key = Splitmix.int rng cfg.key_range in
+      let r = Splitmix.int rng max_int in
+      let updating = Splitmix.int rng 100 < cfg.update_pct in
+      let inserting = Splitmix.bool rng in
+      let sampling = !count mod latency_sample_period = 0 in
+      let t0 = if sampling then Unix.gettimeofday () else 0. in
+      ignore
+        (Stm.atomically rt (fun tx ->
+             let res =
+               if not updating then ops.Tcm_structures.Intset.member tx ~key ~r
+               else if inserting then ops.Tcm_structures.Intset.insert tx ~key ~r
+               else ops.Tcm_structures.Intset.remove tx ~key ~r
+             in
+             if cfg.post_work > 0 then spin cfg.post_work;
+             res));
+      if sampling then samples := (Unix.gettimeofday () -. t0) *. 1e6 :: !samples;
+      incr count
+    done;
+    per_thread.(tid) <- !count;
+    latencies.(tid) <- !samples
+  in
+  let t0 = Unix.gettimeofday () in
+  let doms = List.init cfg.threads (fun tid -> Domain.spawn (body tid)) in
+  Unix.sleepf cfg.duration_s;
+  Atomic.set stop true;
+  List.iter Domain.join doms;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let s = Stm.stats rt in
+  let commits = Array.fold_left ( + ) 0 per_thread in
+  let all_latencies = Array.fold_left (fun acc l -> List.rev_append l acc) [] latencies in
+  {
+    commits;
+    aborts = s.Runtime.n_aborts;
+    conflicts = s.Runtime.n_conflicts;
+    throughput = float_of_int commits /. elapsed;
+    per_thread;
+    elapsed_s = elapsed;
+    latency_p50_us = Stats.percentile 50. all_latencies;
+    latency_p99_us = Stats.percentile 99. all_latencies;
+  }

@@ -1,0 +1,45 @@
+(** Real-thread benchmark harness: N OCaml domains continuously insert
+    and remove elements from a small key set (the paper's setup),
+    reporting committed transactions per second. *)
+
+open Tcm_stm
+
+type structure = List_s | Skiplist_s | Rbtree_s | Rbforest_s
+
+val structure_name : structure -> string
+
+val structure_of_name : string -> structure
+(** @raise Invalid_argument on unknown names. *)
+
+type config = {
+  structure : structure;
+  manager : Cm_intf.factory;
+  threads : int;
+  duration_s : float;
+  key_range : int;  (** The paper uses 256. *)
+  update_pct : int;  (** The paper uses 100. *)
+  post_work : int;
+      (** Unrelated computation inside the transaction after its
+          accesses — the Figure 3 low-contention tail. *)
+  prefill : int;
+  seed : int;
+  read_mode : Runtime.read_mode;
+}
+
+val default : config
+
+type outcome = {
+  commits : int;
+  aborts : int;
+  conflicts : int;
+  throughput : float;  (** Committed transactions per second. *)
+  per_thread : int array;
+  elapsed_s : float;
+  latency_p50_us : float;  (** Median sampled transaction latency. *)
+  latency_p99_us : float;  (** Tail latency (fairness indicator). *)
+}
+
+val make_ops : structure -> Tcm_structures.Intset.ops
+(** A fresh instance of the structure with its operation closures. *)
+
+val run : config -> outcome

@@ -1,0 +1,49 @@
+(** Plain-text rendering of figure sweeps and theory tables, printed in
+    the same layout as the paper's plots (threads on the x-axis, one
+    series per contention manager). *)
+
+let float_to_string v =
+  if v >= 10_000. then Printf.sprintf "%.0f" v
+  else if v >= 100. then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.2f" v
+
+let print_figure fmt (r : Figures.result) =
+  let mode_label =
+    match r.Figures.mode with
+    | Figures.Real { duration_s } -> Printf.sprintf "real, %.2fs per point" duration_s
+    | Figures.Sim { horizon } -> Printf.sprintf "sim, %d ticks per point" horizon
+  in
+  Format.fprintf fmt "== %s: %s (%s; %s) ==@." r.Figures.spec.Figures.id
+    r.Figures.spec.Figures.title mode_label r.Figures.unit_label;
+  (match r.Figures.rows with
+  | [] -> ()
+  | first :: _ ->
+      Format.fprintf fmt "%8s" "threads";
+      List.iter (fun (name, _) -> Format.fprintf fmt " %12s" name) first.Figures.cells;
+      Format.fprintf fmt "@.";
+      List.iter
+        (fun row ->
+          Format.fprintf fmt "%8d" row.Figures.threads;
+          List.iter
+            (fun (_, v) -> Format.fprintf fmt " %12s" (float_to_string v))
+            row.Figures.cells;
+          Format.fprintf fmt "@.")
+        r.Figures.rows);
+  Format.fprintf fmt "@."
+
+(** Winner per thread count — handy for eyeballing shape claims. *)
+let winners (r : Figures.result) : (int * string) list =
+  List.map
+    (fun row ->
+      let name, _ =
+        List.fold_left
+          (fun (bn, bv) (n, v) -> if v > bv then (n, v) else (bn, bv))
+          ("", neg_infinity) row.Figures.cells
+      in
+      (row.Figures.threads, name))
+    r.Figures.rows
+
+let print_kv_table fmt ~title rows =
+  Format.fprintf fmt "== %s ==@." title;
+  List.iter (fun (k, v) -> Format.fprintf fmt "  %-40s %s@." k v) rows;
+  Format.fprintf fmt "@."

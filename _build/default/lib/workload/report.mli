@@ -1,0 +1,12 @@
+(** Plain-text rendering of figure sweeps, in the paper's layout
+    (threads on the x-axis, one series per manager). *)
+
+val float_to_string : float -> string
+
+val print_figure : Format.formatter -> Figures.result -> unit
+
+val winners : Figures.result -> (int * string) list
+(** Best manager per thread count. *)
+
+val print_kv_table :
+  Format.formatter -> title:string -> (string * string) list -> unit

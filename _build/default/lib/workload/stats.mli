@@ -1,0 +1,16 @@
+(** Small statistics helpers for benchmark reporting. *)
+
+val mean : float list -> float
+val stddev : float list -> float
+(** Sample standard deviation; 0 for fewer than two points. *)
+
+val percentile : float -> float list -> float
+(** Nearest-rank percentile, [p] in [0, 100]. *)
+
+val median : float list -> float
+
+val cv : float list -> float
+(** Coefficient of variation (0 when the mean is 0); quantifies the
+    red-black forest's transaction-length variance. *)
+
+val histogram : buckets:int -> lo:float -> hi:float -> float list -> int array

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Fun Graph Labeling List Matching Printf QCheck QCheck_alcotest Tcm_sched Tcm_stm

@@ -1,0 +1,1 @@
+test/test_sched.ml: Adversarial Alcotest Array Bounds List List_scheduler Optimal Printf QCheck QCheck_alcotest Task_system Tcm_sched Tcm_sim

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Engine List Option Policy Printf Props QCheck QCheck_alcotest Scenarios Spec String Tcm_sched Tcm_sim Tcm_workload Timeline

@@ -1,0 +1,1 @@
+test/test_stm.ml: Alcotest Array Atomic Domain List Printf QCheck QCheck_alcotest Runtime Splitmix Stm Tcm_core Tcm_stm Tvar Txn Unix

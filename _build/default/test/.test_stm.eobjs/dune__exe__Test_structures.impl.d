@@ -1,0 +1,1 @@
+test/test_structures.ml: Alcotest Array Atomic Domain Fun Hashtbl List Printf QCheck QCheck_alcotest Queue Splitmix Stm Tcm_core Tcm_stm Tcm_structures Unix

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Buffer Figures Format Harness List Report Sim_load Stats String Tcm_sim Tcm_stm Tcm_structures Tcm_workload

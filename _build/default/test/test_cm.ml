@@ -1,0 +1,334 @@
+(** Decision-table tests for every contention manager: given fabricated
+    transaction descriptors (older/younger, waiting or not, various
+    priorities), each manager must return the verdicts its published
+    description prescribes. *)
+
+open Tcm_stm
+open Tcm_core
+
+let decision : Decision.t Alcotest.testable =
+  Alcotest.testable Decision.pp (fun a b -> a = b)
+
+(* Fabricate a pair (older, younger): timestamps are drawn from the
+   global counter, so creation order gives priority order. *)
+let fresh_pair () =
+  let older = Txn.new_attempt (Txn.new_shared ()) in
+  let younger = Txn.new_attempt (Txn.new_shared ()) in
+  (older, younger)
+
+let set_waiting t v = Atomic.set t.Txn.waiting v
+
+let resolve (type a) (module M : Cm_intf.S with type t = a) (st : a) ~me ~other ~attempts =
+  M.resolve st ~me ~other ~attempts
+
+let check_abort_other name d = Alcotest.check decision name Decision.Abort_other d
+let check_abort_self name d = Alcotest.check decision name Decision.Abort_self d
+
+let is_backoff = function Decision.Backoff _ -> true | _ -> false
+let is_block = function Decision.Block _ -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Greedy                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let t_greedy_rules () =
+  let st = Greedy.create () in
+  let older, younger = fresh_pair () in
+  check_abort_other "rule 1: older aborts younger"
+    (resolve (module Greedy) st ~me:older ~other:younger ~attempts:0);
+  Alcotest.check decision "rule 2: younger waits unboundedly"
+    (Decision.Block { timeout_usec = None })
+    (resolve (module Greedy) st ~me:younger ~other:older ~attempts:0);
+  set_waiting older true;
+  check_abort_other "rule 1: waiting enemies are aborted regardless of priority"
+    (resolve (module Greedy) st ~me:younger ~other:older ~attempts:0)
+
+let t_greedy_no_wait_cycle () =
+  (* Whoever is older aborts; the relation is a strict total order on
+     timestamps, so two transactions can never both be told to wait. *)
+  let st = Greedy.create () in
+  let a, b = fresh_pair () in
+  let da = resolve (module Greedy) st ~me:a ~other:b ~attempts:0 in
+  let db = resolve (module Greedy) st ~me:b ~other:a ~attempts:0 in
+  Alcotest.(check bool) "at most one side waits" false (is_block da && is_block db)
+
+(* ------------------------------------------------------------------ *)
+(* Greedy-FT                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let t_greedy_ft_timeout_doubles () =
+  let st = Greedy_ft.create () in
+  let older, younger = fresh_pair () in
+  (match resolve (module Greedy_ft) st ~me:younger ~other:older ~attempts:0 with
+  | Decision.Block { timeout_usec = Some t } ->
+      Alcotest.(check int) "initial grant" Greedy_ft.base_usec t
+  | d -> Alcotest.failf "expected bounded block, got %a" Decision.pp d);
+  (* The wait expired: abort the enemy... *)
+  check_abort_other "expired wait aborts"
+    (resolve (module Greedy_ft) st ~me:younger ~other:older ~attempts:1);
+  (* ...and the next encounter with the same enemy gets double. *)
+  match resolve (module Greedy_ft) st ~me:younger ~other:older ~attempts:0 with
+  | Decision.Block { timeout_usec = Some t } ->
+      Alcotest.(check int) "doubled grant" (2 * Greedy_ft.base_usec) t
+  | d -> Alcotest.failf "expected doubled block, got %a" Decision.pp d
+
+let t_greedy_ft_rule1_intact () =
+  let st = Greedy_ft.create () in
+  let older, younger = fresh_pair () in
+  check_abort_other "older still aborts"
+    (resolve (module Greedy_ft) st ~me:older ~other:younger ~attempts:0);
+  set_waiting older true;
+  check_abort_other "waiting enemies still aborted"
+    (resolve (module Greedy_ft) st ~me:younger ~other:older ~attempts:0)
+
+(* ------------------------------------------------------------------ *)
+(* Aggressive / Timid / Randomized                                     *)
+(* ------------------------------------------------------------------ *)
+
+let t_aggressive () =
+  let st = Aggressive.create () in
+  let a, b = fresh_pair () in
+  check_abort_other "always abort other"
+    (resolve (module Aggressive) st ~me:b ~other:a ~attempts:0);
+  check_abort_other "any attempts" (resolve (module Aggressive) st ~me:a ~other:b ~attempts:17)
+
+let t_timid () =
+  let st = Timid.create () in
+  let a, b = fresh_pair () in
+  check_abort_self "always abort self" (resolve (module Timid) st ~me:a ~other:b ~attempts:0)
+
+let t_randomized_range () =
+  let st = Randomized.create () in
+  let a, b = fresh_pair () in
+  let seen_abort = ref false and seen_backoff = ref false in
+  for i = 0 to 63 do
+    match resolve (module Randomized) st ~me:a ~other:b ~attempts:i with
+    | Decision.Abort_other -> seen_abort := true
+    | Decision.Backoff _ -> seen_backoff := true
+    | d -> Alcotest.failf "unexpected verdict %a" Decision.pp d
+  done;
+  Alcotest.(check bool) "both outcomes occur" true (!seen_abort && !seen_backoff)
+
+(* ------------------------------------------------------------------ *)
+(* Polite (backoff)                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let t_polite_backs_off_then_aborts () =
+  let st = Polite.create () in
+  let a, b = fresh_pair () in
+  for i = 0 to Polite.max_tries - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "backoff at attempt %d" i)
+      true
+      (is_backoff (resolve (module Polite) st ~me:a ~other:b ~attempts:i))
+  done;
+  check_abort_other "aborts after max tries"
+    (resolve (module Polite) st ~me:a ~other:b ~attempts:Polite.max_tries)
+
+let t_polite_grows () =
+  let st = Polite.create () in
+  let a, b = fresh_pair () in
+  let backoff i =
+    match resolve (module Polite) st ~me:a ~other:b ~attempts:i with
+    | Decision.Backoff { usec } -> usec
+    | d -> Alcotest.failf "expected backoff, got %a" Decision.pp d
+  in
+  (* Exponential envelope: attempt 6 exceeds attempt 0's maximum jitter. *)
+  Alcotest.(check bool) "grows" true (backoff 6 > backoff 0)
+
+(* ------------------------------------------------------------------ *)
+(* KillBlocked                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let t_killblocked () =
+  let st = Killblocked.create () in
+  let a, b = fresh_pair () in
+  set_waiting b true;
+  check_abort_other "blocked enemies die"
+    (resolve (module Killblocked) st ~me:a ~other:b ~attempts:0);
+  set_waiting b false;
+  Alcotest.(check bool) "otherwise backoff" true
+    (is_backoff (resolve (module Killblocked) st ~me:a ~other:b ~attempts:0));
+  check_abort_other "patience exhausted"
+    (resolve (module Killblocked) st ~me:a ~other:b ~attempts:Killblocked.max_tries)
+
+(* ------------------------------------------------------------------ *)
+(* Kindergarten                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let t_kindergarten_turns () =
+  let st = Kindergarten.create () in
+  let a, b = fresh_pair () in
+  Alcotest.(check bool) "first meeting: polite backoff" true
+    (is_backoff (resolve (module Kindergarten) st ~me:a ~other:b ~attempts:0));
+  check_abort_self "after its rounds, yields by restarting"
+    (resolve (module Kindergarten) st ~me:a ~other:b ~attempts:Kindergarten.rounds_per_turn);
+  check_abort_other "second meeting with the same enemy: our turn"
+    (resolve (module Kindergarten) st ~me:a ~other:b ~attempts:0)
+
+let t_kindergarten_resets_on_commit () =
+  let st = Kindergarten.create () in
+  let a, b = fresh_pair () in
+  ignore (resolve (module Kindergarten) st ~me:a ~other:b ~attempts:Kindergarten.rounds_per_turn);
+  Kindergarten.committed st a;
+  Alcotest.(check bool) "grudges forgotten" true
+    (is_backoff (resolve (module Kindergarten) st ~me:a ~other:b ~attempts:0))
+
+(* ------------------------------------------------------------------ *)
+(* Timestamp                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let t_timestamp () =
+  let st = Timestamp.create () in
+  let older, younger = fresh_pair () in
+  check_abort_other "older kills younger"
+    (resolve (module Timestamp) st ~me:older ~other:younger ~attempts:0);
+  (match resolve (module Timestamp) st ~me:younger ~other:older ~attempts:0 with
+  | Decision.Block { timeout_usec = Some t } ->
+      Alcotest.(check int) "waits a quantum" Timestamp.quantum_usec t
+  | d -> Alcotest.failf "expected quantum block, got %a" Decision.pp d);
+  check_abort_other "presumed dead after max quanta"
+    (resolve (module Timestamp) st ~me:younger ~other:older ~attempts:Timestamp.max_quanta)
+
+(* ------------------------------------------------------------------ *)
+(* Karma / Eruption / Polka                                            *)
+(* ------------------------------------------------------------------ *)
+
+let t_karma () =
+  let st = Karma.create () in
+  let a, b = fresh_pair () in
+  Txn.add_priority b 5;
+  Alcotest.(check bool) "poorer backs off" true
+    (is_backoff (resolve (module Karma) st ~me:a ~other:b ~attempts:0));
+  Txn.add_priority a 10;
+  check_abort_other "richer aborts" (resolve (module Karma) st ~me:a ~other:b ~attempts:0)
+
+let t_karma_attempts_accumulate () =
+  let st = Karma.create () in
+  let a, b = fresh_pair () in
+  Txn.add_priority b 3;
+  (* priority 0 + attempts 4 > 3: persistence pays the difference. *)
+  check_abort_other "attempts count as karma"
+    (resolve (module Karma) st ~me:a ~other:b ~attempts:4)
+
+let t_eruption_pressure () =
+  let st = Eruption.create () in
+  let a, b = fresh_pair () in
+  Txn.add_priority a 4;
+  Txn.add_priority b 10;
+  let before = Txn.priority b in
+  Alcotest.(check bool) "blocked: backoff" true
+    (is_backoff (resolve (module Eruption) st ~me:a ~other:b ~attempts:0));
+  Alcotest.(check int) "pressure transferred" (before + 4) (Txn.priority b);
+  Alcotest.(check bool) "second round still backoff" true
+    (is_backoff (resolve (module Eruption) st ~me:a ~other:b ~attempts:1));
+  Alcotest.(check int) "no repeat transfer" (before + 4) (Txn.priority b)
+
+let t_polka () =
+  let st = Polka.create () in
+  let a, b = fresh_pair () in
+  Txn.add_priority b 3;
+  Alcotest.(check bool) "backs off while gap unpaid" true
+    (is_backoff (resolve (module Polka) st ~me:a ~other:b ~attempts:0));
+  check_abort_other "aborts after gap backoffs"
+    (resolve (module Polka) st ~me:a ~other:b ~attempts:3);
+  Txn.add_priority a 10;
+  check_abort_other "richer aborts immediately"
+    (resolve (module Polka) st ~me:a ~other:b ~attempts:1)
+
+(* ------------------------------------------------------------------ *)
+(* QueueOnBlock                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let t_queue_on_block () =
+  let st = Queue_on_block.create () in
+  let a, b = fresh_pair () in
+  Alcotest.(check bool) "waits FIFO-style" true
+    (is_block (resolve (module Queue_on_block) st ~me:a ~other:b ~attempts:0));
+  check_abort_other "defensive timeout"
+    (resolve (module Queue_on_block) st ~me:a ~other:b ~attempts:Queue_on_block.max_waits)
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let t_registry_finds_all () =
+  List.iter
+    (fun name ->
+      match Registry.find name with
+      | Some m -> Alcotest.(check string) "name matches" name (Cm_intf.name m)
+      | None -> Alcotest.failf "manager %s not found" name)
+    Registry.names
+
+let t_registry_count () =
+  Alcotest.(check int) "13 managers shipped" 13 (List.length Registry.all)
+
+let t_registry_case_insensitive () =
+  Alcotest.(check string) "case folded" "greedy" (Cm_intf.name (Registry.find_exn "GREEDY"))
+
+let t_registry_unknown () =
+  match Registry.find "nonsense" with
+  | None -> ()
+  | Some _ -> Alcotest.fail "found nonsense manager"
+
+let t_registry_unknown_exn () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Registry.find_exn "nonsense");
+       false
+     with Invalid_argument _ -> true)
+
+let t_paper_lineup () =
+  Alcotest.(check (list string)) "figure line-up"
+    [ "greedy"; "karma"; "eruption"; "aggressive"; "backoff" ]
+    (List.map Cm_intf.name Registry.paper_figures)
+
+let () =
+  Alcotest.run "cm"
+    [
+      ( "greedy",
+        [
+          Alcotest.test_case "the two rules" `Quick t_greedy_rules;
+          Alcotest.test_case "no mutual waiting" `Quick t_greedy_no_wait_cycle;
+        ] );
+      ( "greedy-ft",
+        [
+          Alcotest.test_case "timeout doubles per enemy" `Quick t_greedy_ft_timeout_doubles;
+          Alcotest.test_case "rule 1 intact" `Quick t_greedy_ft_rule1_intact;
+        ] );
+      ( "extremes",
+        [
+          Alcotest.test_case "aggressive" `Quick t_aggressive;
+          Alcotest.test_case "timid" `Quick t_timid;
+          Alcotest.test_case "randomized stays in range" `Quick t_randomized_range;
+        ] );
+      ( "polite",
+        [
+          Alcotest.test_case "backs off then aborts" `Quick t_polite_backs_off_then_aborts;
+          Alcotest.test_case "exponential growth" `Quick t_polite_grows;
+        ] );
+      ("killblocked", [ Alcotest.test_case "kills blocked enemies" `Quick t_killblocked ]);
+      ( "kindergarten",
+        [
+          Alcotest.test_case "taking turns" `Quick t_kindergarten_turns;
+          Alcotest.test_case "grudges reset on commit" `Quick t_kindergarten_resets_on_commit;
+        ] );
+      ("timestamp", [ Alcotest.test_case "quantum waits" `Quick t_timestamp ]);
+      ( "karma-family",
+        [
+          Alcotest.test_case "karma comparisons" `Quick t_karma;
+          Alcotest.test_case "karma attempts accumulate" `Quick t_karma_attempts_accumulate;
+          Alcotest.test_case "eruption pressure transfer" `Quick t_eruption_pressure;
+          Alcotest.test_case "polka gap backoffs" `Quick t_polka;
+        ] );
+      ("queueonblock", [ Alcotest.test_case "bounded FIFO waiting" `Quick t_queue_on_block ]);
+      ( "registry",
+        [
+          Alcotest.test_case "finds every manager" `Quick t_registry_finds_all;
+          Alcotest.test_case "manager count" `Quick t_registry_count;
+          Alcotest.test_case "case insensitive" `Quick t_registry_case_insensitive;
+          Alcotest.test_case "unknown name" `Quick t_registry_unknown;
+          Alcotest.test_case "unknown name raises" `Quick t_registry_unknown_exn;
+          Alcotest.test_case "paper line-up" `Quick t_paper_lineup;
+        ] );
+    ]

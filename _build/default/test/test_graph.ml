@@ -1,0 +1,221 @@
+(** Tests for the Lemma 7 machinery: graphs, Hopcroft–Karp matching,
+    fractional-vertex-cover scores, and the Lemma 7 / Corollary 8
+    partition bounds. *)
+
+open Tcm_sched
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_score name expected g = Alcotest.(check (float 1e-9)) name expected (Labeling.score g)
+
+(* ------------------------------------------------------------------ *)
+(* Graph basics                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let t_empty () =
+  let g = Graph.empty 4 in
+  check_int "no edges" 0 (Graph.n_edges g);
+  check_int "vertices" 4 (Graph.n_vertices g)
+
+let t_add_edge_dedup () =
+  let g = Graph.empty 3 in
+  Graph.add_edge g 0 1;
+  Graph.add_edge g 1 0;
+  Graph.add_edge g 0 1;
+  Graph.add_edge g 2 2;
+  (* self-loop ignored *)
+  check_int "one edge" 1 (Graph.n_edges g);
+  check_bool "has_edge both ways" true (Graph.has_edge g 1 0)
+
+let t_of_edges () =
+  let g = Graph.of_edges 4 [ (0, 1); (1, 2); (2, 3) ] in
+  check_int "path edges" 3 (Graph.n_edges g);
+  Alcotest.(check (list int)) "neighbours of 1" [ 0; 2 ] (Graph.neighbours g 1)
+
+let t_out_of_range () =
+  let g = Graph.empty 2 in
+  Alcotest.check_raises "out of range" (Invalid_argument "Graph.add_edge: out of range")
+    (fun () -> Graph.add_edge g 0 5)
+
+(* Edge count of G(m,s): vertices n = (s+1)m, edges = pairs with
+   |a-b| >= m, i.e. C(n,2) minus pairs with difference < m. *)
+let gms_expected_edges m s =
+  let n = (s + 1) * m in
+  let total = n * (n - 1) / 2 in
+  let close = ((m - 1) * n) - (m * (m - 1) / 2) in
+  total - close
+
+let t_gms_shape () =
+  List.iter
+    (fun (m, s) ->
+      let g = Graph.g_m_s ~m ~s in
+      check_int (Printf.sprintf "G(%d,%d) vertices" m s) ((s + 1) * m) (Graph.n_vertices g);
+      check_int (Printf.sprintf "G(%d,%d) edges" m s) (gms_expected_edges m s) (Graph.n_edges g))
+    [ (1, 1); (2, 2); (3, 2); (2, 4) ]
+
+let t_gms_g11_is_edge () =
+  (* G(1,1) has 2 vertices and the single edge (0,1). *)
+  let g = Graph.g_m_s ~m:1 ~s:1 in
+  check_bool "edge present" true (Graph.has_edge g 0 1)
+
+let t_partition () =
+  let g = Graph.g_m_s ~m:2 ~s:2 in
+  let parts = Graph.partition_edges g 2 (fun i _ -> i mod 2) in
+  let total = List.fold_left (fun acc h -> acc + Graph.n_edges h) 0 parts in
+  check_int "edges preserved" (Graph.n_edges g) total;
+  List.iter (fun h -> check_int "spanning" (Graph.n_vertices g) (Graph.n_vertices h)) parts
+
+let t_partition_bad_assign () =
+  let g = Graph.of_edges 2 [ (0, 1) ] in
+  Alcotest.check_raises "bad part index" (Invalid_argument "Graph.partition_edges: bad part")
+    (fun () -> ignore (Graph.partition_edges g 2 (fun _ _ -> 7)))
+
+(* ------------------------------------------------------------------ *)
+(* Matching                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let t_matching_empty () =
+  let g = Matching.make ~n_left:3 ~n_right:3 [] in
+  check_int "empty" 0 (Matching.max_matching g)
+
+let t_matching_perfect () =
+  let g = Matching.make ~n_left:3 ~n_right:3 [ (0, 0); (1, 1); (2, 2) ] in
+  check_int "perfect" 3 (Matching.max_matching g)
+
+let t_matching_star () =
+  (* One left vertex connected to all rights: matching 1. *)
+  let g = Matching.make ~n_left:1 ~n_right:4 [ (0, 0); (0, 1); (0, 2); (0, 3) ] in
+  check_int "star" 1 (Matching.max_matching g)
+
+let t_matching_needs_augmenting () =
+  (* Classic instance where greedy matching is suboptimal: 0-0, 0-1,
+     1-0.  Maximum is 2 via an augmenting path. *)
+  let g = Matching.make ~n_left:2 ~n_right:2 [ (0, 0); (0, 1); (1, 0) ] in
+  check_int "augmented" 2 (Matching.max_matching g)
+
+let t_matching_complete_bipartite () =
+  let edges = List.concat_map (fun u -> List.init 4 (fun v -> (u, v))) [ 0; 1; 2; 3 ] in
+  let g = Matching.make ~n_left:4 ~n_right:4 edges in
+  check_int "K44" 4 (Matching.max_matching g)
+
+let t_matching_out_of_range () =
+  Alcotest.check_raises "edge range" (Invalid_argument "Matching.make: edge out of range")
+    (fun () -> ignore (Matching.make ~n_left:1 ~n_right:1 [ (0, 3) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Scores (fractional vertex cover)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let t_score_isolated () = check_score "no edges" 0. (Graph.empty 5)
+let t_score_edge () = check_score "single edge" 1. (Graph.of_edges 2 [ (0, 1) ])
+let t_score_triangle () = check_score "triangle" 1.5 (Graph.of_edges 3 [ (0, 1); (1, 2); (0, 2) ])
+
+let t_score_star () = check_score "star K1,3" 1. (Graph.of_edges 4 [ (0, 1); (0, 2); (0, 3) ])
+
+let t_score_c5 () =
+  (* Odd cycle C5: fractional cover = 5/2. *)
+  check_score "C5" 2.5 (Graph.of_edges 5 [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 0) ])
+
+let t_score_k4 () =
+  (* K_n: everyone at 1/2, score n/2. *)
+  let g = Graph.of_edges 4 [ (0, 1); (0, 2); (0, 3); (1, 2); (1, 3); (2, 3) ] in
+  check_score "K4" 2. g
+
+let t_score_path () =
+  (* P4 (3 edges): König — fractional equals integral on bipartite. *)
+  check_score "P4" 2. (Graph.of_edges 4 [ (0, 1); (1, 2); (2, 3) ])
+
+let t_valid_labeling () =
+  let g = Graph.of_edges 3 [ (0, 1); (1, 2); (0, 2) ] in
+  check_bool "half labels valid" true (Labeling.valid g [| 0.5; 0.5; 0.5 |]);
+  check_bool "zero labels invalid" false (Labeling.valid g [| 0.; 0.; 1. |]);
+  check_bool "negative invalid" false (Labeling.valid g [| 1.5; -0.5; 1. |]);
+  check_bool "wrong length invalid" false (Labeling.valid g [| 1.; 1. |]);
+  Alcotest.(check (float 1e-9)) "sum" 1.5 (Labeling.sum [| 0.5; 0.5; 0.5 |])
+
+(* Score is a lower bound for every valid labeling's sum. *)
+let prop_score_lower_bound =
+  QCheck.Test.make ~name:"score <= sum of any valid labeling" ~count:100
+    QCheck.(pair (int_bound 10_000) (int_range 3 8))
+    (fun (seed, n) ->
+      let rng = Tcm_stm.Splitmix.create seed in
+      let edges =
+        List.filter_map
+          (fun _ ->
+            let u = Tcm_stm.Splitmix.int rng n and v = Tcm_stm.Splitmix.int rng n in
+            if u <> v then Some (u, v) else None)
+          (List.init (2 * n) Fun.id)
+      in
+      let g = Graph.of_edges n edges in
+      let l = Array.make n 1.0 in
+      Labeling.valid g l && Labeling.score g <= Labeling.sum l +. 1e-9)
+
+(* Lemma 7, numerically: any random partition of G(m,s) into s spanning
+   subgraphs has max_i S(H_i) >= m. *)
+let prop_lemma7 =
+  QCheck.Test.make ~name:"lemma 7 on random partitions" ~count:60
+    QCheck.(triple (int_bound 100_000) (int_range 1 3) (int_range 1 3))
+    (fun (seed, m, s) ->
+      let g = Graph.g_m_s ~m ~s in
+      let rng = Tcm_stm.Splitmix.create seed in
+      let parts = Graph.partition_edges g s (fun _ _ -> Tcm_stm.Splitmix.int rng s) in
+      snd (Labeling.lemma7_check ~m parts))
+
+let t_corollary8_small () =
+  let m = 1 and s = 1 in
+  let k = s * (s + 1) / 2 in
+  let g = Graph.g_m_s ~m:(2 * m) ~s:k in
+  let parts = Graph.partition_edges g k (fun _ _ -> 0) in
+  let _, ok = Labeling.corollary8_check ~m parts in
+  check_bool "corollary 8 base case" true ok
+
+let t_whole_gms_score () =
+  (* The un-partitioned G(m,s) itself scores >= m (consistency). *)
+  List.iter
+    (fun (m, s) ->
+      let g = Graph.g_m_s ~m ~s in
+      check_bool (Printf.sprintf "S(G(%d,%d)) >= %d" m s m) true (Labeling.score_x2 g >= 2 * m))
+    [ (1, 1); (2, 2); (3, 2); (2, 3) ]
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "empty" `Quick t_empty;
+          Alcotest.test_case "edge dedup and self-loops" `Quick t_add_edge_dedup;
+          Alcotest.test_case "of_edges / neighbours" `Quick t_of_edges;
+          Alcotest.test_case "range check" `Quick t_out_of_range;
+          Alcotest.test_case "G(m,s) shape" `Quick t_gms_shape;
+          Alcotest.test_case "G(1,1) is an edge" `Quick t_gms_g11_is_edge;
+          Alcotest.test_case "edge partition" `Quick t_partition;
+          Alcotest.test_case "partition bad index" `Quick t_partition_bad_assign;
+        ] );
+      ( "matching",
+        [
+          Alcotest.test_case "empty" `Quick t_matching_empty;
+          Alcotest.test_case "perfect" `Quick t_matching_perfect;
+          Alcotest.test_case "star" `Quick t_matching_star;
+          Alcotest.test_case "augmenting path" `Quick t_matching_needs_augmenting;
+          Alcotest.test_case "complete bipartite" `Quick t_matching_complete_bipartite;
+          Alcotest.test_case "edge range check" `Quick t_matching_out_of_range;
+        ] );
+      ( "labeling",
+        [
+          Alcotest.test_case "isolated vertices" `Quick t_score_isolated;
+          Alcotest.test_case "single edge" `Quick t_score_edge;
+          Alcotest.test_case "triangle" `Quick t_score_triangle;
+          Alcotest.test_case "star" `Quick t_score_star;
+          Alcotest.test_case "odd cycle C5" `Quick t_score_c5;
+          Alcotest.test_case "K4" `Quick t_score_k4;
+          Alcotest.test_case "path P4" `Quick t_score_path;
+          Alcotest.test_case "labeling validity" `Quick t_valid_labeling;
+          QCheck_alcotest.to_alcotest prop_score_lower_bound;
+        ] );
+      ( "lemma7",
+        [
+          QCheck_alcotest.to_alcotest prop_lemma7;
+          Alcotest.test_case "corollary 8 base case" `Quick t_corollary8_small;
+          Alcotest.test_case "whole G(m,s) scores >= m" `Quick t_whole_gms_score;
+        ] );
+    ]

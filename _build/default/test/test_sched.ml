@@ -1,0 +1,263 @@
+(** Tests for the Garey–Graham scheduling substrate: task systems, list
+    scheduling, the branch-and-bound optimal, the Section 4 adversarial
+    chain and the bound arithmetic. *)
+
+open Tcm_sched
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Task systems                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let t_dur_positive () =
+  Alcotest.check_raises "dur 0 rejected" (Invalid_argument "Task_system.task: dur must be positive")
+    (fun () -> ignore (Task_system.task ~id:0 ~dur:0 []))
+
+let t_amount_range () =
+  Alcotest.check_raises "amount 0 rejected"
+    (Invalid_argument "Task_system.task: amount out of (0,1]") (fun () ->
+      ignore (Task_system.task ~id:0 ~dur:1 [ (0, 0.) ]));
+  Alcotest.check_raises "amount > 1 rejected"
+    (Invalid_argument "Task_system.task: amount out of (0,1]") (fun () ->
+      ignore (Task_system.task ~id:0 ~dur:1 [ (0, 1.5) ]))
+
+let t_negative_resource () =
+  Alcotest.check_raises "negative resource rejected"
+    (Invalid_argument "Task_system.task: negative resource index") (fun () ->
+      ignore (Task_system.task ~id:0 ~dur:1 [ (-1, 0.5) ]))
+
+let t_make_counts () =
+  let ts =
+    Task_system.make
+      [ Task_system.task ~id:0 ~dur:2 [ (0, 1.) ]; Task_system.task ~id:1 ~dur:3 [ (4, 0.5) ] ]
+  in
+  check_int "n_tasks" 2 (Task_system.n_tasks ts);
+  check_int "n_resources is max index + 1" 5 (Task_system.n_resources ts);
+  check_int "total work" 5 (Task_system.total_work ts)
+
+let t_usage () =
+  let task = Task_system.task ~id:0 ~dur:1 [ (0, 0.25); (2, 1.) ] in
+  Alcotest.(check (float 1e-9)) "declared" 0.25 (Task_system.usage task 0);
+  Alcotest.(check (float 1e-9)) "undeclared" 0. (Task_system.usage task 1)
+
+let t_conflicts () =
+  let w0 = Task_system.task ~id:0 ~dur:1 [ (0, 1.) ] in
+  let w0' = Task_system.task ~id:1 ~dur:1 [ (0, 1.) ] in
+  let w1 = Task_system.task ~id:2 ~dur:1 [ (1, 1.) ] in
+  let r0 = Task_system.task ~id:3 ~dur:1 [ (0, 0.25) ] in
+  check_bool "writers on same object conflict" true (Task_system.conflicts w0 w0');
+  check_bool "disjoint objects do not" false (Task_system.conflicts w0 w1);
+  check_bool "reader vs writer conflicts" true (Task_system.conflicts w0 r0);
+  check_bool "reader vs reader does not" false (Task_system.conflicts r0 r0)
+
+let t_read_amount () =
+  Alcotest.(check (float 1e-9)) "1/n" 0.25 (Task_system.read_amount ~n:4);
+  Alcotest.(check (float 1e-9)) "n=0 clamps" 1. (Task_system.read_amount ~n:0)
+
+(* ------------------------------------------------------------------ *)
+(* List scheduling                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let chain_ts s = Adversarial.task_system ~s
+
+let t_single_task () =
+  let ts = Task_system.make [ Task_system.task ~id:0 ~dur:5 [ (0, 1.) ] ] in
+  let sch = List_scheduler.run ts [| 0 |] in
+  check_int "makespan" 5 sch.List_scheduler.makespan;
+  check_int "starts at 0" 0 sch.List_scheduler.start.(0)
+
+let t_conflicting_serialize () =
+  let ts =
+    Task_system.make
+      [ Task_system.task ~id:0 ~dur:2 [ (0, 1.) ]; Task_system.task ~id:1 ~dur:3 [ (0, 1.) ] ]
+  in
+  let sch = List_scheduler.run ts [| 0; 1 |] in
+  check_int "serialized makespan" 5 sch.List_scheduler.makespan;
+  check_int "second starts after first" 2 sch.List_scheduler.start.(1)
+
+let t_disjoint_parallel () =
+  let ts =
+    Task_system.make
+      [ Task_system.task ~id:0 ~dur:2 [ (0, 1.) ]; Task_system.task ~id:1 ~dur:3 [ (1, 1.) ] ]
+  in
+  let sch = List_scheduler.run ts [| 0; 1 |] in
+  check_int "parallel makespan" 3 sch.List_scheduler.makespan;
+  check_int "both start at 0" 0 sch.List_scheduler.start.(1)
+
+let t_readers_share () =
+  (* Four readers at 0.25 each fit together. *)
+  let ts =
+    Task_system.make (List.init 4 (fun i -> Task_system.task ~id:i ~dur:2 [ (0, 0.25) ]))
+  in
+  let sch = List_scheduler.run ts [| 0; 1; 2; 3 |] in
+  check_int "all share the object" 2 sch.List_scheduler.makespan
+
+let t_order_matters () =
+  (* Three tasks on two resources where a bad order wastes time. *)
+  let ts =
+    Task_system.make
+      [
+        Task_system.task ~id:0 ~dur:1 [ (0, 1.); (1, 1.) ];
+        Task_system.task ~id:1 ~dur:2 [ (0, 1.) ];
+        Task_system.task ~id:2 ~dur:2 [ (1, 1.) ];
+      ]
+  in
+  let m order = (List_scheduler.run ts order).List_scheduler.makespan in
+  check_int "good order" 3 (m [| 1; 2; 0 |]);
+  check_bool "bad order is worse" true (m [| 0; 1; 2 |] >= 3)
+
+let t_list_property_holds () =
+  List.iter
+    (fun s ->
+      let ts = chain_ts s in
+      let sch = List_scheduler.run ts (List_scheduler.identity_order ts) in
+      check_bool
+        (Printf.sprintf "list property, chain s=%d" s)
+        true
+        (List_scheduler.satisfies_list_property ts sch))
+    [ 1; 2; 3; 5 ]
+
+let t_even_odd_chain () =
+  let s = 6 in
+  let ts = chain_ts s in
+  let sch = List_scheduler.run ts (Adversarial.even_odd_order ~s) in
+  check_int "even/odd achieves 2" 2 sch.List_scheduler.makespan
+
+(* ------------------------------------------------------------------ *)
+(* Optimal search                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let t_lower_bound () =
+  let ts =
+    Task_system.make
+      [ Task_system.task ~id:0 ~dur:4 [ (0, 1.) ]; Task_system.task ~id:1 ~dur:3 [ (0, 1.) ] ]
+  in
+  check_int "work bound" 7 (Optimal.lower_bound ts);
+  let ts2 =
+    Task_system.make
+      [ Task_system.task ~id:0 ~dur:9 [ (0, 0.1) ]; Task_system.task ~id:1 ~dur:1 [ (0, 0.1) ] ]
+  in
+  check_int "longest-task bound" 9 (Optimal.lower_bound ts2)
+
+let t_optimal_chain () =
+  List.iter
+    (fun s ->
+      check_int
+        (Printf.sprintf "chain optimal s=%d" s)
+        2
+        (Optimal.optimal_makespan (chain_ts s)))
+    [ 2; 3; 4; 5 ]
+
+let t_optimal_beats_identity () =
+  let ts = chain_ts 5 in
+  let id_m = (List_scheduler.run ts (List_scheduler.identity_order ts)).List_scheduler.makespan in
+  let opt = Optimal.optimal_makespan ts in
+  check_bool "optimal <= identity" true (opt <= id_m)
+
+let t_optimal_large_heuristic () =
+  (* n > exact_limit falls back to heuristics but still returns a valid
+     upper bound that beats nothing-smarter-than-identity. *)
+  let tasks = List.init 12 (fun i -> Task_system.task ~id:i ~dur:(1 + (i mod 3)) [ (i mod 4, 1.) ]) in
+  let ts = Task_system.make tasks in
+  let opt = Optimal.optimal_makespan ~exact_limit:8 ts in
+  check_bool "heuristic bound sane" true (opt >= Optimal.lower_bound ts);
+  let id_m = (List_scheduler.run ts (List_scheduler.identity_order ts)).List_scheduler.makespan in
+  check_bool "heuristic <= identity" true (opt <= id_m)
+
+(* Garey–Graham: any list schedule is within (s+1) of optimal.  Since
+   the true optimum is <= our best list schedule, checking
+   any-list <= (s+1) * best-list is implied and exercises both sides. *)
+let prop_garey_graham =
+  QCheck.Test.make ~name:"any list schedule <= (s+1) * best list schedule" ~count:60
+    QCheck.(pair (int_bound 1000) (int_range 2 5))
+    (fun (seed, n) ->
+      let inst = Tcm_sim.Scenarios.random_instance ~seed ~n ~s:3 () in
+      let ts = Tcm_sim.Spec.to_task_system inst in
+      let any = (List_scheduler.run ts (List_scheduler.identity_order ts)).List_scheduler.makespan in
+      let best = Optimal.optimal_makespan ts in
+      any <= Bounds.list_schedule_factor ~s:3 * best)
+
+let prop_list_property =
+  QCheck.Test.make ~name:"list scheduler satisfies the list property" ~count:40
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let inst = Tcm_sim.Scenarios.random_instance ~seed ~n:5 ~s:3 () in
+      let ts = Tcm_sim.Spec.to_task_system inst in
+      let sch = List_scheduler.run ts (List_scheduler.identity_order ts) in
+      List_scheduler.satisfies_list_property ts sch)
+
+(* ------------------------------------------------------------------ *)
+(* Adversarial chain & bounds                                          *)
+(* ------------------------------------------------------------------ *)
+
+let t_objects_of () =
+  Alcotest.(check (list int)) "T0" [ 1 ] (Adversarial.objects_of ~s:4 0);
+  Alcotest.(check (list int)) "middle" [ 2; 3 ] (Adversarial.objects_of ~s:4 2);
+  Alcotest.(check (list int)) "Ts" [ 4 ] (Adversarial.objects_of ~s:4 4)
+
+let t_chain_shape () =
+  let ts = chain_ts 4 in
+  check_int "s+1 tasks" 5 (Task_system.n_tasks ts);
+  check_int "s resources" 4 (Task_system.n_resources ts)
+
+let t_chain_s1 () = check_int "s=1 optimal" 2 (Adversarial.optimal_makespan ~s:1)
+
+let t_greedy_makespan_formula () =
+  check_int "s=7" 8 (Adversarial.greedy_makespan ~s:7)
+
+let t_bad_s () =
+  Alcotest.check_raises "s=0 rejected"
+    (Invalid_argument "Adversarial.task_system: s >= 1 required") (fun () ->
+      ignore (Adversarial.task_system ~s:0))
+
+let t_factors () =
+  check_int "list factor" 5 (Bounds.list_schedule_factor ~s:4);
+  check_int "theorem 9 factor" 22 (Bounds.pending_commit_factor ~s:4);
+  check_bool "within" true (Bounds.within_theorem9 ~s:2 ~measured:8 ~optimal:1);
+  check_bool "not within" false (Bounds.within_theorem9 ~s:2 ~measured:9 ~optimal:1)
+
+let () =
+  Alcotest.run "sched"
+    [
+      ( "task_system",
+        [
+          Alcotest.test_case "dur must be positive" `Quick t_dur_positive;
+          Alcotest.test_case "amount range enforced" `Quick t_amount_range;
+          Alcotest.test_case "negative resource rejected" `Quick t_negative_resource;
+          Alcotest.test_case "make counts" `Quick t_make_counts;
+          Alcotest.test_case "usage lookup" `Quick t_usage;
+          Alcotest.test_case "conflict relation" `Quick t_conflicts;
+          Alcotest.test_case "read amount" `Quick t_read_amount;
+        ] );
+      ( "list_scheduler",
+        [
+          Alcotest.test_case "single task" `Quick t_single_task;
+          Alcotest.test_case "conflicting tasks serialize" `Quick t_conflicting_serialize;
+          Alcotest.test_case "disjoint tasks run in parallel" `Quick t_disjoint_parallel;
+          Alcotest.test_case "readers share an object" `Quick t_readers_share;
+          Alcotest.test_case "order matters" `Quick t_order_matters;
+          Alcotest.test_case "list property holds on chains" `Quick t_list_property_holds;
+          Alcotest.test_case "even/odd order achieves 2 on chain" `Quick t_even_odd_chain;
+          QCheck_alcotest.to_alcotest prop_list_property;
+        ] );
+      ( "optimal",
+        [
+          Alcotest.test_case "lower bounds" `Quick t_lower_bound;
+          Alcotest.test_case "chain optimal is 2" `Quick t_optimal_chain;
+          Alcotest.test_case "optimal beats identity" `Quick t_optimal_beats_identity;
+          Alcotest.test_case "heuristic fallback is sane" `Quick t_optimal_large_heuristic;
+          QCheck_alcotest.to_alcotest prop_garey_graham;
+        ] );
+      ( "adversarial",
+        [
+          Alcotest.test_case "objects per transaction" `Quick t_objects_of;
+          Alcotest.test_case "task system shape" `Quick t_chain_shape;
+          Alcotest.test_case "s=1 optimal" `Quick t_chain_s1;
+          Alcotest.test_case "greedy makespan formula" `Quick t_greedy_makespan_formula;
+          Alcotest.test_case "s=0 rejected" `Quick t_bad_s;
+        ] );
+      ( "bounds",
+        [ Alcotest.test_case "factors and checks" `Quick t_factors ] );
+    ]

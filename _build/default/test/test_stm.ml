@@ -1,0 +1,437 @@
+(** Tests for the STM substrate: transactional variables, transaction
+    descriptors, the runtime's read/write/commit semantics (both read
+    modes), nesting, abort handling, statistics, and multi-domain
+    atomicity stress. *)
+
+open Tcm_stm
+
+let rt_with ?config name = Stm.create ?config (Tcm_core.Registry.find_exn name)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Splitmix                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let t_splitmix_deterministic () =
+  let a = Splitmix.create 7 and b = Splitmix.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Splitmix.next a) (Splitmix.next b)
+  done
+
+let t_splitmix_bounds () =
+  let r = Splitmix.create 3 in
+  for _ = 1 to 1000 do
+    let v = Splitmix.int r 10 in
+    check_bool "in range" true (v >= 0 && v < 10)
+  done;
+  check_int "bound 1 yields 0" 0 (Splitmix.int r 1);
+  check_int "bound 0 yields 0" 0 (Splitmix.int r 0)
+
+let t_splitmix_float () =
+  let r = Splitmix.create 11 in
+  for _ = 1 to 1000 do
+    let v = Splitmix.float r in
+    check_bool "in [0,1)" true (v >= 0. && v < 1.)
+  done
+
+let t_splitmix_bool_balanced () =
+  let r = Splitmix.create 13 in
+  let trues = ref 0 in
+  for _ = 1 to 1000 do
+    if Splitmix.bool r then incr trues
+  done;
+  check_bool "roughly balanced" true (!trues > 400 && !trues < 600)
+
+(* ------------------------------------------------------------------ *)
+(* Txn descriptors                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let t_txn_lifecycle () =
+  let t = Txn.new_attempt (Txn.new_shared ()) in
+  check_bool "starts active" true (Txn.is_active t);
+  check_bool "abort succeeds" true (Txn.try_abort t);
+  check_bool "is aborted" true (Txn.is_aborted t);
+  check_bool "second abort reports aborted" true (Txn.try_abort t);
+  check_bool "commit after abort fails" false (Txn.try_commit t);
+  check_int "abort counted once" 1 (Txn.abort_count t)
+
+let t_txn_commit_blocks_abort () =
+  let t = Txn.new_attempt (Txn.new_shared ()) in
+  check_bool "commit succeeds" true (Txn.try_commit t);
+  check_bool "abort after commit fails" false (Txn.try_abort t);
+  check_bool "still committed" true (Txn.is_committed t)
+
+let t_txn_timestamps_monotonic () =
+  let a = Txn.new_shared () in
+  let b = Txn.new_shared () in
+  check_bool "later shared is younger" true (a.Txn.timestamp < b.Txn.timestamp)
+
+let t_txn_shared_across_attempts () =
+  let shared = Txn.new_shared () in
+  let a1 = Txn.new_attempt shared in
+  ignore (Txn.try_abort a1);
+  let a2 = Txn.new_attempt shared in
+  check_int "timestamp retained" (Txn.timestamp a1) (Txn.timestamp a2);
+  check_int "abort count carried" 1 (Txn.abort_count a2);
+  check_bool "distinct attempt ids" true (a1.Txn.attempt_id <> a2.Txn.attempt_id)
+
+let t_txn_priority_ops () =
+  let t = Txn.new_attempt (Txn.new_shared ()) in
+  Txn.record_open t;
+  Txn.record_open t;
+  check_int "opens" 2 (Txn.open_count t);
+  check_int "priority follows opens" 2 (Txn.priority t);
+  Txn.add_priority t 5;
+  check_int "explicit add" 7 (Txn.priority t)
+
+let t_sentinel () =
+  check_bool "sentinel committed" true (Txn.is_committed Txn.committed_sentinel);
+  check_int "sentinel timestamp" 0 (Txn.timestamp Txn.committed_sentinel)
+
+(* ------------------------------------------------------------------ *)
+(* Tvar                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let t_tvar_peek () =
+  let v = Tvar.make 42 in
+  check_int "initial" 42 (Tvar.peek v)
+
+let t_tvar_ids_unique () =
+  let a = Tvar.make 0 and b = Tvar.make 0 in
+  check_bool "distinct ids" true (Tvar.id a <> Tvar.id b)
+
+let t_tvar_readers () =
+  let v = Tvar.make 0 in
+  let t1 = Txn.new_attempt (Txn.new_shared ()) in
+  let t2 = Txn.new_attempt (Txn.new_shared ()) in
+  Tvar.register_reader v t1;
+  Tvar.register_reader v t1;
+  (* idempotent *)
+  Tvar.register_reader v t2;
+  (match Tvar.find_active_reader v t1 with
+  | Some r -> check_int "finds the other reader" t2.Txn.attempt_id r.Txn.attempt_id
+  | None -> Alcotest.fail "expected an active reader");
+  ignore (Txn.try_abort t2);
+  check_bool "dead readers skipped" true (Tvar.find_active_reader v t1 = None);
+  Tvar.purge_readers v;
+  ignore (Txn.try_abort t1)
+
+(* ------------------------------------------------------------------ *)
+(* Runtime: single-threaded semantics                                  *)
+(* ------------------------------------------------------------------ *)
+
+let t_read_write () =
+  let rt = rt_with "greedy" in
+  let v = Tvar.make 1 in
+  let r =
+    Stm.atomically rt (fun tx ->
+        let x = Stm.read tx v in
+        Stm.write tx v (x + 10);
+        Stm.read tx v)
+  in
+  check_int "read-your-writes" 11 r;
+  check_int "committed" 11 (Tvar.peek v)
+
+let t_modify_and_read_for_write () =
+  let rt = rt_with "greedy" in
+  let v = Tvar.make 5 in
+  Stm.atomically rt (fun tx -> Stm.modify tx v (fun x -> x * 3));
+  check_int "modify" 15 (Tvar.peek v);
+  let r = Stm.atomically rt (fun tx -> Stm.read_for_write tx v) in
+  check_int "read_for_write" 15 r
+
+let t_multiple_tvars () =
+  let rt = rt_with "greedy" in
+  let vars = Array.init 10 (fun i -> Tvar.make i) in
+  Stm.atomically rt (fun tx -> Array.iter (fun v -> Stm.modify tx v (fun x -> x + 100)) vars);
+  Array.iteri (fun i v -> check_int "each updated" (i + 100) (Tvar.peek v)) vars
+
+let t_user_exception_aborts () =
+  let rt = rt_with "greedy" in
+  let v = Tvar.make 1 in
+  (try
+     Stm.atomically rt (fun tx ->
+         Stm.write tx v 99;
+         failwith "boom")
+   with Failure _ -> ());
+  check_int "write discarded" 1 (Tvar.peek v);
+  let s = Stm.stats rt in
+  check_int "no commit" 0 s.Runtime.n_commits;
+  check_int "one abort" 1 s.Runtime.n_aborts
+
+let t_retry_now () =
+  let rt = rt_with "greedy" in
+  let v = Tvar.make 0 in
+  let attempts = ref 0 in
+  let r =
+    Stm.atomically rt (fun tx ->
+        incr attempts;
+        Stm.write tx v !attempts;
+        if !attempts < 3 then Stm.retry_now tx else !attempts)
+  in
+  check_int "ran three times" 3 r;
+  check_int "only final attempt committed" 3 (Tvar.peek v)
+
+let t_max_attempts () =
+  let config = { Runtime.default_config with max_attempts = Some 4 } in
+  let rt = Stm.create ~config (module Tcm_core.Greedy) in
+  let hits = ref 0 in
+  check_bool "raises Too_many_attempts" true
+    (try
+       Stm.atomically rt (fun tx ->
+           incr hits;
+           Stm.retry_now tx)
+     with Runtime.Too_many_attempts _ -> true);
+  check_int "ran exactly max_attempts times" 4 !hits
+
+let t_nested_flattens () =
+  let rt = rt_with "greedy" in
+  let v = Tvar.make 0 in
+  Stm.atomically rt (fun tx ->
+      Stm.write tx v 1;
+      (* The nested atomically reuses the enclosing transaction, so it
+         sees the uncommitted write. *)
+      let inner = Stm.atomically rt (fun tx' -> Stm.read tx' v) in
+      check_int "nested sees outer write" 1 inner;
+      Stm.write tx v (inner + 1));
+  check_int "single commit" 2 (Tvar.peek v);
+  check_int "one commit counted" 1 (Stm.stats rt).Runtime.n_commits
+
+let t_stats_accumulate () =
+  let rt = rt_with "greedy" in
+  let v = Tvar.make 0 in
+  for _ = 1 to 5 do
+    Stm.atomically rt (fun tx -> Stm.modify tx v succ)
+  done;
+  check_int "five commits" 5 (Stm.stats rt).Runtime.n_commits;
+  check_int "value" 5 (Tvar.peek v)
+
+let t_manager_name () =
+  Alcotest.(check string) "exposed" "karma" (Stm.manager_name (rt_with "karma"))
+
+let t_invisible_mode_semantics () =
+  let config = { Runtime.default_config with read_mode = `Invisible } in
+  let rt = Stm.create ~config (module Tcm_core.Greedy) in
+  let v = Tvar.make 7 in
+  let r =
+    Stm.atomically rt (fun tx ->
+        let a = Stm.read tx v in
+        Stm.write tx v (a + 1);
+        Stm.read tx v)
+  in
+  check_int "invisible read-your-writes" 8 r;
+  check_int "committed" 8 (Tvar.peek v)
+
+let t_atomic_return_value () =
+  let rt = rt_with "greedy" in
+  Alcotest.(check string) "passes value through" "hello"
+    (Stm.atomically rt (fun _ -> "hello"))
+
+(* A transaction that only reads commits without touching anything. *)
+let t_read_only () =
+  let rt = rt_with "greedy" in
+  let v = Tvar.make 3 in
+  check_int "read-only" 3 (Stm.atomically rt (fun tx -> Stm.read tx v));
+  check_int "still one commit" 1 (Stm.stats rt).Runtime.n_commits
+
+(* ------------------------------------------------------------------ *)
+(* Runtime: concurrency                                                *)
+(* ------------------------------------------------------------------ *)
+
+let conservation_run manager_name =
+  let rt = rt_with manager_name in
+  let a = Tvar.make 500 and b = Tvar.make 500 in
+  let n_domains = 4 and iters = 250 in
+  let doms =
+    List.init n_domains (fun d ->
+        Domain.spawn (fun () ->
+            let rng = Splitmix.create (d + 1) in
+            for _ = 1 to iters do
+              let amt = 1 + Splitmix.int rng 5 in
+              Stm.atomically rt (fun tx ->
+                  let x = Stm.read tx a in
+                  Stm.write tx a (x - amt);
+                  Stm.write tx b (Stm.read tx b + amt))
+            done))
+  in
+  List.iter Domain.join doms;
+  check_int
+    (Printf.sprintf "conservation under %s" manager_name)
+    1000
+    (Tvar.peek a + Tvar.peek b);
+  check_int "all committed" (n_domains * iters) (Stm.stats rt).Runtime.n_commits
+
+let t_snapshot_isolation () =
+  (* Writers keep x + y constant; concurrent readers snapshot both and
+     must never observe a broken invariant — the classic isolation
+     check for visible reads. *)
+  let rt = rt_with "greedy" in
+  let x = Tvar.make 500 and y = Tvar.make 500 in
+  let violations = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let writer d =
+    Domain.spawn (fun () ->
+        let rng = Splitmix.create (d + 3) in
+        for _ = 1 to 400 do
+          let amt = 1 + Splitmix.int rng 20 in
+          Stm.atomically rt (fun tx ->
+              let vx = Stm.read tx x in
+              Stm.write tx x (vx - amt);
+              Stm.write tx y (Stm.read tx y + amt))
+        done)
+  in
+  let reader =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          let sum = Stm.atomically rt (fun tx -> Stm.read tx x + Stm.read tx y) in
+          if sum <> 1000 then Atomic.incr violations
+        done)
+  in
+  let ws = [ writer 1; writer 2 ] in
+  List.iter Domain.join ws;
+  Atomic.set stop true;
+  Domain.join reader;
+  check_int "no isolation violations" 0 (Atomic.get violations);
+  check_int "final sum conserved" 1000 (Tvar.peek x + Tvar.peek y)
+
+let t_check_and_retry_wait () =
+  let rt = rt_with "greedy" in
+  let gate = Tvar.make false in
+  let results = Tvar.make 0 in
+  let waiter =
+    Domain.spawn (fun () ->
+        Stm.atomically rt (fun tx ->
+            Stm.check tx (Stm.read tx gate);
+            Stm.modify tx results succ))
+  in
+  (* The waiter blocks until the gate opens. *)
+  Unix.sleepf 0.02;
+  check_int "not yet" 0 (Tvar.peek results);
+  Stm.atomically rt (fun tx -> Stm.write tx gate true);
+  Domain.join waiter;
+  check_int "ran once the gate opened" 1 (Tvar.peek results)
+
+let t_check_true_is_noop () =
+  let rt = rt_with "greedy" in
+  let v =
+    Stm.atomically rt (fun tx ->
+        Stm.check tx true;
+        42)
+  in
+  check_int "passes through" 42 v
+
+let t_conservation_greedy () = conservation_run "greedy"
+let t_conservation_karma () = conservation_run "karma"
+let t_conservation_aggressive () = conservation_run "aggressive"
+let t_conservation_polka () = conservation_run "polka"
+
+let t_counter_exact () =
+  let rt = rt_with "greedy" in
+  let c = Tvar.make 0 in
+  let doms =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 500 do
+              Stm.atomically rt (fun tx -> Stm.modify tx c succ)
+            done))
+  in
+  List.iter Domain.join doms;
+  check_int "no lost updates" 2000 (Tvar.peek c)
+
+let t_disjoint_domains () =
+  let rt = rt_with "greedy" in
+  let vars = Array.init 4 (fun _ -> Tvar.make 0) in
+  let doms =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 300 do
+              Stm.atomically rt (fun tx -> Stm.modify tx vars.(d) succ)
+            done))
+  in
+  List.iter Domain.join doms;
+  Array.iter (fun v -> check_int "disjoint counters exact" 300 (Tvar.peek v)) vars
+
+let t_concurrent_invisible () =
+  let config = { Runtime.default_config with read_mode = `Invisible } in
+  let rt = Stm.create ~config (module Tcm_core.Greedy) in
+  let c = Tvar.make 0 in
+  let doms =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 300 do
+              (* Write-path read: exact even with invisible readers. *)
+              Stm.atomically rt (fun tx -> Stm.write tx c (Stm.read_for_write tx c + 1))
+            done))
+  in
+  List.iter Domain.join doms;
+  check_int "invisible mode, write-path counter" 1200 (Tvar.peek c)
+
+(* qcheck: arbitrary interleavings of single-threaded transactions on a
+   register behave like plain assignments. *)
+let prop_register_semantics =
+  QCheck.Test.make ~name:"sequential register semantics" ~count:50
+    QCheck.(small_list (int_bound 100))
+    (fun writes ->
+      let rt = rt_with "greedy" in
+      let v = Tvar.make (-1) in
+      List.iter (fun w -> Stm.atomically rt (fun tx -> Stm.write tx v w)) writes;
+      let expect = match List.rev writes with [] -> -1 | last :: _ -> last in
+      Tvar.peek v = expect)
+
+let () =
+  Alcotest.run "stm"
+    [
+      ( "splitmix",
+        [
+          Alcotest.test_case "deterministic" `Quick t_splitmix_deterministic;
+          Alcotest.test_case "int bounds" `Quick t_splitmix_bounds;
+          Alcotest.test_case "float range" `Quick t_splitmix_float;
+          Alcotest.test_case "bool balance" `Quick t_splitmix_bool_balanced;
+        ] );
+      ( "txn",
+        [
+          Alcotest.test_case "lifecycle" `Quick t_txn_lifecycle;
+          Alcotest.test_case "commit blocks abort" `Quick t_txn_commit_blocks_abort;
+          Alcotest.test_case "timestamps monotonic" `Quick t_txn_timestamps_monotonic;
+          Alcotest.test_case "shared state across attempts" `Quick t_txn_shared_across_attempts;
+          Alcotest.test_case "priority bookkeeping" `Quick t_txn_priority_ops;
+          Alcotest.test_case "committed sentinel" `Quick t_sentinel;
+        ] );
+      ( "tvar",
+        [
+          Alcotest.test_case "peek" `Quick t_tvar_peek;
+          Alcotest.test_case "unique ids" `Quick t_tvar_ids_unique;
+          Alcotest.test_case "reader registration" `Quick t_tvar_readers;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "read / write / read-your-writes" `Quick t_read_write;
+          Alcotest.test_case "modify and read_for_write" `Quick t_modify_and_read_for_write;
+          Alcotest.test_case "many tvars in one txn" `Quick t_multiple_tvars;
+          Alcotest.test_case "user exception aborts" `Quick t_user_exception_aborts;
+          Alcotest.test_case "retry_now reruns" `Quick t_retry_now;
+          Alcotest.test_case "max_attempts enforced" `Quick t_max_attempts;
+          Alcotest.test_case "nested atomically flattens" `Quick t_nested_flattens;
+          Alcotest.test_case "stats accumulate" `Quick t_stats_accumulate;
+          Alcotest.test_case "manager name" `Quick t_manager_name;
+          Alcotest.test_case "invisible-read semantics" `Quick t_invisible_mode_semantics;
+          Alcotest.test_case "return value" `Quick t_atomic_return_value;
+          Alcotest.test_case "read-only transaction" `Quick t_read_only;
+          QCheck_alcotest.to_alcotest prop_register_semantics;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "check blocks until condition" `Quick t_check_and_retry_wait;
+          Alcotest.test_case "check true is a no-op" `Quick t_check_true_is_noop;
+          Alcotest.test_case "snapshot isolation under writers" `Quick t_snapshot_isolation;
+          Alcotest.test_case "conservation (greedy)" `Quick t_conservation_greedy;
+          Alcotest.test_case "conservation (karma)" `Quick t_conservation_karma;
+          Alcotest.test_case "conservation (aggressive)" `Quick t_conservation_aggressive;
+          Alcotest.test_case "conservation (polka)" `Quick t_conservation_polka;
+          Alcotest.test_case "counter has no lost updates" `Quick t_counter_exact;
+          Alcotest.test_case "disjoint domains never conflict" `Quick t_disjoint_domains;
+          Alcotest.test_case "invisible mode write-path counter" `Quick t_concurrent_invisible;
+        ] );
+    ]

@@ -1,0 +1,247 @@
+(** Tests for the workload layer: statistics, the live-STM harness, the
+    simulator-backed figure models, the figure sweeps and the report
+    rendering. *)
+
+open Tcm_workload
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let t_mean () =
+  check_float "empty" 0. (Stats.mean []);
+  check_float "values" 2. (Stats.mean [ 1.; 2.; 3. ])
+
+let t_stddev () =
+  check_float "empty" 0. (Stats.stddev []);
+  check_float "singleton" 0. (Stats.stddev [ 5. ]);
+  check_float "known sample" 1. (Stats.stddev [ 1.; 2.; 3. ])
+
+let t_percentile () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  check_float "p50" 50. (Stats.percentile 50. xs);
+  check_float "p99" 99. (Stats.percentile 99. xs);
+  check_float "p100" 100. (Stats.percentile 100. xs);
+  check_float "median alias" 50. (Stats.median xs);
+  check_float "empty" 0. (Stats.percentile 50. [])
+
+let t_cv () =
+  check_float "no spread" 0. (Stats.cv [ 4.; 4.; 4. ]);
+  check_float "zero mean" 0. (Stats.cv [ 0.; 0. ]);
+  check_bool "high variance detected" true (Stats.cv [ 1.; 1.; 1.; 100. ] > 1.)
+
+let t_histogram () =
+  let h = Stats.histogram ~buckets:4 ~lo:0. ~hi:4. [ 0.5; 1.5; 1.6; 3.9; 7. ] in
+  Alcotest.(check (array int)) "buckets" [| 1; 2; 0; 1 |] h
+
+(* ------------------------------------------------------------------ *)
+(* Harness (live STM)                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let t_structure_names () =
+  List.iter
+    (fun s ->
+      Alcotest.(check string)
+        "roundtrip" (Harness.structure_name s)
+        (Harness.structure_name (Harness.structure_of_name (Harness.structure_name s))))
+    [ Harness.List_s; Harness.Skiplist_s; Harness.Rbtree_s; Harness.Rbforest_s ];
+  check_bool "unknown raises" true
+    (try
+       ignore (Harness.structure_of_name "heap");
+       false
+     with Invalid_argument _ -> true)
+
+let t_harness_runs () =
+  let cfg =
+    { Harness.default with threads = 2; duration_s = 0.05; structure = Harness.Skiplist_s }
+  in
+  let o = Harness.run cfg in
+  check_bool "commits happened" true (o.Harness.commits > 0);
+  check_int "per-thread adds up" o.Harness.commits (Array.fold_left ( + ) 0 o.Harness.per_thread);
+  check_bool "throughput positive" true (o.Harness.throughput > 0.);
+  check_bool "latency sampled" true (o.Harness.latency_p50_us > 0.);
+  check_bool "p99 >= p50" true (o.Harness.latency_p99_us >= o.Harness.latency_p50_us)
+
+let t_harness_post_work_slows () =
+  let base = { Harness.default with threads = 1; duration_s = 0.05 } in
+  let fast = Harness.run base in
+  let slow = Harness.run { base with post_work = 50_000 } in
+  check_bool "uncontended tail lowers throughput" true
+    (slow.Harness.throughput < fast.Harness.throughput)
+
+let t_make_ops_all () =
+  List.iter
+    (fun s ->
+      let ops = Harness.make_ops s in
+      Alcotest.(check string) "named" (Harness.structure_name s) ops.Tcm_structures.Intset.name)
+    [ Harness.List_s; Harness.Skiplist_s; Harness.Rbtree_s; Harness.Rbforest_s ]
+
+(* ------------------------------------------------------------------ *)
+(* Sim workload models                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let models =
+  [
+    Sim_load.list_model; Sim_load.skiplist_model; Sim_load.rbtree_model; Sim_load.rbforest_model;
+  ]
+
+let t_models_generate_valid_txns () =
+  List.iter
+    (fun (m : Sim_load.model) ->
+      let rng = Tcm_stm.Splitmix.create 3 in
+      for _ = 1 to 200 do
+        let txn = m.Sim_load.gen rng ~tail:2 in
+        List.iter
+          (fun a ->
+            check_bool (m.Sim_load.name ^ " access in range") true
+              (a.Tcm_sim.Spec.obj >= 0 && a.Tcm_sim.Spec.obj < m.Sim_load.n_objects);
+            check_bool (m.Sim_load.name ^ " access before end") true
+              (a.Tcm_sim.Spec.at < txn.Tcm_sim.Spec.dur))
+          txn.Tcm_sim.Spec.accesses
+      done)
+    models
+
+let t_model_names () =
+  Alcotest.(check (list string)) "model names"
+    [ "list"; "skiplist"; "rbtree"; "rbforest" ]
+    (List.map (fun (m : Sim_load.model) -> m.Sim_load.name) models)
+
+let t_model_of_structure () =
+  Alcotest.(check string) "mapping" "rbtree"
+    (Sim_load.model_of_structure Harness.Rbtree_s).Sim_load.name
+
+let t_forest_long_txns_exist () =
+  (* Over many draws, the forest model must emit both short and very
+     long transactions — the paper's high-variance claim. *)
+  let rng = Tcm_stm.Splitmix.create 5 in
+  let durs =
+    List.init 500 (fun _ ->
+        (Sim_load.rbforest_model.Sim_load.gen rng ~tail:0).Tcm_sim.Spec.dur)
+  in
+  let short = List.exists (fun d -> d <= Sim_load.rb_dur) durs in
+  let long = List.exists (fun d -> d >= 50 * Sim_load.rb_dur) durs in
+  check_bool "short transactions occur" true short;
+  check_bool "50-tree transactions occur" true long;
+  check_bool "length variance is high" true
+    (Stats.cv (List.map float_of_int durs) > 1.)
+
+let t_sim_run_deterministic () =
+  let run () =
+    Sim_load.run ~horizon:800 ~seed:9 ~threads:4 ~policy:(Tcm_sim.Policy.karma ())
+      Sim_load.rbtree_model
+  in
+  let a = run () and b = run () in
+  check_int "same commits" a.Sim_load.commits b.Sim_load.commits;
+  check_int "same aborts" a.Sim_load.aborts b.Sim_load.aborts
+
+let t_sim_run_scales () =
+  let thr n =
+    (Sim_load.run ~horizon:800 ~threads:n ~policy:(Tcm_sim.Policy.greedy ())
+       Sim_load.rbtree_model)
+      .Sim_load.throughput
+  in
+  check_bool "more threads, more throughput (tree)" true (thr 8 > thr 1)
+
+(* ------------------------------------------------------------------ *)
+(* Figures                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let t_figure_ids () =
+  Alcotest.(check (list string)) "ids" [ "fig1"; "fig2"; "fig3"; "fig4" ]
+    (List.map (fun f -> f.Figures.id) Figures.all);
+  check_bool "of_id hit" true (Figures.of_id "fig2" <> None);
+  check_bool "of_id miss" true (Figures.of_id "fig9" = None)
+
+let t_figure_sim_rows () =
+  let r =
+    Figures.run ~threads_list:[ 1; 2 ] ~mode:(Figures.Sim { horizon = 300 }) Figures.fig2
+  in
+  check_int "two rows" 2 (List.length r.Figures.rows);
+  List.iter
+    (fun row ->
+      check_int "five managers" 5 (List.length row.Figures.cells);
+      List.iter (fun (_, v) -> check_bool "non-negative" true (v >= 0.)) row.Figures.cells)
+    r.Figures.rows;
+  Alcotest.(check string) "unit label" "committed txns / 1000 ticks" r.Figures.unit_label
+
+let t_figure_real_rows () =
+  let r =
+    Figures.run ~threads_list:[ 1 ] ~mode:(Figures.Real { duration_s = 0.03 }) Figures.fig1
+  in
+  check_int "one row" 1 (List.length r.Figures.rows);
+  List.iter
+    (fun row -> List.iter (fun (_, v) -> check_bool "positive" true (v > 0.)) row.Figures.cells)
+    r.Figures.rows
+
+let t_winners () =
+  let r =
+    Figures.run ~threads_list:[ 1; 4 ] ~mode:(Figures.Sim { horizon = 300 }) Figures.fig3
+  in
+  let ws = Report.winners r in
+  check_int "one winner per row" 2 (List.length ws);
+  List.iter (fun (_, name) -> check_bool "winner is a manager" true (String.length name > 0)) ws
+
+let string_contains haystack needle =
+  let lh = String.length haystack and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub haystack i ln = needle || go (i + 1)) in
+  go 0
+
+let t_report_prints () =
+  let r =
+    Figures.run ~threads_list:[ 1 ] ~mode:(Figures.Sim { horizon = 200 }) Figures.fig4
+  in
+  let buf = Buffer.create 256 in
+  let fmt = Format.formatter_of_buffer buf in
+  Report.print_figure fmt r;
+  Format.pp_print_flush fmt ();
+  let out = Buffer.contents buf in
+  check_bool "mentions the figure" true (string_contains out "fig4");
+  check_bool "mentions greedy" true (string_contains out "greedy")
+
+let t_float_to_string () =
+  Alcotest.(check string) "large" "12346" (Report.float_to_string 12345.6);
+  Alcotest.(check string) "medium" "123.5" (Report.float_to_string 123.45);
+  Alcotest.(check string) "small" "1.23" (Report.float_to_string 1.234)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick t_mean;
+          Alcotest.test_case "stddev" `Quick t_stddev;
+          Alcotest.test_case "percentiles" `Quick t_percentile;
+          Alcotest.test_case "coefficient of variation" `Quick t_cv;
+          Alcotest.test_case "histogram" `Quick t_histogram;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "structure names" `Quick t_structure_names;
+          Alcotest.test_case "harness runs" `Quick t_harness_runs;
+          Alcotest.test_case "post-work lowers throughput" `Quick t_harness_post_work_slows;
+          Alcotest.test_case "ops for every structure" `Quick t_make_ops_all;
+        ] );
+      ( "sim-models",
+        [
+          Alcotest.test_case "models generate valid transactions" `Quick
+            t_models_generate_valid_txns;
+          Alcotest.test_case "model names" `Quick t_model_names;
+          Alcotest.test_case "structure mapping" `Quick t_model_of_structure;
+          Alcotest.test_case "forest length variance" `Quick t_forest_long_txns_exist;
+          Alcotest.test_case "sim runs are deterministic" `Quick t_sim_run_deterministic;
+          Alcotest.test_case "throughput scales with threads" `Quick t_sim_run_scales;
+        ] );
+      ( "figures",
+        [
+          Alcotest.test_case "figure ids" `Quick t_figure_ids;
+          Alcotest.test_case "sim rows well-formed" `Quick t_figure_sim_rows;
+          Alcotest.test_case "real rows well-formed" `Quick t_figure_real_rows;
+          Alcotest.test_case "winners" `Quick t_winners;
+          Alcotest.test_case "report prints" `Quick t_report_prints;
+          Alcotest.test_case "float formatting" `Quick t_float_to_string;
+        ] );
+    ]
