@@ -1,0 +1,23 @@
+# Convenience entry points; everything is plain dune underneath.
+
+.PHONY: all build test bench-smoke bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Quick end-to-end bench including the --json emitter and the
+# read-cost A/B probe; used as a smoke test so the JSON path can't rot.
+bench-smoke:
+	dune build @bench-smoke
+
+# Full bench, regenerating the committed perf trajectory point.
+bench:
+	dune exec bench/main.exe -- --quick --no-micro --json BENCH_1.json
+
+clean:
+	dune clean

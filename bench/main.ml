@@ -18,13 +18,23 @@
 
     Flags: [--quick] shrinks every sweep (used by CI/tests);
     [--no-real] skips the live-STM sweeps; [--no-micro] skips
-    Bechamel. *)
+    Bechamel; [--json FILE] additionally writes the live-STM figure
+    sweeps (throughput, p50/p99 latency, abort breakdown) as JSON —
+    the perf-trajectory format committed as BENCH_*.json. *)
 
 open Tcm_workload
 
 let quick = Array.exists (( = ) "--quick") Sys.argv
 let no_real = Array.exists (( = ) "--no-real") Sys.argv
 let no_micro = Array.exists (( = ) "--no-micro") Sys.argv
+
+let json_path =
+  let rec find i =
+    if i + 1 >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = "--json" then Some Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  find 1
 
 let fmt = Format.std_formatter
 
@@ -341,6 +351,54 @@ let run_open_problems () =
   Format.fprintf fmt "@."
 
 (* ------------------------------------------------------------------ *)
+(* JSON dump (--json FILE)                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_json_dump path =
+  section (Printf.sprintf "JSON dump (live-STM detailed sweeps) -> %s" path);
+  (* Open the output before the sweeps so a bad path fails fast, not
+     after minutes of measurement. *)
+  let oc = open_out path in
+  let seed = 42 in
+  let figures =
+    List.map
+      (fun spec ->
+        ( spec,
+          Figures.run_real_detailed ~threads_list:real_threads ~seed
+            ~duration_s:real_duration spec ))
+      Figures.all
+  in
+  (* Visible-vs-invisible A/B on the read-heaviest structure, so the
+     committed trajectory also tracks per-read validation cost. *)
+  let read_modes =
+    Report.Json.Obj
+      (List.map
+         (fun (label, read_mode) ->
+           let cfg =
+             {
+               Harness.default with
+               structure = Harness.Rbtree_s;
+               threads = 2;
+               duration_s = real_duration;
+               seed;
+               read_mode;
+             }
+           in
+           (label, Report.json_of_outcome (Harness.run cfg)))
+         [ ("visible", `Visible); ("invisible", `Invisible) ])
+  in
+  let doc =
+    Report.bench_json
+      ~extra:[ ("read_modes_rbtree_2t", read_modes) ]
+      ~mode:(if quick then "quick" else "full")
+      ~duration_s:real_duration ~seed figures
+  in
+  output_string oc doc;
+  output_char oc '\n';
+  close_out oc;
+  Format.fprintf fmt "wrote %s (%d bytes)@.@." path (String.length doc + 1)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -414,4 +472,5 @@ let () =
     run_latency_table ()
   end;
   if not no_micro then run_micro ();
+  Option.iter run_json_dump json_path;
   Format.fprintf fmt "done.@."

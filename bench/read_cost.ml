@@ -1,0 +1,62 @@
+(** Focused per-read cost probe for the two read modes.
+
+    Times transactions that read [k] distinct tvars ([k] on the command
+    line, default 64) and transactions doing one insert/remove on a
+    [Tlist] prefilled to the same size, in both read modes.  This is
+    the A/B instrument for the read-validation hot path: invisible-mode
+    full revalidation costs O(k^2) per transaction, incremental
+    validation O(k).
+
+    Usage: read_cost.exe [k] [iters] *)
+
+open Tcm_stm
+
+let k = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 64
+let iters = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 200_000
+
+let time_per_txn f =
+  (* One warmup pass, then the measured pass. *)
+  f (iters / 10);
+  let t0 = Unix.gettimeofday () in
+  f iters;
+  (Unix.gettimeofday () -. t0) /. float_of_int iters *. 1e9
+
+let sink = ref 0
+
+let bench_reads read_mode =
+  let config = { Runtime.default_config with read_mode } in
+  let rt = Stm.create ~config (module Tcm_core.Greedy) in
+  let vars = Array.init k (fun i -> Tvar.make i) in
+  time_per_txn (fun n ->
+      for _ = 1 to n do
+        sink :=
+          Stm.atomically rt (fun tx ->
+              let acc = ref 0 in
+              Array.iter (fun v -> acc := !acc + Stm.read tx v) vars;
+              !acc)
+      done)
+
+let bench_list read_mode =
+  let config = { Runtime.default_config with read_mode } in
+  let rt = Stm.create ~config (module Tcm_core.Greedy) in
+  let l = Tcm_structures.Tlist.create () in
+  for i = 0 to k - 1 do
+    ignore (Stm.atomically rt (fun tx -> Tcm_structures.Tlist.insert tx l (i * 2)))
+  done;
+  let rng = Splitmix.create 11 in
+  time_per_txn (fun n ->
+      for _ = 1 to n do
+        let key = Splitmix.int rng (2 * k) in
+        ignore
+          (Stm.atomically rt (fun tx ->
+               if Splitmix.bool rng then Tcm_structures.Tlist.insert tx l key
+               else Tcm_structures.Tlist.remove tx l key))
+      done)
+
+let () =
+  Printf.printf "read-cost probe: k=%d iters=%d (ns per txn)\n%!" k iters;
+  List.iter
+    (fun (label, mode) ->
+      Printf.printf "  %-10s %d-tvar read txn: %10.1f   list update (%d elems): %10.1f\n%!"
+        label k (bench_reads mode) k (bench_list mode))
+    [ ("visible", `Visible); ("invisible", `Invisible) ]

@@ -13,12 +13,21 @@
       acquiring the locator.  This makes read-write conflicts go
       through the manager (the paper's model) and yields serializable
       executions without commit-time validation.
-    - [`Invisible]: DSTM-style invisible reads with re-validation of
-      the whole read set on every subsequent open and before the commit
-      CAS.  Cheaper under read-mostly loads; provided for the ablation
-      benchmarks.  Note the classic caveat: the window between the last
-      validation and the commit CAS admits a narrow write-skew race, so
-      this mode trades strictness for speed. *)
+    - [`Invisible]: DSTM-style invisible reads with incremental
+      (TL2-style) validation.  Each transaction keeps a watermark
+      [valid_upto]: the global stamp-clock value at which its whole
+      read set is known valid.  Invisible-mode writers advance a
+      variable's stamp when they install a locator and just before
+      they publish a commit, so a newly opened variable whose stamp is
+      at or below the watermark extends the read set in O(1); only a
+      moved stamp forces a full revalidation (which itself skips
+      entries whose stamps did not move).  Cheaper under read-mostly
+      loads; provided for the ablation benchmarks.  Note the classic
+      caveat: the window between the last validation and the commit
+      CAS admits a narrow write-skew race, so this mode trades
+      strictness for speed.  Invisible-mode consistency assumes the
+      writers sharing those tvars also run in invisible mode (stamps
+      are not advanced by visible-mode writers). *)
 
 exception Abort_attempt
 (** Internal control flow: the current attempt is (being) aborted and
@@ -37,16 +46,26 @@ type config = {
   read_mode : read_mode;
   max_attempts : int option;  (** [None] = retry forever. *)
   block_poll_usec : int;
-      (** Polling period while blocked on an enemy.  Small values react
-          faster; on an oversubscribed machine the sleep also serves as
-          a yield. *)
+      (** Cap on the sleeping period while blocked on an enemy (the
+          wait spins, then yields, then sleeps with geometrically
+          growing pauses up to this cap). *)
   backoff_cap_usec : int;  (** Upper bound applied to [Backoff] verdicts. *)
 }
 
 let default_config =
   { read_mode = `Visible; max_attempts = None; block_poll_usec = 50; backoff_cap_usec = 100_000 }
 
-type stats = {
+(* ------------------------------------------------------------------ *)
+(* Statistics: per-domain shards                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Each domain increments only its own shard, so the per-commit /
+   per-conflict counters never ping-pong cache lines between cores;
+   [stats] aggregates across shards at snapshot time.  A shard is
+   allocated by its owning domain (inside the DLS initializer), which
+   places it in that domain's own allocation space; the pad keeps
+   shards apart even after compaction. *)
+type shard = {
   commits : int Atomic.t;
   aborts : int Atomic.t;
   conflicts : int Atomic.t;
@@ -54,9 +73,10 @@ type stats = {
   self_aborts : int Atomic.t;
   blocks : int Atomic.t;
   backoffs : int Atomic.t;
+  _pad : int array;
 }
 
-let make_stats () =
+let make_shard () =
   {
     commits = Atomic.make 0;
     aborts = Atomic.make 0;
@@ -65,6 +85,7 @@ let make_stats () =
     self_aborts = Atomic.make 0;
     blocks = Atomic.make 0;
     backoffs = Atomic.make 0;
+    _pad = Array.make 8 0;
   }
 
 type stats_snapshot = {
@@ -77,47 +98,82 @@ type stats_snapshot = {
   n_backoffs : int;
 }
 
-(* A validated invisible read.  The entry stays valid while the
+(* A validated invisible read.  [stamp] is the variable's version cell
+   and [seen] the stamp at which the entry was last known valid: an
+   unchanged stamp means no invisible writer installed or committed on
+   the variable since, so revalidation can skip the entry.  [check]
+   decides validity from the locator: the entry stays valid while the
    variable still carries the locator we resolved the value from and
    the resolution is unchanged — or once the reading transaction itself
    owns the variable with the observed value as the locator's old
    version (read-then-write upgrade). *)
-type read_entry = { tvar_id : int; check : unit -> bool }
+type read_entry = { stamp : int Atomic.t; mutable seen : int; check : unit -> bool }
 
 type t = {
   config : config;
   cm : Cm_intf.factory;
-  stats : stats;
+  shards : shard list Atomic.t;  (** One per domain that used this runtime. *)
   dls : per_domain Domain.DLS.key;
 }
 
-and per_domain = { cm_state : Cm_intf.packed; mutable current : tx option }
+and per_domain = {
+  cm_state : Cm_intf.packed;
+  shard : shard;
+  mutable current : tx option;
+}
 
 and tx = {
   rt : t;
   txn : Txn.t;
   dom : per_domain;
-  mutable read_log : read_entry list;  (** Invisible mode only. *)
+  mutable read_log : read_entry array;  (** Invisible mode only. *)
+  mutable read_len : int;
+  mutable valid_upto : int;
+      (** Stamp-clock watermark: the read set is known valid as of this
+          clock value (invisible mode only). *)
+  mutable write_stamps : int Atomic.t list;
+      (** Stamp cells of variables acquired this attempt, bulk-bumped
+          at commit publication (invisible mode only). *)
 }
 
 let create ?(config = default_config) cm =
+  let shards = Atomic.make [] in
   let dls =
-    Domain.DLS.new_key (fun () -> { cm_state = Cm_intf.instantiate cm; current = None })
+    Domain.DLS.new_key (fun () ->
+        let shard = make_shard () in
+        let rec register () =
+          let l = Atomic.get shards in
+          if not (Atomic.compare_and_set shards l (shard :: l)) then register ()
+        in
+        register ();
+        { cm_state = Cm_intf.instantiate cm; shard; current = None })
   in
-  { config; cm; stats = make_stats (); dls }
+  { config; cm; shards; dls }
 
 let manager_name t = Cm_intf.name t.cm
 
 let stats t =
-  {
-    n_commits = Atomic.get t.stats.commits;
-    n_aborts = Atomic.get t.stats.aborts;
-    n_conflicts = Atomic.get t.stats.conflicts;
-    n_enemy_aborts = Atomic.get t.stats.enemy_aborts;
-    n_self_aborts = Atomic.get t.stats.self_aborts;
-    n_blocks = Atomic.get t.stats.blocks;
-    n_backoffs = Atomic.get t.stats.backoffs;
-  }
+  List.fold_left
+    (fun acc (s : shard) ->
+      {
+        n_commits = acc.n_commits + Atomic.get s.commits;
+        n_aborts = acc.n_aborts + Atomic.get s.aborts;
+        n_conflicts = acc.n_conflicts + Atomic.get s.conflicts;
+        n_enemy_aborts = acc.n_enemy_aborts + Atomic.get s.enemy_aborts;
+        n_self_aborts = acc.n_self_aborts + Atomic.get s.self_aborts;
+        n_blocks = acc.n_blocks + Atomic.get s.blocks;
+        n_backoffs = acc.n_backoffs + Atomic.get s.backoffs;
+      })
+    {
+      n_commits = 0;
+      n_aborts = 0;
+      n_conflicts = 0;
+      n_enemy_aborts = 0;
+      n_self_aborts = 0;
+      n_blocks = 0;
+      n_backoffs = 0;
+    }
+    (Atomic.get t.shards)
 
 let pp_stats fmt s =
   Format.fprintf fmt "commits=%d aborts=%d conflicts=%d enemy-aborts=%d blocks=%d backoffs=%d"
@@ -131,47 +187,66 @@ let check_self tx = if not (Txn.is_active tx.txn) then raise Abort_attempt
 
 let sleep_usec usec = if usec > 0 then Unix.sleepf (float_of_int usec *. 1e-6)
 
+(* Adaptive waiting: spin on the CPU hint first (an enemy on another
+   core often finishes within nanoseconds), then yield the timeslice,
+   then sleep with geometrically growing pauses capped at [cap_usec].
+   The wall clock is consulted only once a wait reaches the sleeping
+   phase — never in the spin loop. *)
+let spin_rounds = 32
+let yield_rounds = 16
+
+let wait_step ~round ~cap_usec =
+  if round < spin_rounds then Domain.cpu_relax ()
+  else if round < spin_rounds + yield_rounds then Unix.sleepf 0.
+  else
+    let r = round - spin_rounds - yield_rounds in
+    sleep_usec (min cap_usec (1 lsl min r 10))
+
 (* Block until [other] is no longer active, or starts waiting itself,
    or the timeout expires.  Sets our public waiting flag for the
    duration, so that greedy enemies may abort us (Rule 1). *)
 let block_on tx (other : Txn.t) timeout_usec =
-  Atomic.incr tx.rt.stats.blocks;
+  Atomic.incr tx.dom.shard.blocks;
   Atomic.set tx.txn.Txn.waiting true;
+  let cap_usec = tx.rt.config.block_poll_usec in
   let deadline =
     match timeout_usec with
     | None -> infinity
     | Some us -> Unix.gettimeofday () +. (float_of_int us *. 1e-6)
   in
-  let rec wait () =
+  let rec wait round =
     if not (Txn.is_active tx.txn) then begin
       Atomic.set tx.txn.Txn.waiting false;
       raise Abort_attempt
     end;
-    if Txn.is_active other && not (Txn.is_waiting other) && Unix.gettimeofday () < deadline
+    if
+      Txn.is_active other
+      && (not (Txn.is_waiting other))
+      && (deadline = infinity || round < spin_rounds || Unix.gettimeofday () < deadline)
     then begin
-      sleep_usec tx.rt.config.block_poll_usec;
-      wait ()
+      wait_step ~round ~cap_usec;
+      wait (round + 1)
     end
   in
-  wait ();
+  wait 0;
   Atomic.set tx.txn.Txn.waiting false
 
 (* Execute one contention-manager verdict for a conflict with [other].
    Returns when the caller should re-examine the object. *)
 let resolve_conflict tx ~(other : Txn.t) ~attempts =
   check_self tx;
-  Atomic.incr tx.rt.stats.conflicts;
+  Atomic.incr tx.dom.shard.conflicts;
   let (Cm_intf.Packed ((module M), st)) = tx.dom.cm_state in
   match M.resolve st ~me:tx.txn ~other ~attempts with
   | Decision.Abort_other ->
-      if Txn.try_abort other then Atomic.incr tx.rt.stats.enemy_aborts
+      if Txn.try_abort other then Atomic.incr tx.dom.shard.enemy_aborts
   | Decision.Abort_self ->
-      Atomic.incr tx.rt.stats.self_aborts;
+      Atomic.incr tx.dom.shard.self_aborts;
       ignore (Txn.try_abort tx.txn);
       raise Abort_attempt
   | Decision.Block { timeout_usec } -> block_on tx other timeout_usec
   | Decision.Backoff { usec } ->
-      Atomic.incr tx.rt.stats.backoffs;
+      Atomic.incr tx.dom.shard.backoffs;
       sleep_usec (min usec tx.rt.config.backoff_cap_usec);
       check_self tx
 
@@ -184,8 +259,21 @@ let cm_opened tx =
 (* Invisible-read validation                                           *)
 (* ------------------------------------------------------------------ *)
 
+let dummy_entry = { stamp = Atomic.make 0; seen = 0; check = (fun () -> true) }
+let empty_log : read_entry array = [||]
+
+let push_read tx e =
+  let cap = Array.length tx.read_log in
+  if tx.read_len = cap then begin
+    let a = Array.make (if cap = 0 then 8 else 2 * cap) dummy_entry in
+    Array.blit tx.read_log 0 a 0 cap;
+    tx.read_log <- a
+  end;
+  tx.read_log.(tx.read_len) <- e;
+  tx.read_len <- tx.read_len + 1
+
 let make_read_entry (type v) (tx : tx) (tvar : v Tvar.t) (loc : v Tvar.locator)
-    ~saw_committed (seen : v) : read_entry =
+    ~saw_committed ~seen (value : v) : read_entry =
   let check () =
     let cur = Atomic.get tvar.Tvar.loc in
     if cur == loc then
@@ -196,15 +284,32 @@ let make_read_entry (type v) (tx : tx) (tvar : v Tvar.t) (loc : v Tvar.locator)
       (* Upgrade: we acquired the variable ourselves after reading it;
          the read stays consistent iff the stable value we captured at
          acquisition is the one we had read. *)
-      cur.Tvar.owner == tx.txn && cur.Tvar.old_v == seen
+      cur.Tvar.owner == tx.txn && cur.Tvar.old_v == value
   in
-  { tvar_id = tvar.Tvar.id; check }
+  { stamp = tvar.Tvar.version; seen; check }
 
-let validate tx =
-  if not (List.for_all (fun e -> e.check ()) tx.read_log) then begin
+(* Revalidate the read set, skipping entries whose stamp did not move
+   since they were last found valid (an unchanged stamp means no
+   invisible writer installed or committed on that variable).  On
+   success the watermark advances to the clock value read {e before}
+   the scan, so later stamp bumps cannot be masked. *)
+let validate_extend tx ~extend =
+  let g = Tvar.now () in
+  let ok = ref true in
+  let i = ref 0 in
+  while !ok && !i < tx.read_len do
+    let e = tx.read_log.(!i) in
+    let cur = Atomic.get e.stamp in
+    if cur <> e.seen then if e.check () then e.seen <- cur else ok := false;
+    incr i
+  done;
+  if not !ok then begin
     ignore (Txn.try_abort tx.txn);
     raise Abort_attempt
-  end
+  end;
+  if extend then tx.valid_upto <- g
+
+let validate tx = validate_extend tx ~extend:false
 
 (* ------------------------------------------------------------------ *)
 (* Open for write                                                      *)
@@ -237,7 +342,15 @@ let rec acquire : 'a. tx -> 'a Tvar.t -> int -> 'a Tvar.locator =
          let nloc = { Tvar.owner = tx.txn; old_v = cur; new_v = ref cur } in
          if Atomic.compare_and_set tvar.Tvar.loc loc nloc then begin
            if tx.rt.config.read_mode = `Visible then drain_readers tx tvar 0
-           else validate tx;
+           else begin
+             (* Make concurrent invisible readers revalidate, record the
+                cell for commit publication, and re-check our own read
+                set (the entry on this very variable flips to its
+                upgrade branch). *)
+             Tvar.bump_version tvar;
+             tx.write_stamps <- Tvar.stamp_cell tvar :: tx.write_stamps;
+             validate_extend tx ~extend:true
+           end;
            cm_opened tx;
            nloc
          end
@@ -283,8 +396,12 @@ let read_invisible tx tvar =
   else begin
     let saw_committed = Txn.status loc.Tvar.owner = Status.Committed in
     let v = if saw_committed then !(loc.Tvar.new_v) else loc.Tvar.old_v in
-    tx.read_log <- make_read_entry tx tvar loc ~saw_committed v :: tx.read_log;
-    validate tx;
+    (* The stamp is read after the owner's status: commit publication
+       bumps stamps before the status CAS, so observing a committed
+       owner implies observing its bump and taking the slow path. *)
+    let ver = Tvar.version tvar in
+    push_read tx (make_read_entry tx tvar loc ~saw_committed ~seen:ver v);
+    if ver > tx.valid_upto then validate_extend tx ~extend:true;
     cm_opened tx;
     v
   end
@@ -326,8 +443,27 @@ let check tx cond = if not cond then retry_wait tx
 (* ------------------------------------------------------------------ *)
 
 let commit tx =
-  if tx.rt.config.read_mode = `Invisible then validate tx;
-  Txn.try_commit tx.txn
+  (* [validate] raises on failure; [commit] runs outside [atomically]'s
+     exception match (the [v ->] branch), so convert to a [false]
+     return here rather than letting [Abort_attempt] escape. *)
+  let valid =
+    tx.rt.config.read_mode <> `Invisible
+    || match validate tx with () -> true | exception Abort_attempt -> false
+  in
+  valid
+  && begin
+       (* Publish stamps before the status CAS: a reader that observes
+          the committed owner then necessarily observes moved stamps and
+          falls back to full validation.  (Bumping for an attempt that
+          loses the CAS below merely causes spurious revalidations
+          elsewhere.) *)
+       (match tx.write_stamps with
+       | [] -> ()
+       | ws ->
+           let s = Tvar.next_stamp () in
+           List.iter (fun cell -> Atomic.set cell s) ws);
+       Txn.try_commit tx.txn
+     end
 
 let atomically rt f =
   let dom = Domain.DLS.get rt.dls in
@@ -343,20 +479,30 @@ let atomically rt f =
         | Some m when n > m -> raise (Too_many_attempts n)
         | _ -> ());
         let txn = Txn.new_attempt shared in
-        let tx = { rt; txn; dom; read_log = [] } in
+        let tx =
+          {
+            rt;
+            txn;
+            dom;
+            read_log = empty_log;
+            read_len = 0;
+            valid_upto = Tvar.now ();
+            write_stamps = [];
+          }
+        in
         dom.current <- Some tx;
         M.begin_attempt cm_st txn;
         let finish_abort () =
           ignore (Txn.try_abort txn);
           Atomic.set txn.Txn.waiting false;
-          Atomic.incr rt.stats.aborts;
+          Atomic.incr dom.shard.aborts;
           M.aborted cm_st txn;
           dom.current <- None
         in
         match f tx with
         | v ->
             if commit tx then begin
-              Atomic.incr rt.stats.commits;
+              Atomic.incr dom.shard.commits;
               M.committed cm_st txn;
               dom.current <- None;
               v
@@ -370,13 +516,14 @@ let atomically rt f =
             attempt (n + 1)
         | exception Retry_wait ->
             finish_abort ();
-            (* Geometrically growing pause: the caller is waiting for
-               another transaction to change the state it checked. *)
-            let usec =
-              min rt.config.backoff_cap_usec
-                (rt.config.block_poll_usec * (1 lsl min wait_round 12))
-            in
-            sleep_usec usec;
+            (* The caller is waiting for another transaction to change
+               the state it checked: yield first (the writer is often
+               already runnable), then pause geometrically. *)
+            if wait_round = 0 then Unix.sleepf 0.
+            else
+              sleep_usec
+                (min rt.config.backoff_cap_usec
+                   (rt.config.block_poll_usec * (1 lsl min (wait_round - 1) 12)));
             attempt ~wait_round:(wait_round + 1) (n + 1)
         | exception e ->
             (* User exception: abort the transaction, propagate. *)

@@ -18,13 +18,17 @@ type read_mode = [ `Visible | `Invisible ]
     resolve each active reader through the manager after acquiring —
     read-write conflicts go through the manager, and executions are
     serializable without commit-time validation.  [`Invisible]:
-    DSTM-style validated invisible reads, provided for the ablation
+    DSTM-style invisible reads with incremental (stamp-watermark)
+    validation — O(1) per read in the common case, full revalidation
+    only when a variable's stamp moved — provided for the ablation
     benchmarks (see DESIGN.md for the caveat). *)
 
 type config = {
   read_mode : read_mode;
   max_attempts : int option;  (** [None] = retry forever. *)
-  block_poll_usec : int;  (** Polling period while blocked. *)
+  block_poll_usec : int;
+      (** Cap on the sleep period while blocked on an enemy; the wait
+          spins, then yields, then sleeps geometrically up to this. *)
   backoff_cap_usec : int;  (** Cap applied to [Backoff] verdicts. *)
 }
 

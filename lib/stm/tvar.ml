@@ -16,25 +16,66 @@
     makes the plain ref safe under the OCaml memory model
     (message-passing pattern).
 
-    Readers are {e visible}: they register in the [readers] list so
-    that writers resolve read-write conflicts through the contention
-    manager, matching the paper's conflict definition ("two
-    transactions conflict if they access the same object and one access
-    is a write").  Dead entries are purged lazily. *)
+    Two pieces of per-variable bookkeeping support the runtime's hot
+    paths:
+
+    - [version] is a stamp drawn from a global clock, advanced by
+      invisible-mode writers when they install a locator and again just
+      before they publish a commit.  Invisible readers use it for
+      incremental validation: a read set known valid at clock value [g]
+      stays valid as long as no variable in it carries a stamp above
+      [g], so the common-case read validates one variable instead of
+      re-checking the whole set.
+
+    - Visible readers register in a small fixed array of {e reader
+      slots} (CAS-claimed, lazily reclaimed when the registrant dies)
+      with a list-based overflow for the rare case of more simultaneous
+      readers than slots.  Registration and writer-side scans are
+      allocation-free while the slots suffice. *)
 
 type 'a locator = { owner : Txn.t; old_v : 'a; new_v : 'a ref }
 
 type 'a t = {
   id : int;
   loc : 'a locator Atomic.t;
-  readers : Txn.t list Atomic.t;
+  version : int Atomic.t;
+  reader_slots : Txn.t Atomic.t array;
+  reader_overflow : Txn.t list Atomic.t;
 }
+
+(* ------------------------------------------------------------------ *)
+(* Version stamps                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Global stamp clock.  Advanced only by invisible-mode writers (once
+   per locator install, once per commit publication), so the default
+   visible mode never contends on it. *)
+let clock = Atomic.make 1
+
+let now () = Atomic.get clock
+let next_stamp () = 1 + Atomic.fetch_and_add clock 1
+
+let version t = Atomic.get t.version
+let stamp_cell t = t.version
+let bump_version t = Atomic.set t.version (next_stamp ())
+
+(* ------------------------------------------------------------------ *)
+(* Construction & inspection                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* An empty reader slot.  The sentinel is permanently committed, hence
+   never an active reader, so scans need no separate emptiness test. *)
+let no_reader = Txn.committed_sentinel
 
 let make v =
   {
     id = Txid.next_tvar_id ();
     loc = Atomic.make { owner = Txn.committed_sentinel; old_v = v; new_v = ref v };
-    readers = Atomic.make [];
+    version = Atomic.make 0;
+    reader_slots =
+      [| Atomic.make no_reader; Atomic.make no_reader; Atomic.make no_reader;
+         Atomic.make no_reader |];
+    reader_overflow = Atomic.make [];
   }
 
 let id t = t.id
@@ -52,27 +93,79 @@ let peek t =
   let loc = Atomic.get t.loc in
   value_of_locator loc
 
-(** Register [txn] as a visible reader.  Idempotent; purges dead
-    entries while it is at it. *)
+(* ------------------------------------------------------------------ *)
+(* Visible readers                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Filter out dead readers, reporting whether any died, in one pass. *)
+let rec live_readers acc died = function
+  | [] -> (List.rev acc, died)
+  | r :: rest ->
+      if Txn.is_active r then live_readers (r :: acc) died rest
+      else live_readers acc true rest
+
+(** Register [txn] as a visible reader.  The scan stops at the first
+    slot that already holds [txn] or at the first claimable (dead)
+    slot, so the common case — a lone reader claiming slot 0, or
+    re-reading a variable it already registered on — costs one load
+    and at most one CAS, with no allocation.  The early exit tolerates
+    the occasional duplicate registration (a transaction can claim an
+    earlier slot than the one it already holds): visibility only
+    requires {e at least} one live entry, writers drain until no
+    active reader remains, and dead duplicates are reclaimed lazily
+    like any other entry.  Only when every slot holds a live reader
+    does registration fall back to the CAS'd overflow list. *)
 let register_reader t (txn : Txn.t) =
-  let rec go () =
-    let rs = Atomic.get t.readers in
+  let slots = t.reader_slots in
+  let n = Array.length slots in
+  let rec overflow () =
+    let rs = Atomic.get t.reader_overflow in
     if List.memq txn rs then ()
     else
-      let live = List.filter Txn.is_active rs in
-      let nrs = txn :: live in
-      if not (Atomic.compare_and_set t.readers rs nrs) then go ()
+      let live, _ = live_readers [] false rs in
+      if not (Atomic.compare_and_set t.reader_overflow rs (txn :: live)) then overflow ()
   in
-  go ()
+  let rec go i =
+    if i = n then overflow ()
+    else
+      let cell = slots.(i) in
+      let r = Atomic.get cell in
+      if r == txn then ()
+      else if Txn.is_active r then go (i + 1)
+      else if Atomic.compare_and_set cell r txn then ()
+      else go i (* lost the race for this slot; re-examine it *)
+  in
+  go 0
 
-(** First active reader other than [txn], if any. *)
+(** First active reader other than [txn], if any.  Allocation-free
+    while the overflow list is empty. *)
 let find_active_reader t (txn : Txn.t) =
-  let rs = Atomic.get t.readers in
-  List.find_opt (fun r -> r != txn && Txn.is_active r) rs
+  let slots = t.reader_slots in
+  let n = Array.length slots in
+  let rec over = function
+    | [] -> None
+    | r :: rest -> if r != txn && Txn.is_active r then Some r else over rest
+  in
+  let rec slot i =
+    if i = n then over (Atomic.get t.reader_overflow)
+    else
+      let r = Atomic.get slots.(i) in
+      if r != txn && Txn.is_active r then Some r else slot (i + 1)
+  in
+  slot 0
 
-(** Opportunistically drop dead reader entries. *)
+(** Opportunistically drop dead reader entries: dead slots are reset to
+    the sentinel, and the overflow list is rebuilt in a single pass —
+    the CAS is skipped entirely when nothing died. *)
 let purge_readers t =
-  let rs = Atomic.get t.readers in
-  let live = List.filter Txn.is_active rs in
-  if List.length live < List.length rs then
-    ignore (Atomic.compare_and_set t.readers rs live)
+  Array.iter
+    (fun s ->
+      let r = Atomic.get s in
+      if r != no_reader && not (Txn.is_active r) then
+        ignore (Atomic.compare_and_set s r no_reader))
+    t.reader_slots;
+  match Atomic.get t.reader_overflow with
+  | [] -> ()
+  | rs ->
+      let live, died = live_readers [] false rs in
+      if died then ignore (Atomic.compare_and_set t.reader_overflow rs live)

@@ -9,16 +9,25 @@
     published through the owner's atomic status transition
     (message-passing pattern, safe under the OCaml memory model).
 
-    Readers are visible: they register in [readers] so writers resolve
-    read-write conflicts through the contention manager, matching the
-    paper's conflict definition. *)
+    [version] carries a stamp from a global clock, advanced by
+    invisible-mode writers on locator install and commit publication;
+    invisible readers compare it against the clock value their read set
+    is known valid at, turning the common-case revalidation into a
+    single load (see [Runtime]).
+
+    Visible readers register in a fixed array of CAS-claimed reader
+    slots (allocation-free in the common case) with a list overflow,
+    so writers resolve read-write conflicts through the contention
+    manager, matching the paper's conflict definition. *)
 
 type 'a locator = { owner : Txn.t; old_v : 'a; new_v : 'a ref }
 
 type 'a t = {
   id : int;
   loc : 'a locator Atomic.t;
-  readers : Txn.t list Atomic.t;
+  version : int Atomic.t;  (** Stamp of the last invisible-writer event. *)
+  reader_slots : Txn.t Atomic.t array;
+  reader_overflow : Txn.t list Atomic.t;
 }
 
 val make : 'a -> 'a t
@@ -33,11 +42,33 @@ val peek : 'a t -> 'a
 (** Latest committed value, for non-transactional inspection (tests,
     debugging); linearizes at the atomic load of the locator. *)
 
+(** {2 Version stamps (invisible-read validation)} *)
+
+val now : unit -> int
+(** Current value of the global stamp clock. *)
+
+val next_stamp : unit -> int
+(** Advance the global clock and return the new stamp. *)
+
+val version : 'a t -> int
+(** The variable's current stamp. *)
+
+val stamp_cell : 'a t -> int Atomic.t
+(** The stamp cell itself, for bulk publication at commit time. *)
+
+val bump_version : 'a t -> unit
+(** Move the variable's stamp past every watermark taken so far. *)
+
+(** {2 Visible readers} *)
+
 val register_reader : 'a t -> Txn.t -> unit
-(** Add a visible reader; idempotent, purges dead entries. *)
+(** Add a visible reader; reclaims dead slots lazily, allocation-free
+    while the slot array suffices.  May leave a duplicate entry for a
+    re-reading transaction (benign: writers drain every live entry). *)
 
 val find_active_reader : 'a t -> Txn.t -> Txn.t option
 (** First active reader other than the given transaction. *)
 
 val purge_readers : 'a t -> unit
-(** Opportunistically drop dead reader entries. *)
+(** Opportunistically drop dead reader entries (single pass; no CAS
+    when nothing died). *)

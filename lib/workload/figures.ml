@@ -64,37 +64,51 @@ type result = {
   rows : row list;
 }
 
+type detailed_row = { d_threads : int; outcomes : (string * Harness.outcome) list }
+
 (* Managers for real mode; names are shared with sim policies. *)
 let real_managers : Cm_intf.factory list = Tcm_core.Registry.paper_figures
 
 let sim_policies ~seed () = Tcm_sim.Policy.paper_figures ~seed ()
+
+(* Full per-manager outcomes (latency percentiles, abort breakdown);
+   the throughput-only [run] below and the bench's JSON dump are both
+   views of this sweep. *)
+let run_real_detailed ?(threads_list = default_threads) ?(seed = 42) ~duration_s (spec : spec) :
+    detailed_row list =
+  List.map
+    (fun threads ->
+      let outcomes =
+        List.map
+          (fun manager ->
+            let cfg =
+              {
+                Harness.default with
+                structure = spec.structure;
+                manager;
+                threads;
+                duration_s;
+                post_work = spec.post_work;
+                seed;
+              }
+            in
+            (Cm_intf.name manager, Harness.run cfg))
+          real_managers
+      in
+      { d_threads = threads; outcomes })
+    threads_list
 
 let run ?(threads_list = default_threads) ?(seed = 42) ~mode (spec : spec) : result =
   match mode with
   | Real { duration_s } ->
       let rows =
         List.map
-          (fun threads ->
-            let cells =
-              List.map
-                (fun manager ->
-                  let cfg =
-                    {
-                      Harness.default with
-                      structure = spec.structure;
-                      manager;
-                      threads;
-                      duration_s;
-                      post_work = spec.post_work;
-                      seed;
-                    }
-                  in
-                  let o = Harness.run cfg in
-                  (Cm_intf.name manager, o.Harness.throughput))
-                real_managers
-            in
-            { threads; cells })
-          threads_list
+          (fun { d_threads; outcomes } ->
+            {
+              threads = d_threads;
+              cells = List.map (fun (name, o) -> (name, o.Harness.throughput)) outcomes;
+            })
+          (run_real_detailed ~threads_list ~seed ~duration_s spec)
       in
       { spec; mode; unit_label = "committed txns/sec"; rows }
   | Sim { horizon } ->

@@ -39,4 +39,12 @@ type result = {
   rows : row list;
 }
 
+type detailed_row = { d_threads : int; outcomes : (string * Harness.outcome) list }
+(** One thread count with the full per-manager outcome (latency
+    percentiles, abort breakdown) — the raw material of the bench's
+    JSON dump. *)
+
+val run_real_detailed :
+  ?threads_list:int list -> ?seed:int -> duration_s:float -> spec -> detailed_row list
+
 val run : ?threads_list:int list -> ?seed:int -> mode:mode -> spec -> result

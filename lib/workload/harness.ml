@@ -64,6 +64,9 @@ type outcome = {
   latency_p50_us : float;  (** Median transaction latency, sampled. *)
   latency_p99_us : float;
       (** Tail latency: where contention-manager fairness shows up. *)
+  stats : Tcm_stm.Runtime.stats_snapshot;
+      (** Full runtime counters (enemy/self aborts, blocks, backoffs)
+          for detailed reporting, e.g. the bench's JSON dump. *)
 }
 
 (* Sample every k-th operation's latency to keep overhead negligible. *)
@@ -147,4 +150,5 @@ let run (cfg : config) : outcome =
     elapsed_s = elapsed;
     latency_p50_us = Stats.percentile 50. all_latencies;
     latency_p99_us = Stats.percentile 99. all_latencies;
+    stats = s;
   }

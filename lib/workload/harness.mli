@@ -37,6 +37,7 @@ type outcome = {
   elapsed_s : float;
   latency_p50_us : float;  (** Median sampled transaction latency. *)
   latency_p99_us : float;  (** Tail latency (fairness indicator). *)
+  stats : Runtime.stats_snapshot;  (** Full runtime counters. *)
 }
 
 val make_ops : structure -> Tcm_structures.Intset.ops

@@ -47,3 +47,128 @@ let print_kv_table fmt ~title rows =
   Format.fprintf fmt "== %s ==@." title;
   List.iter (fun (k, v) -> Format.fprintf fmt "  %-40s %s@." k v) rows;
   Format.fprintf fmt "@."
+
+(* ------------------------------------------------------------------ *)
+(* JSON rendering (the bench's machine-readable trajectory dump)       *)
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  let escape buf s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s
+
+  let rec emit buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+        (* nan/inf have no JSON representation. *)
+        if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.6g" f)
+        else Buffer.add_string buf "null"
+    | Str s ->
+        Buffer.add_char buf '"';
+        escape buf s;
+        Buffer.add_char buf '"'
+    | Arr xs ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char buf ',';
+            emit buf x)
+          xs;
+        Buffer.add_char buf ']'
+    | Obj kvs ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            emit buf (Str k);
+            Buffer.add_char buf ':';
+            emit buf v)
+          kvs;
+        Buffer.add_char buf '}'
+
+  let to_string t =
+    let buf = Buffer.create 4096 in
+    emit buf t;
+    Buffer.contents buf
+end
+
+let json_of_outcome (o : Harness.outcome) : Json.t =
+  let s = o.Harness.stats in
+  Json.Obj
+    [
+      ("throughput", Json.Float o.Harness.throughput);
+      ("commits", Json.Int o.Harness.commits);
+      ("aborts", Json.Int o.Harness.aborts);
+      ("conflicts", Json.Int o.Harness.conflicts);
+      ("latency_p50_us", Json.Float o.Harness.latency_p50_us);
+      ("latency_p99_us", Json.Float o.Harness.latency_p99_us);
+      ("enemy_aborts", Json.Int s.Tcm_stm.Runtime.n_enemy_aborts);
+      ("self_aborts", Json.Int s.Tcm_stm.Runtime.n_self_aborts);
+      ("blocks", Json.Int s.Tcm_stm.Runtime.n_blocks);
+      ("backoffs", Json.Int s.Tcm_stm.Runtime.n_backoffs);
+      ("elapsed_s", Json.Float o.Harness.elapsed_s);
+    ]
+
+let json_of_detailed_figure (spec : Figures.spec) (rows : Figures.detailed_row list) : Json.t =
+  Json.Obj
+    [
+      ("id", Json.Str spec.Figures.id);
+      ("title", Json.Str spec.Figures.title);
+      ("structure", Json.Str (Harness.structure_name spec.Figures.structure));
+      ("post_work", Json.Int spec.Figures.post_work);
+      ( "rows",
+        Json.Arr
+          (List.map
+             (fun (r : Figures.detailed_row) ->
+               Json.Obj
+                 [
+                   ("threads", Json.Int r.Figures.d_threads);
+                   ( "managers",
+                     Json.Arr
+                       (List.map
+                          (fun (name, o) ->
+                            match json_of_outcome o with
+                            | Json.Obj kvs -> Json.Obj (("name", Json.Str name) :: kvs)
+                            | j -> j)
+                          r.Figures.outcomes) );
+                 ])
+             rows) );
+    ]
+
+(** The bench's machine-readable dump: per-figure live-STM sweeps with
+    throughput, p50/p99 latency and the abort breakdown per manager.
+    [extra] lets the caller attach more top-level sections. *)
+let bench_json ?(extra = []) ~mode ~duration_s ~seed
+    (figures : (Figures.spec * Figures.detailed_row list) list) : string =
+  Json.to_string
+    (Json.Obj
+       ([
+          ("schema", Json.Str "tcm-bench/1");
+          ("mode", Json.Str mode);
+          ("duration_s_per_point", Json.Float duration_s);
+          ("seed", Json.Int seed);
+          ( "figures",
+            Json.Arr (List.map (fun (spec, rows) -> json_of_detailed_figure spec rows) figures)
+          );
+        ]
+       @ extra))

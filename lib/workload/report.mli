@@ -10,3 +10,34 @@ val winners : Figures.result -> (int * string) list
 
 val print_kv_table :
   Format.formatter -> title:string -> (string * string) list -> unit
+
+(** Minimal JSON document tree; [to_string] emits compact JSON with
+    non-finite floats rendered as [null] (they have no JSON form —
+    e.g. the [nan] an empty latency sample produces). *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+end
+
+val json_of_outcome : Harness.outcome -> Json.t
+(** Throughput, p50/p99 latency and the full abort breakdown of one
+    harness run. *)
+
+val bench_json :
+  ?extra:(string * Json.t) list ->
+  mode:string ->
+  duration_s:float ->
+  seed:int ->
+  (Figures.spec * Figures.detailed_row list) list ->
+  string
+(** The bench's machine-readable dump ([--json FILE]): schema header
+    plus one entry per figure with per-thread-count, per-manager
+    outcomes. *)

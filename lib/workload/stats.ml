@@ -16,10 +16,11 @@ let stddev xs =
       in
       sqrt var
 
-(** p in [0, 100]; nearest-rank percentile. *)
+(** p in [0, 100]; nearest-rank percentile.  [nan] on an empty sample
+    (a --quick / short-duration run can finish with zero samples). *)
 let percentile p xs =
   match List.sort compare xs with
-  | [] -> 0.
+  | [] -> nan
   | sorted ->
       let n = List.length sorted in
       let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in

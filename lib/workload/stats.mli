@@ -5,7 +5,8 @@ val stddev : float list -> float
 (** Sample standard deviation; 0 for fewer than two points. *)
 
 val percentile : float -> float list -> float
-(** Nearest-rank percentile, [p] in [0, 100]. *)
+(** Nearest-rank percentile, [p] in [0, 100]; [nan] on an empty
+    sample list. *)
 
 val median : float list -> float
 

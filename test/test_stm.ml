@@ -368,6 +368,119 @@ let t_concurrent_invisible () =
   List.iter Domain.join doms;
   check_int "invisible mode, write-path counter" 1200 (Tvar.peek c)
 
+(* ------------------------------------------------------------------ *)
+(* Invisible-read validation                                           *)
+(* ------------------------------------------------------------------ *)
+
+let invisible_rt () =
+  let config = { Runtime.default_config with read_mode = `Invisible } in
+  Stm.create ~config (module Tcm_core.Greedy)
+
+(* Run [f] to a commit on another domain, deterministically in the
+   middle of the calling transaction's attempt. *)
+let enemy_commit rt f = Domain.join (Domain.spawn (fun () -> Stm.atomically rt f))
+
+let t_inv_upgrade_commits () =
+  let rt = invisible_rt () in
+  let v = Tvar.make 10 in
+  let attempts = ref 0 in
+  let r =
+    Stm.atomically rt (fun tx ->
+        incr attempts;
+        let x = Stm.read tx v in
+        (* Read-then-write of the same variable: the acquire flips the
+           read entry to its upgrade branch, which must validate. *)
+        Stm.write tx v (x + 1);
+        Stm.read tx v)
+  in
+  check_int "upgrade read-your-write" 11 r;
+  check_int "single attempt" 1 !attempts;
+  check_int "committed" 11 (Tvar.peek v)
+
+let t_inv_upgrade_enemy () =
+  let rt = invisible_rt () in
+  let v = Tvar.make 1 in
+  let first = ref true in
+  let attempts = ref 0 in
+  let r =
+    Stm.atomically rt (fun tx ->
+        incr attempts;
+        let x = Stm.read tx v in
+        if !first then begin
+          first := false;
+          enemy_commit rt (fun tx' -> Stm.write tx' v 2)
+        end;
+        (* The upgrade acquire must notice the value it read is stale
+           and abort this attempt rather than overwrite blindly. *)
+        Stm.write tx v (x + 10);
+        Stm.read tx v)
+  in
+  check_int "two attempts" 2 !attempts;
+  check_int "built on the enemy's value" 12 r;
+  check_int "committed" 12 (Tvar.peek v)
+
+let t_inv_extension_consistent () =
+  let rt = invisible_rt () in
+  let a = Tvar.make 1 and b = Tvar.make 100 in
+  let first = ref true in
+  let attempts = ref 0 in
+  let sum =
+    Stm.atomically rt (fun tx ->
+        incr attempts;
+        let x = Stm.read tx a in
+        if !first then begin
+          first := false;
+          enemy_commit rt (fun tx' -> Stm.write tx' b 200)
+        end;
+        (* [b]'s stamp moved past the watermark, so this read takes the
+           slow path; [a] is untouched, so validation extends and the
+           attempt survives with a consistent (pre-commit a, post-commit
+           b) snapshot. *)
+        x + Stm.read tx b)
+  in
+  check_int "extension keeps the attempt alive" 1 !attempts;
+  check_int "sees the committed b" 201 sum
+
+let t_inv_validation_failure () =
+  let rt = invisible_rt () in
+  let a = Tvar.make 1 and b = Tvar.make 100 in
+  let first = ref true in
+  let attempts = ref 0 in
+  let sum =
+    Stm.atomically rt (fun tx ->
+        incr attempts;
+        let x = Stm.read tx a in
+        if !first then begin
+          first := false;
+          enemy_commit rt (fun tx' ->
+              Stm.write tx' a 2;
+              Stm.write tx' b 200)
+        end;
+        (* Reading [b] forces revalidation, which must notice [a]
+           changed and abort instead of returning the torn 1 + 200. *)
+        x + Stm.read tx b)
+  in
+  check_int "aborted the torn snapshot" 2 !attempts;
+  check_int "consistent final snapshot" 202 sum
+
+let t_inv_commit_validation () =
+  let rt = invisible_rt () in
+  let a = Tvar.make 5 in
+  let first = ref true in
+  let attempts = ref 0 in
+  let r =
+    Stm.atomically rt (fun tx ->
+        incr attempts;
+        let x = Stm.read tx a in
+        if !first then begin
+          first := false;
+          enemy_commit rt (fun tx' -> Stm.write tx' a 6)
+        end;
+        x)
+  in
+  check_int "retried after commit-time failure" 2 !attempts;
+  check_int "returns the enemy's value" 6 r
+
 (* qcheck: arbitrary interleavings of single-threaded transactions on a
    register behave like plain assignments. *)
 let prop_register_semantics =
@@ -420,6 +533,15 @@ let () =
           Alcotest.test_case "return value" `Quick t_atomic_return_value;
           Alcotest.test_case "read-only transaction" `Quick t_read_only;
           QCheck_alcotest.to_alcotest prop_register_semantics;
+        ] );
+      ( "invisible validation",
+        [
+          Alcotest.test_case "upgrade commits" `Quick t_inv_upgrade_commits;
+          Alcotest.test_case "upgrade detects enemy commit" `Quick t_inv_upgrade_enemy;
+          Alcotest.test_case "extension keeps consistent snapshot" `Quick
+            t_inv_extension_consistent;
+          Alcotest.test_case "torn snapshot aborted" `Quick t_inv_validation_failure;
+          Alcotest.test_case "commit-time validation retries" `Quick t_inv_commit_validation;
         ] );
       ( "concurrency",
         [

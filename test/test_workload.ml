@@ -27,7 +27,22 @@ let t_percentile () =
   check_float "p99" 99. (Stats.percentile 99. xs);
   check_float "p100" 100. (Stats.percentile 100. xs);
   check_float "median alias" 50. (Stats.median xs);
-  check_float "empty" 0. (Stats.percentile 50. [])
+  (* An empty sample has no percentiles: nan, not a fake 0. *)
+  check_bool "empty is nan" true (Float.is_nan (Stats.percentile 50. []));
+  check_bool "empty median is nan" true (Float.is_nan (Stats.median []))
+
+let t_json_emit () =
+  let open Report.Json in
+  Alcotest.(check string) "compact; non-finite floats are null"
+    {|{"a":1,"b":null,"c":[true,"x\n"],"d":2.5}|}
+    (to_string
+       (Obj
+          [
+            ("a", Int 1);
+            ("b", Float Float.nan);
+            ("c", Arr [ Bool true; Str "x\n" ]);
+            ("d", Float 2.5);
+          ]))
 
 let t_cv () =
   check_float "no spread" 0. (Stats.cv [ 4.; 4.; 4. ]);
@@ -215,6 +230,7 @@ let () =
           Alcotest.test_case "mean" `Quick t_mean;
           Alcotest.test_case "stddev" `Quick t_stddev;
           Alcotest.test_case "percentiles" `Quick t_percentile;
+          Alcotest.test_case "json emitter" `Quick t_json_emit;
           Alcotest.test_case "coefficient of variation" `Quick t_cv;
           Alcotest.test_case "histogram" `Quick t_histogram;
         ] );
