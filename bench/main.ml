@@ -30,8 +30,15 @@ let no_micro = Array.exists (( = ) "--no-micro") Sys.argv
 
 let json_path =
   let rec find i =
-    if i + 1 >= Array.length Sys.argv then None
-    else if Sys.argv.(i) = "--json" then Some Sys.argv.(i + 1)
+    if i >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = "--json" then
+      if i + 1 < Array.length Sys.argv then Some Sys.argv.(i + 1)
+      else begin
+        (* Fail fast: a silently dropped --json would cost a full run
+           and write nothing. *)
+        prerr_endline "bench: --json requires a FILE argument";
+        exit 2
+      end
     else find (i + 1)
   in
   find 1

@@ -19,9 +19,14 @@
       read set is known valid.  Invisible-mode writers advance a
       variable's stamp when they install a locator and just before
       they publish a commit, so a newly opened variable whose stamp is
-      at or below the watermark extends the read set in O(1); only a
-      moved stamp forces a full revalidation (which itself skips
-      entries whose stamps did not move).  Cheaper under read-mostly
+      at or below the watermark extends the read set in O(1); a moved
+      stamp forces a full revalidation (which itself skips entries
+      whose stamps did not move).  Stamps are trusted only for entries
+      resolved from terminal-status owners: an entry read under a
+      still-Active owner is rechecked on every validation — and forces
+      per-read revalidation while it exists — because that owner may
+      already have published its commit stamp, so its status flip
+      would not move the stamp again.  Cheaper under read-mostly
       loads; provided for the ablation benchmarks.  Note the classic
       caveat: the window between the last validation and the commit
       CAS admits a narrow write-skew race, so this mode trades
@@ -60,33 +65,33 @@ let default_config =
 (* ------------------------------------------------------------------ *)
 
 (* Each domain increments only its own shard, so the per-commit /
-   per-conflict counters never ping-pong cache lines between cores;
-   [stats] aggregates across shards at snapshot time.  A shard is
-   allocated by its owning domain (inside the DLS initializer), which
-   places it in that domain's own allocation space; the pad keeps
-   shards apart even after compaction. *)
-type shard = {
-  commits : int Atomic.t;
-  aborts : int Atomic.t;
-  conflicts : int Atomic.t;
-  enemy_aborts : int Atomic.t;  (** Times we aborted an enemy. *)
-  self_aborts : int Atomic.t;
-  blocks : int Atomic.t;
-  backoffs : int Atomic.t;
-  _pad : int array;
-}
+   per-conflict counters never ping-pong cache lines between cores.  A
+   shard is one flat (unboxed) [int array]: counters sit a cache line
+   (8 words) apart, with a line of slack at each end so no counter
+   shares a line with a neighbouring heap block — a layout the GC
+   cannot break, unlike a record of boxed [Atomic.t] cells, where each
+   counter is its own heap block and record padding pads nothing.
+   Only the owning domain ever writes a counter; [stats] reads them
+   from other domains, which is a benign race on monotone int cells
+   (OCaml plain-int reads cannot tear): a concurrent snapshot may lag
+   a few events, and a snapshot ordered after the counting domain's
+   work — joined domains, as in the harness and every test — is
+   exact. *)
+type shard = int array
 
-let make_shard () =
-  {
-    commits = Atomic.make 0;
-    aborts = Atomic.make 0;
-    conflicts = Atomic.make 0;
-    enemy_aborts = Atomic.make 0;
-    self_aborts = Atomic.make 0;
-    blocks = Atomic.make 0;
-    backoffs = Atomic.make 0;
-    _pad = Array.make 8 0;
-  }
+let line_words = 8 (* ints per 64-byte cache line *)
+let n_counters = 7
+let counter_ix i = (i + 1) * line_words
+let make_shard () : shard = Array.make ((n_counters + 2) * line_words) 0
+
+let ix_commits = counter_ix 0
+let ix_aborts = counter_ix 1
+let ix_conflicts = counter_ix 2
+let ix_enemy_aborts = counter_ix 3 (* times we aborted an enemy *)
+let ix_self_aborts = counter_ix 4
+let ix_blocks = counter_ix 5
+let ix_backoffs = counter_ix 6
+let tick (s : shard) ix = s.(ix) <- s.(ix) + 1
 
 type stats_snapshot = {
   n_commits : int;
@@ -98,16 +103,31 @@ type stats_snapshot = {
   n_backoffs : int;
 }
 
+(* Validity of a read entry at recheck time.  [Valid_stable]: the
+   entry cannot be invalidated without the variable's stamp moving
+   (its locator carries a terminal-status owner, or our own upgrade
+   locator), so revalidation may cache the current stamp in [seen].
+   [Valid_fragile]: the value is right now, but rests on a
+   still-Active owner — and commit publication writes stamps {e
+   before} the status CAS, so that owner may already have published
+   its commit stamp, in which case its status flip would invalidate
+   the entry without any further stamp movement.  Fragile entries
+   therefore never cache a stamp and are rechecked on every
+   validation. *)
+type validity = Invalid | Valid_fragile | Valid_stable
+
 (* A validated invisible read.  [stamp] is the variable's version cell
-   and [seen] the stamp at which the entry was last known valid: an
-   unchanged stamp means no invisible writer installed or committed on
-   the variable since, so revalidation can skip the entry.  [check]
-   decides validity from the locator: the entry stays valid while the
-   variable still carries the locator we resolved the value from and
-   the resolution is unchanged — or once the reading transaction itself
-   owns the variable with the observed value as the locator's old
-   version (read-then-write upgrade). *)
-type read_entry = { stamp : int Atomic.t; mutable seen : int; check : unit -> bool }
+   and [seen] the stamp at which the entry was last known
+   stable-valid: an unchanged stamp then means no invisible writer
+   installed or committed on the variable since, so revalidation can
+   skip the entry.  Fragile entries keep [seen = -1] (matching no real
+   stamp) until a recheck finds them stable.  [check] decides validity
+   from the locator: the entry stays valid while the variable still
+   carries the locator we resolved the value from and the resolution
+   is unchanged — or once the reading transaction itself owns the
+   variable with the observed value as the locator's old version
+   (read-then-write upgrade). *)
+type read_entry = { stamp : int Atomic.t; mutable seen : int; check : unit -> validity }
 
 type t = {
   config : config;
@@ -131,6 +151,12 @@ and tx = {
   mutable valid_upto : int;
       (** Stamp-clock watermark: the read set is known valid as of this
           clock value (invisible mode only). *)
+  mutable n_fragile : int;
+      (** Read-log entries currently resting on a still-Active owner
+          (see [validity]).  While non-zero, the watermark argument is
+          unsound — such an entry can go stale without a stamp moving —
+          so every read revalidates the whole set, as the pre-stamp
+          runtime did. *)
   mutable write_stamps : int Atomic.t list;
       (** Stamp cells of variables acquired this attempt, bulk-bumped
           at commit publication (invisible mode only). *)
@@ -156,13 +182,13 @@ let stats t =
   List.fold_left
     (fun acc (s : shard) ->
       {
-        n_commits = acc.n_commits + Atomic.get s.commits;
-        n_aborts = acc.n_aborts + Atomic.get s.aborts;
-        n_conflicts = acc.n_conflicts + Atomic.get s.conflicts;
-        n_enemy_aborts = acc.n_enemy_aborts + Atomic.get s.enemy_aborts;
-        n_self_aborts = acc.n_self_aborts + Atomic.get s.self_aborts;
-        n_blocks = acc.n_blocks + Atomic.get s.blocks;
-        n_backoffs = acc.n_backoffs + Atomic.get s.backoffs;
+        n_commits = acc.n_commits + s.(ix_commits);
+        n_aborts = acc.n_aborts + s.(ix_aborts);
+        n_conflicts = acc.n_conflicts + s.(ix_conflicts);
+        n_enemy_aborts = acc.n_enemy_aborts + s.(ix_enemy_aborts);
+        n_self_aborts = acc.n_self_aborts + s.(ix_self_aborts);
+        n_blocks = acc.n_blocks + s.(ix_blocks);
+        n_backoffs = acc.n_backoffs + s.(ix_backoffs);
       })
     {
       n_commits = 0;
@@ -206,7 +232,7 @@ let wait_step ~round ~cap_usec =
    or the timeout expires.  Sets our public waiting flag for the
    duration, so that greedy enemies may abort us (Rule 1). *)
 let block_on tx (other : Txn.t) timeout_usec =
-  Atomic.incr tx.dom.shard.blocks;
+  tick tx.dom.shard ix_blocks;
   Atomic.set tx.txn.Txn.waiting true;
   let cap_usec = tx.rt.config.block_poll_usec in
   let deadline =
@@ -235,18 +261,18 @@ let block_on tx (other : Txn.t) timeout_usec =
    Returns when the caller should re-examine the object. *)
 let resolve_conflict tx ~(other : Txn.t) ~attempts =
   check_self tx;
-  Atomic.incr tx.dom.shard.conflicts;
+  tick tx.dom.shard ix_conflicts;
   let (Cm_intf.Packed ((module M), st)) = tx.dom.cm_state in
   match M.resolve st ~me:tx.txn ~other ~attempts with
   | Decision.Abort_other ->
-      if Txn.try_abort other then Atomic.incr tx.dom.shard.enemy_aborts
+      if Txn.try_abort other then tick tx.dom.shard ix_enemy_aborts
   | Decision.Abort_self ->
-      Atomic.incr tx.dom.shard.self_aborts;
+      tick tx.dom.shard ix_self_aborts;
       ignore (Txn.try_abort tx.txn);
       raise Abort_attempt
   | Decision.Block { timeout_usec } -> block_on tx other timeout_usec
   | Decision.Backoff { usec } ->
-      Atomic.incr tx.dom.shard.backoffs;
+      tick tx.dom.shard ix_backoffs;
       sleep_usec (min usec tx.rt.config.backoff_cap_usec);
       check_self tx
 
@@ -259,7 +285,7 @@ let cm_opened tx =
 (* Invisible-read validation                                           *)
 (* ------------------------------------------------------------------ *)
 
-let dummy_entry = { stamp = Atomic.make 0; seen = 0; check = (fun () -> true) }
+let dummy_entry = { stamp = Atomic.make 0; seen = 0; check = (fun () -> Valid_stable) }
 let empty_log : read_entry array = [||]
 
 let push_read tx e =
@@ -277,36 +303,56 @@ let make_read_entry (type v) (tx : tx) (tvar : v Tvar.t) (loc : v Tvar.locator)
   let check () =
     let cur = Atomic.get tvar.Tvar.loc in
     if cur == loc then
-      (* Committed owners stay committed; for active/aborted owners the
-         value we used becomes wrong only if the owner commits. *)
-      saw_committed || Txn.status loc.Tvar.owner <> Status.Committed
-    else
+      if saw_committed then Valid_stable
+      else
+        (* We resolved [old_v] against a non-committed owner: the value
+           goes wrong exactly if that owner commits.  Aborted is
+           terminal, so the entry is stable from then on; an Active
+           owner may still commit — possibly having already published
+           its commit stamp — so the entry stays fragile. *)
+        (match Txn.status loc.Tvar.owner with
+        | Status.Committed -> Invalid
+        | Status.Aborted -> Valid_stable
+        | Status.Active -> Valid_fragile)
+    else if cur.Tvar.owner == tx.txn && cur.Tvar.old_v == value then
       (* Upgrade: we acquired the variable ourselves after reading it;
          the read stays consistent iff the stable value we captured at
-         acquisition is the one we had read. *)
-      cur.Tvar.owner == tx.txn && cur.Tvar.old_v == value
+         acquisition is the one we had read.  Stable: only we can
+         replace our own locator while this attempt lives, and any
+         later replacement bumps the stamp. *)
+      Valid_stable
+    else Invalid
   in
   { stamp = tvar.Tvar.version; seen; check }
 
 (* Revalidate the read set, skipping entries whose stamp did not move
-   since they were last found valid (an unchanged stamp means no
-   invisible writer installed or committed on that variable).  On
-   success the watermark advances to the clock value read {e before}
-   the scan, so later stamp bumps cannot be masked. *)
+   since they were last found {e stable-}valid (an unchanged stamp
+   then means no invisible writer installed or committed on that
+   variable).  Fragile entries never cached a stamp ([seen = -1]), so
+   they are rechecked on every call; the scan recounts them so reads
+   know whether the watermark argument currently holds.  On success
+   the watermark advances to the clock value read {e before} the scan,
+   so later stamp bumps cannot be masked. *)
 let validate_extend tx ~extend =
   let g = Tvar.now () in
   let ok = ref true in
+  let frag = ref 0 in
   let i = ref 0 in
   while !ok && !i < tx.read_len do
     let e = tx.read_log.(!i) in
     let cur = Atomic.get e.stamp in
-    if cur <> e.seen then if e.check () then e.seen <- cur else ok := false;
+    if cur <> e.seen then (
+      match e.check () with
+      | Valid_stable -> e.seen <- cur
+      | Valid_fragile -> incr frag
+      | Invalid -> ok := false);
     incr i
   done;
   if not !ok then begin
     ignore (Txn.try_abort tx.txn);
     raise Abort_attempt
   end;
+  tx.n_fragile <- !frag;
   if extend then tx.valid_upto <- g
 
 let validate tx = validate_extend tx ~extend:false
@@ -400,8 +446,22 @@ let read_invisible tx tvar =
        bumps stamps before the status CAS, so observing a committed
        owner implies observing its bump and taking the slow path. *)
     let ver = Tvar.version tvar in
-    push_read tx (make_read_entry tx tvar loc ~saw_committed ~seen:ver v);
-    if ver > tx.valid_upto then validate_extend tx ~extend:true;
+    (* Trust the stamp only when the resolution came from a committed
+       owner.  A still-Active owner may already have published its
+       commit stamp to this very cell, so its later status flip would
+       invalidate the entry while leaving the stamp — and hence every
+       stamp-gated skip, including commit-time validation — unchanged.
+       [seen = -1] keeps such entries on the recheck path until a
+       validation finds their owner in a terminal state. *)
+    let seen =
+      if saw_committed then ver
+      else begin
+        tx.n_fragile <- tx.n_fragile + 1;
+        -1
+      end
+    in
+    push_read tx (make_read_entry tx tvar loc ~saw_committed ~seen v);
+    if ver > tx.valid_upto || tx.n_fragile > 0 then validate_extend tx ~extend:true;
     cm_opened tx;
     v
   end
@@ -454,14 +514,16 @@ let commit tx =
   && begin
        (* Publish stamps before the status CAS: a reader that observes
           the committed owner then necessarily observes moved stamps and
-          falls back to full validation.  (Bumping for an attempt that
-          loses the CAS below merely causes spurious revalidations
-          elsewhere.) *)
+          falls back to full validation.  The store is monotone
+          ([advance_stamp]): an attempt that loses the CAS below may
+          publish arbitrarily late, and must not drag a stamp backward
+          past the next owner's bump — its forward bump merely causes
+          spurious revalidations elsewhere. *)
        (match tx.write_stamps with
        | [] -> ()
        | ws ->
            let s = Tvar.next_stamp () in
-           List.iter (fun cell -> Atomic.set cell s) ws);
+           List.iter (fun cell -> Tvar.advance_stamp cell s) ws);
        Txn.try_commit tx.txn
      end
 
@@ -487,6 +549,7 @@ let atomically rt f =
             read_log = empty_log;
             read_len = 0;
             valid_upto = Tvar.now ();
+            n_fragile = 0;
             write_stamps = [];
           }
         in
@@ -495,14 +558,14 @@ let atomically rt f =
         let finish_abort () =
           ignore (Txn.try_abort txn);
           Atomic.set txn.Txn.waiting false;
-          Atomic.incr dom.shard.aborts;
+          tick dom.shard ix_aborts;
           M.aborted cm_st txn;
           dom.current <- None
         in
         match f tx with
         | v ->
             if commit tx then begin
-              Atomic.incr dom.shard.commits;
+              tick dom.shard ix_commits;
               M.committed cm_st txn;
               dom.current <- None;
               v

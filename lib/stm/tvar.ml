@@ -57,7 +57,17 @@ let next_stamp () = 1 + Atomic.fetch_and_add clock 1
 
 let version t = Atomic.get t.version
 let stamp_cell t = t.version
-let bump_version t = Atomic.set t.version (next_stamp ())
+
+(* Stamp cells only move forward.  A plain store would let a lagging
+   commit publication (an attempt that loses its status CAS after
+   drawing a stamp) overwrite a newer stamp installed by the next
+   owner, moving the variable's version backward past watermarks that
+   were taken in between. *)
+let rec advance_stamp cell s =
+  let cur = Atomic.get cell in
+  if s > cur && not (Atomic.compare_and_set cell cur s) then advance_stamp cell s
+
+let bump_version t = advance_stamp t.version (next_stamp ())
 
 (* ------------------------------------------------------------------ *)
 (* Construction & inspection                                           *)

@@ -56,6 +56,11 @@ val version : 'a t -> int
 val stamp_cell : 'a t -> int Atomic.t
 (** The stamp cell itself, for bulk publication at commit time. *)
 
+val advance_stamp : int Atomic.t -> int -> unit
+(** Monotone stamp store: moves the cell forward to the given stamp,
+    never backward (a lagging publication must not undo a newer
+    owner's bump). *)
+
 val bump_version : 'a t -> unit
 (** Move the variable's stamp past every watermark taken so far. *)
 

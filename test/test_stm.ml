@@ -481,6 +481,46 @@ let t_inv_commit_validation () =
   check_int "retried after commit-time failure" 2 !attempts;
   check_int "returns the enemy's value" 6 r
 
+(* Regression: commit publication writes stamps *before* the status
+   CAS, so a reader can record an entry against a still-Active owner
+   whose stamp cell already holds that owner's commit stamp.  The
+   owner's later status flip then invalidates the entry without moving
+   any stamp — validation must recheck such entries anyway instead of
+   trusting the unchanged stamp (which would let the torn snapshot
+   pass commit-time validation). *)
+let t_inv_published_stamp_race () =
+  let rt = invisible_rt () in
+  let a = Tvar.make 100 in
+  (* Hand-build an enemy frozen between publication and its status
+     CAS: locator installed, commit stamp published, still Active. *)
+  let enemy = Txn.new_attempt (Txn.new_shared ()) in
+  Atomic.set a.Tvar.loc { Tvar.owner = enemy; old_v = 100; new_v = ref 200 };
+  Tvar.bump_version a;
+  Tvar.advance_stamp (Tvar.stamp_cell a) (Tvar.next_stamp ());
+  let attempts = ref 0 in
+  let r =
+    Stm.atomically rt (fun tx ->
+        incr attempts;
+        (* The reader starts after the publication stamp was drawn, so
+           the stamp sits at or below its watermark and can never move
+           again for this commit. *)
+        let x = Stm.read tx a in
+        if !attempts = 1 then begin
+          check_int "resolved the pre-commit value" 100 x;
+          ignore (Txn.try_commit enemy)
+        end;
+        x)
+  in
+  check_int "caught the stamp-free status flip" 2 !attempts;
+  check_int "returns the committed value" 200 r
+
+let t_stamp_monotone () =
+  let cell = Atomic.make 10 in
+  Tvar.advance_stamp cell 5;
+  check_int "lagging publication cannot move a stamp backward" 10 (Atomic.get cell);
+  Tvar.advance_stamp cell 12;
+  check_int "newer stamp still advances" 12 (Atomic.get cell)
+
 (* qcheck: arbitrary interleavings of single-threaded transactions on a
    register behave like plain assignments. *)
 let prop_register_semantics =
@@ -542,6 +582,9 @@ let () =
             t_inv_extension_consistent;
           Alcotest.test_case "torn snapshot aborted" `Quick t_inv_validation_failure;
           Alcotest.test_case "commit-time validation retries" `Quick t_inv_commit_validation;
+          Alcotest.test_case "published stamp under active owner" `Quick
+            t_inv_published_stamp_race;
+          Alcotest.test_case "stamps are monotone" `Quick t_stamp_monotone;
         ] );
       ( "concurrency",
         [
