@@ -1,23 +1,30 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test bench-smoke bench clean
+.PHONY: all build test bench-smoke bench ci clean
+
+# Perf-trajectory point number: `make bench N=2` writes BENCH_2.json.
+N ?= 1
 
 all: build
 
+# @all includes examples/, so example rot is caught by tier-1.
 build:
-	dune build
+	dune build @all
 
 test:
 	dune runtest
 
-# Quick end-to-end bench including the --json emitter and the
-# read-cost A/B probe; used as a smoke test so the JSON path can't rot.
+# Quick end-to-end bench including the --json/--trace emitters, the
+# analyzer CLI over the captured trace, and the read-cost A/B probe;
+# used as a smoke test so none of those paths can rot.
 bench-smoke:
 	dune build @bench-smoke
 
 # Full bench, regenerating the committed perf trajectory point.
 bench:
-	dune exec bench/main.exe -- --quick --no-micro --json BENCH_1.json
+	dune exec bench/main.exe -- --quick --no-micro --json BENCH_$(N).json
+
+ci: build test bench-smoke
 
 clean:
 	dune clean

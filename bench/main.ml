@@ -20,7 +20,11 @@
     [--no-real] skips the live-STM sweeps; [--no-micro] skips
     Bechamel; [--json FILE] additionally writes the live-STM figure
     sweeps (throughput, p50/p99 latency, abort breakdown) as JSON —
-    the perf-trajectory format committed as BENCH_*.json. *)
+    the perf-trajectory format committed as BENCH_*.json;
+    [--trace FILE] captures tcm.trace event dumps of live-STM runs
+    (writes the greedy trace to FILE, JSONL) and prints empirical
+    pending-commit / cascade / wasted-work reports; [--seed N] seeds
+    every live-STM workload (default 42) so captures reproduce. *)
 
 open Tcm_workload
 
@@ -28,20 +32,33 @@ let quick = Array.exists (( = ) "--quick") Sys.argv
 let no_real = Array.exists (( = ) "--no-real") Sys.argv
 let no_micro = Array.exists (( = ) "--no-micro") Sys.argv
 
-let json_path =
+(* Fail fast on a flag with a missing argument: silently dropping
+   --json or --trace would cost a full run and write nothing. *)
+let flag_value name =
   let rec find i =
     if i >= Array.length Sys.argv then None
-    else if Sys.argv.(i) = "--json" then
+    else if Sys.argv.(i) = name then
       if i + 1 < Array.length Sys.argv then Some Sys.argv.(i + 1)
       else begin
-        (* Fail fast: a silently dropped --json would cost a full run
-           and write nothing. *)
-        prerr_endline "bench: --json requires a FILE argument";
+        Printf.eprintf "bench: %s requires an argument\n" name;
         exit 2
       end
     else find (i + 1)
   in
   find 1
+
+let json_path = flag_value "--json"
+let trace_path = flag_value "--trace"
+
+let seed =
+  match flag_value "--seed" with
+  | None -> 42
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n -> n
+      | None ->
+          Printf.eprintf "bench: --seed requires an integer, got %S\n" s;
+          exit 2)
 
 let fmt = Format.std_formatter
 
@@ -62,7 +79,9 @@ let run_sim_figures () =
   List.iter
     (fun spec ->
       let r =
-        Figures.run ~threads_list:sim_threads ~mode:(Figures.Sim { horizon = sim_horizon }) spec
+        Figures.run ~threads_list:sim_threads ~seed
+          ~mode:(Figures.Sim { horizon = sim_horizon })
+          spec
       in
       Report.print_figure fmt r;
       let ws = Report.winners r in
@@ -80,7 +99,7 @@ let run_real_figures () =
   List.iter
     (fun spec ->
       let r =
-        Figures.run ~threads_list:real_threads
+        Figures.run ~threads_list:real_threads ~seed
           ~mode:(Figures.Real { duration_s = real_duration })
           spec
       in
@@ -231,6 +250,7 @@ let run_ablations () =
             structure = Harness.Rbtree_s;
             threads = 4;
             duration_s = real_duration;
+            seed;
             read_mode;
           }
         in
@@ -258,6 +278,7 @@ let run_update_rate_sweep () =
             manager;
             threads = 4;
             duration_s = real_duration;
+            seed;
             update_pct;
           }
         in
@@ -286,6 +307,7 @@ let run_latency_table () =
           manager;
           threads = 4;
           duration_s = real_duration;
+          seed;
         }
       in
       let o = Harness.run cfg in
@@ -366,7 +388,6 @@ let run_json_dump path =
   (* Open the output before the sweeps so a bad path fails fast, not
      after minutes of measurement. *)
   let oc = open_out path in
-  let seed = 42 in
   let figures =
     List.map
       (fun spec ->
@@ -404,6 +425,89 @@ let run_json_dump path =
   output_char oc '\n';
   close_out oc;
   Format.fprintf fmt "wrote %s (%d bytes)@.@." path (String.length doc + 1)
+
+(* ------------------------------------------------------------------ *)
+(* Event traces (--trace FILE)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run_trace_capture path =
+  section (Printf.sprintf "Event traces (tcm.trace) -> %s" path);
+  (* Live STM: the same list workload under three managers.  Visible
+     reads only — invisible validation lets the oldest transaction
+     self-abort, which forfeits the pending-commit property by design. *)
+  let capture manager =
+    Tcm_trace.Sink.start ();
+    let cfg =
+      {
+        Harness.default with
+        structure = Harness.List_s;
+        manager;
+        threads = 4;
+        duration_s = real_duration;
+        seed;
+      }
+    in
+    ignore (Harness.run cfg);
+    Tcm_trace.Sink.stop ();
+    (Tcm_trace.Sink.collect (), Tcm_trace.Sink.drops ())
+  in
+  Format.fprintf fmt "%-12s %8s %6s %9s %10s %11s %11s %13s@." "manager" "events"
+    "drops" "conflicts" "violations" "undecidable" "max-cascade" "wasted-opens";
+  List.iter
+    (fun name ->
+      let manager = Tcm_core.Registry.find_exn name in
+      let trace, drops = capture manager in
+      let pc = Tcm_trace.Analysis.pending_commit trace in
+      let ca = Tcm_trace.Analysis.cascades trace in
+      let wa = Tcm_trace.Analysis.wasted_work trace in
+      Format.fprintf fmt "%-12s %8d %6d %9d %10d %11d %11d %6d/%-6d@." name
+        (Array.length trace) drops pc.Tcm_trace.Analysis.conflicts
+        pc.Tcm_trace.Analysis.violations pc.Tcm_trace.Analysis.undecidable
+        ca.Tcm_trace.Analysis.max_cascade wa.Tcm_trace.Analysis.opens_wasted
+        wa.Tcm_trace.Analysis.opens_total;
+      if name = "greedy" then Tcm_trace.Export.write_jsonl ~drops path trace)
+    [ "greedy"; "backoff"; "aggressive" ];
+  Format.fprintf fmt "(greedy trace -> %s; analyze with bin/tcm_trace.exe)@.@." path;
+
+  (* Deterministic simulator captures: greedy on the Section 4 chain
+     holds pending-commit and the Theorem 9 bound; aggressive on a
+     symmetric duel livelocks and violates it at every decided conflict. *)
+  let s = 6 in
+  let granularity = 2 in
+  let inst, ranks = Tcm_sim.Scenarios.adversarial_chain ~granularity ~s () in
+  Tcm_trace.Sink.start ();
+  ignore (Tcm_sim.Engine.run_instance ~ranks ~policy:(Tcm_sim.Policy.greedy ()) inst);
+  Tcm_trace.Sink.stop ();
+  let chain = Tcm_trace.Sink.collect () in
+  let pc = Tcm_trace.Analysis.pending_commit chain in
+  let mk =
+    Tcm_trace.Analysis.makespan_report
+      ~optimal:(granularity * Tcm_sched.Adversarial.optimal_makespan ~s)
+      ~bound_factor:(Tcm_sched.Bounds.pending_commit_factor ~s)
+      chain
+  in
+  Format.fprintf fmt
+    "sim chain (greedy, s=%d): conflicts=%d violations=%d makespan=%d optimal=%d \
+     ratio=%.2f bound=%d -> %s@."
+    s pc.Tcm_trace.Analysis.conflicts pc.Tcm_trace.Analysis.violations
+    mk.Tcm_trace.Analysis.measured mk.Tcm_trace.Analysis.optimal
+    mk.Tcm_trace.Analysis.ratio mk.Tcm_trace.Analysis.bound_factor
+    (if mk.Tcm_trace.Analysis.within_bound then "within" else "EXCEEDED");
+  Tcm_trace.Sink.start ();
+  let duel =
+    Array.init 2 (fun _ ->
+        fun _ -> Some (Tcm_sim.Spec.txn ~dur:3 [ Tcm_sim.Spec.write ~at:0 ~obj:0 ]))
+  in
+  ignore
+    (Tcm_sim.Engine.run ~horizon:60 ~policy:(Tcm_sim.Policy.aggressive ())
+       ~n_objects:1 duel);
+  Tcm_trace.Sink.stop ();
+  let duel_tr = Tcm_trace.Sink.collect () in
+  let pc2 = Tcm_trace.Analysis.pending_commit duel_tr in
+  Format.fprintf fmt
+    "sim duel (aggressive livelock): conflicts=%d violations=%d (expected: a \
+     non-pending-commit manager)@.@."
+    pc2.Tcm_trace.Analysis.conflicts pc2.Tcm_trace.Analysis.violations
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
@@ -478,6 +582,7 @@ let () =
     run_update_rate_sweep ();
     run_latency_table ()
   end;
+  Option.iter run_trace_capture trace_path;
   if not no_micro then run_micro ();
   Option.iter run_json_dump json_path;
   Format.fprintf fmt "done.@."

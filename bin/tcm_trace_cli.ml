@@ -1,0 +1,101 @@
+(** Analyze and convert tcm.trace dumps (JSONL, as written by
+    [bench/main.exe --trace] or [Tcm_trace.Export.write_jsonl]). *)
+
+open Cmdliner
+
+let load path =
+  try Tcm_trace.Export.read_jsonl path
+  with
+  | Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 2
+  | Failure msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 2
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"Trace dump (JSONL).")
+
+(* check: empirical pending-commit. Live hardware traces can carry rare
+   benign violations from the stale-waiting-flag window (an enemy observes
+   the waiting flag after the wait already ended), so the default exit code
+   is 0 and --strict opts into gating. *)
+let check strict path =
+  let trace, drops = load path in
+  let pc = Tcm_trace.Analysis.pending_commit trace in
+  Printf.printf "events      %d\n" (Array.length trace);
+  if drops > 0 then Printf.printf "drops       %d (trace is incomplete)\n" drops;
+  Printf.printf "conflicts   %d\n" pc.conflicts;
+  Printf.printf "violations  %d\n" pc.violations;
+  Printf.printf "undecidable %d\n" pc.undecidable;
+  if pc.first_violation_seq >= 0 then
+    Printf.printf "first violation at seq %d\n" pc.first_violation_seq;
+  if pc.violations = 0 then
+    print_endline "pending-commit: OK (every conflict saw a live attempt that commits)"
+  else
+    Printf.printf "pending-commit: VIOLATED at %d of %d conflicts\n" pc.violations
+      pc.conflicts;
+  if strict && pc.violations > 0 then exit 1
+
+let strict_arg =
+  Arg.(value & flag & info [ "strict" ] ~doc:"Exit 1 when violations are found.")
+
+let stats path =
+  let trace, drops = load path in
+  if drops > 0 then Printf.printf "drops: %d (trace is incomplete)\n" drops;
+  Tcm_trace.Analysis.pp_summary Format.std_formatter trace
+
+let chrome path out =
+  let trace, _ = load path in
+  Tcm_trace.Export.write_chrome out trace;
+  Printf.printf "wrote %s (%d events; open in chrome://tracing or ui.perfetto.dev)\n" out
+    (Array.length trace)
+
+let out_arg =
+  Arg.(
+    value
+    & opt string "trace_chrome.json"
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+
+let makespan path optimal s =
+  let trace, _ = load path in
+  let bound_factor = Tcm_sched.Bounds.pending_commit_factor ~s in
+  let r = Tcm_trace.Analysis.makespan_report ~optimal ~bound_factor trace in
+  Printf.printf "measured     %d\n" r.measured;
+  Printf.printf "optimal      %d\n" r.optimal;
+  Printf.printf "ratio        %.3f\n" r.ratio;
+  Printf.printf "bound s(s+1)+2 with s=%d: %d (ratio <= %d: %s)\n" s bound_factor
+    bound_factor
+    (if r.within_bound then "yes" else "NO");
+  if not r.within_bound then exit 1
+
+let optimal_arg =
+  Arg.(
+    required
+    & opt (some int) None
+    & info [ "optimal" ] ~docv:"N" ~doc:"Clairvoyant makespan to compare against.")
+
+let s_arg =
+  Arg.(value & opt int 3 & info [ "s" ] ~docv:"S" ~doc:"Max objects any transaction touches.")
+
+let cmds =
+  [
+    Cmd.v
+      (Cmd.info "check" ~doc:"Empirical pending-commit check (Theorem 1) over a trace.")
+      Term.(const check $ strict_arg $ file_arg);
+    Cmd.v
+      (Cmd.info "stats"
+         ~doc:"Event counts, pending-commit, abort cascades, wasted work, makespan.")
+      Term.(const stats $ file_arg);
+    Cmd.v
+      (Cmd.info "chrome" ~doc:"Convert a trace to Chrome trace-event JSON.")
+      Term.(const chrome $ file_arg $ out_arg);
+    Cmd.v
+      (Cmd.info "makespan"
+         ~doc:"Empirical makespan ratio against a clairvoyant optimum and the s(s+1)+2 bound.")
+      Term.(const makespan $ file_arg $ optimal_arg $ s_arg);
+  ]
+
+let () =
+  let doc = "Analyze tcm.trace event dumps." in
+  exit (Cmd.eval (Cmd.group (Cmd.info "tcm-trace" ~doc) cmds))

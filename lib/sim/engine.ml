@@ -39,6 +39,10 @@ type tstate = {
   mutable txn : Spec.txn option;
   mutable timestamp : int;
   mutable attempt : int;  (** Global per-thread attempt counter. *)
+  mutable attempt_uid : int;
+      (** Trace-level attempt identity, from the same counter the STM
+          runtime draws [Txn.attempt_id] from, so merged traces never
+          collide. *)
   mutable status : thread_status;
   mutable progress : int;
   mutable pending : Spec.access list;
@@ -111,6 +115,7 @@ let run ?(horizon = default_horizon) ?(record_grid = false) ?ranks
           txn = None;
           timestamp = max_int;
           attempt = 0;
+          attempt_uid = 0;
           status = Idle_s;
           progress = 0;
           pending = [];
@@ -154,6 +159,8 @@ let run ?(horizon = default_horizon) ?(record_grid = false) ?ranks
 
   let abort (victim : tstate) ~now =
     let halted = is_halted victim in
+    Tcm_trace.Sink.attempt_abort ~txid:victim.timestamp
+      ~attempt:victim.attempt_uid ~tick:now;
     release victim;
     victim.waiting_flag <- false;
     victim.aborts <- victim.aborts + 1;
@@ -178,7 +185,10 @@ let run ?(horizon = default_horizon) ?(record_grid = false) ?ranks
       victim.aborted_this_tick <- true;
       (* Restart (same timestamp, same txn) at the next tick. *)
       victim.status <- Backing_off_s { until = now + 1 };
-      victim.attempt <- victim.attempt + 1
+      victim.attempt <- victim.attempt + 1;
+      victim.attempt_uid <- Tcm_stm.Txid.next_attempt_id ();
+      Tcm_trace.Sink.attempt_begin ~txid:victim.timestamp
+        ~attempt:victim.attempt_uid ~tick:(now + 1)
     end;
     incr total_aborts
   in
@@ -200,7 +210,7 @@ let run ?(horizon = default_horizon) ?(record_grid = false) ?ranks
             | None -> None))
   in
 
-  let do_acquire (t : tstate) (a : Spec.access) =
+  let do_acquire (t : tstate) (a : Spec.access) ~now =
     let o = objs.(a.Spec.obj) in
     (match a.Spec.kind with
     | Spec.Write ->
@@ -215,7 +225,9 @@ let run ?(horizon = default_horizon) ?(record_grid = false) ?ranks
         end);
     t.opens <- t.opens + 1;
     t.priority := !(t.priority) + 1;
-    t.stuck <- 0
+    t.stuck <- 0;
+    Tcm_trace.Sink.acquired ~txid:t.timestamp ~obj:a.Spec.obj
+      ~write:(a.Spec.kind = Spec.Write) ~tick:now
   in
 
   (* Attempt all accesses due at the current progress point.  Returns
@@ -234,7 +246,7 @@ let run ?(horizon = default_horizon) ?(record_grid = false) ?ranks
         else
           match conflict_of t a with
           | None ->
-              do_acquire t a;
+              do_acquire t a ~now;
               t.pending <- rest;
               process_accesses t ~now
           | Some enemy -> (
@@ -242,6 +254,15 @@ let run ?(horizon = default_horizon) ?(record_grid = false) ?ranks
                 policy.Policy.resolve ~me:(view_of t) ~other:(view_of enemy) ~attempts:t.stuck
                   ~now
               in
+              if Tcm_trace.Sink.enabled () then
+                Tcm_trace.Sink.conflict ~me:t.timestamp ~other:enemy.timestamp
+                  ~decision:
+                    (match d with
+                    | Policy.Abort_other -> Tcm_trace.Event.d_abort_other
+                    | Policy.Abort_self -> Tcm_trace.Event.d_abort_self
+                    | Policy.Block _ -> Tcm_trace.Event.d_block
+                    | Policy.Backoff _ -> Tcm_trace.Event.d_backoff)
+                  ~tick:now;
               t.stuck <- t.stuck + 1;
               match d with
               | Policy.Abort_other ->
@@ -250,6 +271,8 @@ let run ?(horizon = default_horizon) ?(record_grid = false) ?ranks
               | Policy.Abort_self -> abort t ~now
               | Policy.Block { timeout } ->
                   t.waiting_flag <- true;
+                  Tcm_trace.Sink.wait_begin ~me:t.timestamp
+                    ~enemy:enemy.timestamp ~tick:now;
                   t.status <-
                     Waiting_s
                       {
@@ -275,6 +298,9 @@ let run ?(horizon = default_horizon) ?(record_grid = false) ?ranks
         t.stuck <- 0;
         t.priority := 0;
         t.attempt <- t.attempt + 1;
+        t.attempt_uid <- Tcm_stm.Txid.next_attempt_id ();
+        Tcm_trace.Sink.attempt_begin ~txid:t.timestamp ~attempt:t.attempt_uid
+          ~tick:now;
         t.status <- Running_s;
         process_accesses t ~now
   in
@@ -304,6 +330,8 @@ let run ?(horizon = default_horizon) ?(record_grid = false) ?ranks
             in
             if resume then begin
               t.waiting_flag <- false;
+              Tcm_trace.Sink.wait_end ~me:t.timestamp
+                ~enemy:threads.(enemy_tid).timestamp ~tick:now;
               t.status <- Running_s;
               process_accesses t ~now
             end)
@@ -321,6 +349,8 @@ let run ?(horizon = default_horizon) ?(record_grid = false) ?ranks
                 t.progress <- t.progress + 1;
                 if t.progress >= txn.Spec.dur then begin
                   release t;
+                  Tcm_trace.Sink.attempt_commit ~txid:t.timestamp
+                    ~attempt:t.attempt_uid ~tick:(now + 1);
                   t.commits <- t.commits + 1;
                   incr total_commits;
                   commit_log := (t.tid, t.txn_index, now + 1) :: !commit_log;

@@ -234,6 +234,8 @@ let wait_step ~round ~cap_usec =
 let block_on tx (other : Txn.t) timeout_usec =
   tick tx.dom.shard ix_blocks;
   Atomic.set tx.txn.Txn.waiting true;
+  Tcm_trace.Sink.wait_begin ~me:(Txn.timestamp tx.txn)
+    ~enemy:(Txn.timestamp other) ~tick:0;
   let cap_usec = tx.rt.config.block_poll_usec in
   let deadline =
     match timeout_usec with
@@ -243,6 +245,8 @@ let block_on tx (other : Txn.t) timeout_usec =
   let rec wait round =
     if not (Txn.is_active tx.txn) then begin
       Atomic.set tx.txn.Txn.waiting false;
+      Tcm_trace.Sink.wait_end ~me:(Txn.timestamp tx.txn)
+        ~enemy:(Txn.timestamp other) ~tick:0;
       raise Abort_attempt
     end;
     if
@@ -255,7 +259,15 @@ let block_on tx (other : Txn.t) timeout_usec =
     end
   in
   wait 0;
-  Atomic.set tx.txn.Txn.waiting false
+  Atomic.set tx.txn.Txn.waiting false;
+  Tcm_trace.Sink.wait_end ~me:(Txn.timestamp tx.txn)
+    ~enemy:(Txn.timestamp other) ~tick:0
+
+let decision_trace_code = function
+  | Decision.Abort_other -> Tcm_trace.Event.d_abort_other
+  | Decision.Abort_self -> Tcm_trace.Event.d_abort_self
+  | Decision.Block _ -> Tcm_trace.Event.d_block
+  | Decision.Backoff _ -> Tcm_trace.Event.d_backoff
 
 (* Execute one contention-manager verdict for a conflict with [other].
    Returns when the caller should re-examine the object. *)
@@ -263,7 +275,12 @@ let resolve_conflict tx ~(other : Txn.t) ~attempts =
   check_self tx;
   tick tx.dom.shard ix_conflicts;
   let (Cm_intf.Packed ((module M), st)) = tx.dom.cm_state in
-  match M.resolve st ~me:tx.txn ~other ~attempts with
+  let verdict = M.resolve st ~me:tx.txn ~other ~attempts in
+  if Tcm_trace.Sink.enabled () then
+    Tcm_trace.Sink.conflict ~me:(Txn.timestamp tx.txn)
+      ~other:(Txn.timestamp other)
+      ~decision:(decision_trace_code verdict) ~tick:0;
+  match verdict with
   | Decision.Abort_other ->
       if Txn.try_abort other then tick tx.dom.shard ix_enemy_aborts
   | Decision.Abort_self ->
@@ -398,6 +415,8 @@ let rec acquire : 'a. tx -> 'a Tvar.t -> int -> 'a Tvar.locator =
              validate_extend tx ~extend:true
            end;
            cm_opened tx;
+           Tcm_trace.Sink.acquired ~txid:(Txn.timestamp tx.txn)
+             ~obj:tvar.Tvar.id ~write:true ~tick:0;
            nloc
          end
          else acquire tx tvar attempts
@@ -555,9 +574,13 @@ let atomically rt f =
         in
         dom.current <- Some tx;
         M.begin_attempt cm_st txn;
+        Tcm_trace.Sink.attempt_begin ~txid:(Txn.timestamp txn)
+          ~attempt:txn.Txn.attempt_id ~tick:0;
         let finish_abort () =
           ignore (Txn.try_abort txn);
           Atomic.set txn.Txn.waiting false;
+          Tcm_trace.Sink.attempt_abort ~txid:(Txn.timestamp txn)
+            ~attempt:txn.Txn.attempt_id ~tick:0;
           tick dom.shard ix_aborts;
           M.aborted cm_st txn;
           dom.current <- None
@@ -566,6 +589,8 @@ let atomically rt f =
         | v ->
             if commit tx then begin
               tick dom.shard ix_commits;
+              Tcm_trace.Sink.attempt_commit ~txid:(Txn.timestamp txn)
+                ~attempt:txn.Txn.attempt_id ~tick:0;
               M.committed cm_st txn;
               dom.current <- None;
               v

@@ -1,0 +1,59 @@
+type kind = Begin | Commit | Abort | Resolve | Wait_begin | Wait_end | Open
+
+type t = { seq : int; dom : int; tick : int; kind : kind; a : int; b : int; c : int }
+
+let slot_words = 6
+
+let kind_code = function
+  | Begin -> 0
+  | Commit -> 1
+  | Abort -> 2
+  | Resolve -> 3
+  | Wait_begin -> 4
+  | Wait_end -> 5
+  | Open -> 6
+
+let kind_of_code = function
+  | 0 -> Begin
+  | 1 -> Commit
+  | 2 -> Abort
+  | 3 -> Resolve
+  | 4 -> Wait_begin
+  | 5 -> Wait_end
+  | 6 -> Open
+  | n -> invalid_arg (Printf.sprintf "Event.kind_of_code: %d" n)
+
+let kind_name = function
+  | Begin -> "begin"
+  | Commit -> "commit"
+  | Abort -> "abort"
+  | Resolve -> "resolve"
+  | Wait_begin -> "wait_begin"
+  | Wait_end -> "wait_end"
+  | Open -> "open"
+
+let kind_of_name = function
+  | "begin" -> Begin
+  | "commit" -> Commit
+  | "abort" -> Abort
+  | "resolve" -> Resolve
+  | "wait_begin" -> Wait_begin
+  | "wait_end" -> Wait_end
+  | "open" -> Open
+  | s -> invalid_arg ("Event.kind_of_name: " ^ s)
+
+let d_abort_other = 0
+let d_abort_self = 1
+let d_block = 2
+let d_backoff = 3
+
+let decision_name = function
+  | 0 -> "abort_other"
+  | 1 -> "abort_self"
+  | 2 -> "block"
+  | 3 -> "backoff"
+  | n -> Printf.sprintf "decision_%d" n
+
+let pp fmt e =
+  Format.fprintf fmt "#%d d%d t%d %s a=%d b=%d c=%d" e.seq e.dom e.tick
+    (kind_name e.kind) e.a e.b e.c

@@ -1,0 +1,34 @@
+(** Fixed-size integer event records shared by the STM runtime and the
+    simulator.  A slot is six ints: [seq; kind; a; b; c; tick].  The meaning
+    of [a]/[b]/[c] depends on [kind]; [tick] is the simulator tick (0 for
+    hardware runs); [seq] is a global order drawn from one atomic counter, so
+    merging per-domain rings by [seq] yields a linearized event order. *)
+
+type kind =
+  | Begin  (** a = txid (logical timestamp), b = attempt uid *)
+  | Commit  (** a = txid, b = attempt uid *)
+  | Abort  (** a = txid, b = attempt uid *)
+  | Resolve  (** a = me txid, b = other txid, c = decision code *)
+  | Wait_begin  (** a = me txid, b = enemy txid *)
+  | Wait_end  (** a = me txid, b = enemy txid (0 if unknown at wakeup) *)
+  | Open  (** locator install: a = txid, b = object id, c = 0 read / 1 write *)
+
+type t = { seq : int; dom : int; tick : int; kind : kind; a : int; b : int; c : int }
+
+val slot_words : int
+(** Ints per ring slot (6: seq, kind, a, b, c, tick). *)
+
+val kind_code : kind -> int
+val kind_of_code : int -> kind
+val kind_name : kind -> string
+val kind_of_name : string -> kind
+
+(** Decision codes carried in [c] of a [Resolve] event. *)
+
+val d_abort_other : int
+val d_abort_self : int
+val d_block : int
+val d_backoff : int
+val decision_name : int -> string
+
+val pp : Format.formatter -> t -> unit

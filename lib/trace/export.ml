@@ -1,0 +1,175 @@
+let schema = "tcm-trace/1"
+
+let output_jsonl ?(drops = 0) oc (trace : Event.t array) =
+  Printf.fprintf oc "{\"schema\":\"%s\",\"events\":%d,\"drops\":%d}\n" schema
+    (Array.length trace) drops;
+  Array.iter
+    (fun (e : Event.t) ->
+      Printf.fprintf oc
+        "{\"seq\":%d,\"dom\":%d,\"tick\":%d,\"kind\":\"%s\",\"a\":%d,\"b\":%d,\"c\":%d}\n"
+        e.seq e.dom e.tick (Event.kind_name e.kind) e.a e.b e.c)
+    trace
+
+let write_jsonl ?drops path trace =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_jsonl ?drops oc trace)
+
+(* Minimal scanners for the fixed shapes we emit; tolerant of key order. *)
+
+let find_sub line pat =
+  let n = String.length line and m = String.length pat in
+  let rec go i =
+    if i + m > n then -1
+    else if String.sub line i m = pat then i
+    else go (i + 1)
+  in
+  go 0
+
+let int_field line key =
+  let pat = "\"" ^ key ^ "\":" in
+  let i = find_sub line pat in
+  if i < 0 then failwith (Printf.sprintf "trace line missing %S: %s" key line)
+  else begin
+    let j = ref (i + String.length pat) in
+    let n = String.length line in
+    let neg = !j < n && line.[!j] = '-' in
+    if neg then incr j;
+    let start = !j in
+    while !j < n && line.[!j] >= '0' && line.[!j] <= '9' do incr j done;
+    if !j = start then failwith ("trace line bad int for " ^ key ^ ": " ^ line);
+    let v = int_of_string (String.sub line start (!j - start)) in
+    if neg then -v else v
+  end
+
+let str_field line key =
+  let pat = "\"" ^ key ^ "\":\"" in
+  let i = find_sub line pat in
+  if i < 0 then failwith (Printf.sprintf "trace line missing %S: %s" key line)
+  else begin
+    let start = i + String.length pat in
+    match String.index_from_opt line start '"' with
+    | None -> failwith ("trace line unterminated string for " ^ key ^ ": " ^ line)
+    | Some stop -> String.sub line start (stop - start)
+  end
+
+let read_jsonl path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let events = ref [] in
+      let drops = ref 0 in
+      (try
+         while true do
+           let line = String.trim (input_line ic) in
+           if line = "" then ()
+           else if find_sub line "\"schema\"" >= 0 then begin
+             let s = str_field line "schema" in
+             if s <> schema then failwith ("unknown trace schema: " ^ s);
+             drops := int_field line "drops"
+           end
+           else
+             events :=
+               {
+                 Event.seq = int_field line "seq";
+                 dom = int_field line "dom";
+                 tick = int_field line "tick";
+                 kind = Event.kind_of_name (str_field line "kind");
+                 a = int_field line "a";
+                 b = int_field line "b";
+                 c = int_field line "c";
+               }
+               :: !events
+         done
+       with End_of_file -> ());
+      let arr = Array.of_list !events in
+      Array.sort (fun (x : Event.t) (y : Event.t) -> compare x.seq y.seq) arr;
+      (arr, !drops))
+
+(* Chrome Trace Event Format. Tracks are domains; attempts and waits are B/E
+   slices, resolves and opens are instants. Waits nest inside attempts, but a
+   waiting attempt can be aborted without a Wait_end event, so slice closure
+   is tracked per track and forced before closing the enclosing attempt. *)
+
+type track = { mutable txn_open : bool; mutable wait_open : bool }
+
+let output_chrome oc (trace : Event.t array) =
+  let tracks : (int, track) Hashtbl.t = Hashtbl.create 16 in
+  let track dom =
+    match Hashtbl.find_opt tracks dom with
+    | Some t -> t
+    | None ->
+      let t = { txn_open = false; wait_open = false } in
+      Hashtbl.add tracks dom t;
+      t
+  in
+  let first = ref true in
+  let emit dom ts ph name cat args =
+    if !first then first := false else output_string oc ",\n";
+    Printf.fprintf oc
+      "{\"pid\":0,\"tid\":%d,\"ts\":%d,\"ph\":\"%s\",\"name\":\"%s\",\"cat\":\"%s\"%s}"
+      dom ts ph name cat
+      (if args = "" then "" else ",\"args\":{" ^ args ^ "}")
+  in
+  let close_wait dom ts =
+    let t = track dom in
+    if t.wait_open then begin
+      t.wait_open <- false;
+      emit dom ts "E" "wait" "wait" ""
+    end
+  in
+  let close_txn dom ts =
+    let t = track dom in
+    close_wait dom ts;
+    if t.txn_open then begin
+      t.txn_open <- false;
+      emit dom ts "E" "tx" "txn" ""
+    end
+  in
+  output_string oc "{\"traceEvents\":[\n";
+  let last_ts = ref 0 in
+  Array.iter
+    (fun (e : Event.t) ->
+      let ts = e.seq in
+      last_ts := ts;
+      match e.kind with
+      | Event.Begin ->
+        close_txn e.dom ts;
+        (track e.dom).txn_open <- true;
+        emit e.dom ts "B" (Printf.sprintf "tx%d" e.a) "txn"
+          (Printf.sprintf "\"txid\":%d,\"attempt\":%d,\"tick\":%d" e.a e.b e.tick)
+      | Event.Commit ->
+        close_wait e.dom ts;
+        (track e.dom).txn_open <- false;
+        emit e.dom ts "E" (Printf.sprintf "tx%d" e.a) "txn"
+          (Printf.sprintf "\"outcome\":\"commit\",\"tick\":%d" e.tick)
+      | Event.Abort ->
+        close_wait e.dom ts;
+        (track e.dom).txn_open <- false;
+        emit e.dom ts "E" (Printf.sprintf "tx%d" e.a) "txn"
+          (Printf.sprintf "\"outcome\":\"abort\",\"tick\":%d" e.tick)
+      | Event.Wait_begin ->
+        close_wait e.dom ts;
+        (track e.dom).wait_open <- true;
+        emit e.dom ts "B" "wait" "wait"
+          (Printf.sprintf "\"me\":%d,\"enemy\":%d,\"tick\":%d" e.a e.b e.tick)
+      | Event.Wait_end -> close_wait e.dom ts
+      | Event.Resolve ->
+        emit e.dom ts "i" ("resolve:" ^ Event.decision_name e.c) "cm"
+          (Printf.sprintf "\"me\":%d,\"other\":%d,\"tick\":%d" e.a e.b e.tick)
+      | Event.Open ->
+        emit e.dom ts "i" "open" "obj"
+          (Printf.sprintf "\"txid\":%d,\"obj\":%d,\"write\":%s,\"tick\":%d" e.a e.b
+             (if e.c = 1 then "true" else "false")
+             e.tick))
+    trace;
+  Hashtbl.iter (fun dom _ -> close_txn dom (!last_ts + 1)) tracks;
+  output_string oc "\n]}\n"
+
+let write_chrome path trace =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_chrome oc trace)

@@ -1,0 +1,22 @@
+(** Trace serialization.
+
+    JSONL: first line is a header
+    [{"schema":"tcm-trace/1","events":N,"drops":D}], then one event object
+    per line with keys [seq dom tick kind a b c].  [read] accepts traces
+    with or without the header and raises [Failure] on malformed lines.
+
+    Chrome: the Trace Event Format (chrome://tracing, Perfetto).  Attempts
+    become duration (B/E) slices named [tx<txid>] on track [dom]; waits
+    become nested slices; resolves and opens become instants.  Timestamps are
+    the linearized [seq] (one unit = 1us); the simulator tick, when present,
+    rides along in [args]. *)
+
+val write_jsonl : ?drops:int -> string -> Event.t array -> unit
+val output_jsonl : ?drops:int -> out_channel -> Event.t array -> unit
+
+val read_jsonl : string -> Event.t array * int
+(** Returns the events (sorted by seq) and the drop count from the header
+    (0 when absent). *)
+
+val write_chrome : string -> Event.t array -> unit
+val output_chrome : out_channel -> Event.t array -> unit

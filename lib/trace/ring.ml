@@ -1,0 +1,56 @@
+type t = {
+  dom : int;
+  mask : int;  (* capacity - 1; capacity is a power of two *)
+  buf : int array;
+  head : int Atomic.t;  (* next event index to consume *)
+  tail : int Atomic.t;  (* next event index to produce *)
+  dropped : int Atomic.t;
+}
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let create ?(capacity = 1 lsl 16) ~dom () =
+  if capacity < 1 then invalid_arg "Ring.create: capacity < 1";
+  let cap = next_pow2 capacity in
+  {
+    dom;
+    mask = cap - 1;
+    buf = Array.make (cap * Event.slot_words) 0;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+    dropped = Atomic.make 0;
+  }
+
+let dom t = t.dom
+let capacity t = t.mask + 1
+
+let push t ~seq ~kind ~a ~b ~c ~tick =
+  let tl = Atomic.get t.tail in
+  if tl - Atomic.get t.head > t.mask then Atomic.incr t.dropped
+  else begin
+    let base = (tl land t.mask) * Event.slot_words in
+    let buf = t.buf in
+    Array.unsafe_set buf base seq;
+    Array.unsafe_set buf (base + 1) kind;
+    Array.unsafe_set buf (base + 2) a;
+    Array.unsafe_set buf (base + 3) b;
+    Array.unsafe_set buf (base + 4) c;
+    Array.unsafe_set buf (base + 5) tick;
+    Atomic.set t.tail (tl + 1)
+  end
+
+let drain t ~f =
+  let h = Atomic.get t.head in
+  let tl = Atomic.get t.tail in
+  for i = h to tl - 1 do
+    let base = (i land t.mask) * Event.slot_words in
+    let buf = t.buf in
+    f ~seq:buf.(base) ~kind:buf.(base + 1) ~a:buf.(base + 2) ~b:buf.(base + 3)
+      ~c:buf.(base + 4) ~tick:buf.(base + 5)
+  done;
+  Atomic.set t.head tl;
+  tl - h
+
+let dropped t = Atomic.get t.dropped

@@ -1,0 +1,29 @@
+(** Single-producer single-consumer ring of fixed-size integer event slots.
+
+    The producer is the domain running transactions; the consumer is whoever
+    calls {!drain} (the collector).  Capacity is rounded up to a power of two.
+    [push] never blocks and never allocates: when the ring is full the event
+    is dropped and counted.  Publication order: slot words are plain writes,
+    made visible by the subsequent [Atomic.set] on [tail] (release);  [drain]
+    reads [tail] (acquire) before touching slots, so it only reads slots whose
+    writes happened-before. *)
+
+type t
+
+val create : ?capacity:int -> dom:int -> unit -> t
+(** [capacity] is in events (default 65536), rounded up to a power of two. *)
+
+val dom : t -> int
+val capacity : t -> int
+
+val push : t -> seq:int -> kind:int -> a:int -> b:int -> c:int -> tick:int -> unit
+(** Producer side. Drops (and counts) when the ring is full. *)
+
+val drain :
+  t -> f:(seq:int -> kind:int -> a:int -> b:int -> c:int -> tick:int -> unit) -> int
+(** Consumer side: calls [f] on every unconsumed event in push order, advances
+    the read cursor, returns the number of events consumed. Safe to call while
+    the producer is still pushing. *)
+
+val dropped : t -> int
+(** Events discarded because the ring was full. *)

@@ -1,0 +1,105 @@
+let enabled_flag = Atomic.make false
+let generation = Atomic.make 0
+let seq = Atomic.make 0
+let default_capacity = 1 lsl 16
+let ring_capacity = ref default_capacity
+
+(* Ring registry. Mutated only on ring creation (once per domain per capture)
+   and on [start]/[collect] from the controlling thread. *)
+let registry : Ring.t list ref = ref []
+let registry_lock = Mutex.create ()
+
+let register r =
+  Mutex.lock registry_lock;
+  registry := r :: !registry;
+  Mutex.unlock registry_lock
+
+type slot = { mutable gen : int; mutable ring : Ring.t option }
+
+let key = Domain.DLS.new_key (fun () -> { gen = -1; ring = None })
+
+let my_ring () =
+  let s = Domain.DLS.get key in
+  let g = Atomic.get generation in
+  match s.ring with
+  | Some r when s.gen = g -> r
+  | _ ->
+    let r = Ring.create ~capacity:!ring_capacity ~dom:(Domain.self () :> int) () in
+    s.gen <- g;
+    s.ring <- Some r;
+    register r;
+    r
+
+let record kind a b c tick =
+  let r = my_ring () in
+  let s = Atomic.fetch_and_add seq 1 in
+  Ring.push r ~seq:s ~kind ~a ~b ~c ~tick
+
+let start ?(capacity = default_capacity) () =
+  Atomic.set enabled_flag false;
+  Mutex.lock registry_lock;
+  registry := [];
+  Mutex.unlock registry_lock;
+  Atomic.incr generation;
+  Atomic.set seq 0;
+  ring_capacity := capacity;
+  Atomic.set enabled_flag true
+
+let stop () = Atomic.set enabled_flag false
+let enabled () = Atomic.get enabled_flag
+
+let collect () =
+  Mutex.lock registry_lock;
+  let rings = !registry in
+  Mutex.unlock registry_lock;
+  let acc = ref [] in
+  List.iter
+    (fun r ->
+      let dom = Ring.dom r in
+      ignore
+        (Ring.drain r ~f:(fun ~seq ~kind ~a ~b ~c ~tick ->
+             acc :=
+               { Event.seq; dom; tick; kind = Event.kind_of_code kind; a; b; c }
+               :: !acc)))
+    rings;
+  let arr = Array.of_list !acc in
+  Array.sort (fun (x : Event.t) (y : Event.t) -> compare x.seq y.seq) arr;
+  arr
+
+let drops () =
+  Mutex.lock registry_lock;
+  let rings = !registry in
+  Mutex.unlock registry_lock;
+  List.fold_left (fun n r -> n + Ring.dropped r) 0 rings
+
+(* Emitters: the [Atomic.get] is the only cost when tracing is off. *)
+
+let k_begin = Event.kind_code Event.Begin
+let k_commit = Event.kind_code Event.Commit
+let k_abort = Event.kind_code Event.Abort
+let k_resolve = Event.kind_code Event.Resolve
+let k_wait_begin = Event.kind_code Event.Wait_begin
+let k_wait_end = Event.kind_code Event.Wait_end
+let k_open = Event.kind_code Event.Open
+
+let[@inline] attempt_begin ~txid ~attempt ~tick =
+  if Atomic.get enabled_flag then record k_begin txid attempt 0 tick
+
+let[@inline] attempt_commit ~txid ~attempt ~tick =
+  if Atomic.get enabled_flag then record k_commit txid attempt 0 tick
+
+let[@inline] attempt_abort ~txid ~attempt ~tick =
+  if Atomic.get enabled_flag then record k_abort txid attempt 0 tick
+
+let[@inline] conflict ~me ~other ~decision ~tick =
+  if Atomic.get enabled_flag then record k_resolve me other decision tick
+
+let[@inline] wait_begin ~me ~enemy ~tick =
+  if Atomic.get enabled_flag then record k_wait_begin me enemy 0 tick
+
+let[@inline] wait_end ~me ~enemy ~tick =
+  if Atomic.get enabled_flag then record k_wait_end me enemy 0 tick
+
+let[@inline] acquired ~txid ~obj ~write ~tick =
+  if Atomic.get enabled_flag then
+    record k_open txid obj (if write then 1 else 0) tick

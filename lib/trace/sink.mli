@@ -1,0 +1,48 @@
+(** Global trace sink: one SPSC {!Ring} per domain, lazily created on first
+    emit and registered with the collector.  Disabled is the default; every
+    emitter is a single [Atomic.get] branch away from a return, so dormant
+    emit sites cost one load on the hot path and allocate nothing.
+
+    Lifecycle is single-controller: one thread (the benchmark driver or a
+    test) calls {!start}, runs traced work, calls {!stop} once the traced
+    domains have quiesced, then {!collect}.  [start] bumps a generation
+    counter, so rings left over from a previous capture are abandoned rather
+    than mixed in.  {!collect} may also be called mid-run: draining is safe
+    against concurrent pushes. *)
+
+val start : ?capacity:int -> unit -> unit
+(** Enable tracing. [capacity] is the per-domain ring capacity in events
+    (default 65536, rounded up to a power of two). Resets the sequence
+    counter and abandons rings from earlier captures. *)
+
+val stop : unit -> unit
+(** Disable tracing. Buffered events stay available to {!collect}. *)
+
+val enabled : unit -> bool
+
+val collect : unit -> Event.t array
+(** Drain every registered ring and return the merged events sorted by [seq]
+    (a linearized order: [seq] comes from one global counter). Repeated calls
+    return only events pushed since the previous drain. *)
+
+val drops : unit -> int
+(** Total events dropped (rings full) across registered rings. *)
+
+(** {1 Emitters}
+
+    All no-ops unless {!start}ed. [tick] is the simulator tick; hardware
+    (STM) emit sites pass [~tick:0]. *)
+
+val attempt_begin : txid:int -> attempt:int -> tick:int -> unit
+val attempt_commit : txid:int -> attempt:int -> tick:int -> unit
+val attempt_abort : txid:int -> attempt:int -> tick:int -> unit
+
+val conflict : me:int -> other:int -> decision:int -> tick:int -> unit
+(** Emitted when a contention manager returns a verdict; [decision] is one of
+    the [Event.d_*] codes. *)
+
+val wait_begin : me:int -> enemy:int -> tick:int -> unit
+val wait_end : me:int -> enemy:int -> tick:int -> unit
+
+val acquired : txid:int -> obj:int -> write:bool -> tick:int -> unit
+(** Locator install / object open. *)

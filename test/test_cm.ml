@@ -278,6 +278,50 @@ let t_registry_unknown_exn () =
        false
      with Invalid_argument _ -> true)
 
+(* Completeness: every manager module in lib/core is registered under
+   its own [name].  This list is the point — adding a manager module
+   without registering it must fail here, which [Registry.names]-driven
+   round-trips cannot catch. *)
+let t_registry_complete () =
+  let modules : Cm_intf.factory list =
+    [
+      (module Greedy);
+      (module Greedy_ft);
+      (module Aggressive);
+      (module Polite);
+      (module Randomized);
+      (module Timid);
+      (module Killblocked);
+      (module Kindergarten);
+      (module Timestamp);
+      (module Karma);
+      (module Eruption);
+      (module Polka);
+      (module Queue_on_block);
+    ]
+  in
+  Alcotest.(check int) "test list covers the registry" (List.length Registry.all)
+    (List.length modules);
+  List.iter
+    (fun m ->
+      let name = Cm_intf.name m in
+      match Registry.find name with
+      | None -> Alcotest.failf "module %s is not registered" name
+      | Some found ->
+          Alcotest.(check string) "registered under its own name" name
+            (Cm_intf.name found))
+    modules
+
+let t_registry_names_unique () =
+  let sorted = List.sort compare Registry.names in
+  let rec dup = function
+    | a :: (b :: _ as rest) -> if a = b then Some a else dup rest
+    | _ -> None
+  in
+  match dup sorted with
+  | Some n -> Alcotest.failf "duplicate registry name %S" n
+  | None -> ()
+
 let t_paper_lineup () =
   Alcotest.(check (list string)) "figure line-up"
     [ "greedy"; "karma"; "eruption"; "aggressive"; "backoff" ]
@@ -329,6 +373,8 @@ let () =
           Alcotest.test_case "case insensitive" `Quick t_registry_case_insensitive;
           Alcotest.test_case "unknown name" `Quick t_registry_unknown;
           Alcotest.test_case "unknown name raises" `Quick t_registry_unknown_exn;
+          Alcotest.test_case "every module registered" `Quick t_registry_complete;
+          Alcotest.test_case "names unique" `Quick t_registry_names_unique;
           Alcotest.test_case "paper line-up" `Quick t_paper_lineup;
         ] );
     ]
