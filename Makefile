@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test bench-smoke bench ci clean
+.PHONY: all build test bench-smoke metrics-smoke bench ci clean
 
 # Perf-trajectory point number: `make bench N=2` writes BENCH_2.json.
 N ?= 1
@@ -20,11 +20,16 @@ test:
 bench-smoke:
 	dune build @bench-smoke
 
+# Short capture with tcm.metrics enabled, pushed through the metrics
+# CLI (health report, Prometheus conversion with parse-back, series).
+metrics-smoke:
+	dune build @metrics-smoke
+
 # Full bench, regenerating the committed perf trajectory point.
 bench:
 	dune exec bench/main.exe -- --quick --no-micro --json BENCH_$(N).json
 
-ci: build test bench-smoke
+ci: build test bench-smoke metrics-smoke
 
 clean:
 	dune clean

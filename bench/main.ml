@@ -23,7 +23,11 @@
     the perf-trajectory format committed as BENCH_*.json;
     [--trace FILE] captures tcm.trace event dumps of live-STM runs
     (writes the greedy trace to FILE, JSONL) and prints empirical
-    pending-commit / cascade / wasted-work reports; [--seed N] seeds
+    pending-commit / cascade / wasted-work reports; [--metrics FILE]
+    runs every registered manager on the list workload plus a short
+    simulator sweep with tcm.metrics enabled, prints the contention
+    health table and writes the snapshot + throughput windows to FILE
+    (JSONL); [--seed N] seeds
     every live-STM workload (default 42) so captures reproduce. *)
 
 open Tcm_workload
@@ -49,6 +53,7 @@ let flag_value name =
 
 let json_path = flag_value "--json"
 let trace_path = flag_value "--trace"
+let metrics_path = flag_value "--metrics"
 
 let seed =
   match flag_value "--seed" with
@@ -510,6 +515,57 @@ let run_trace_capture path =
     pc2.Tcm_trace.Analysis.conflicts pc2.Tcm_trace.Analysis.violations
 
 (* ------------------------------------------------------------------ *)
+(* Metrics capture (--metrics FILE)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let run_metrics_capture path =
+  section (Printf.sprintf "Metrics capture (tcm.metrics) -> %s" path);
+  Tcm_metrics.reset ();
+  Tcm_metrics.enable ();
+  let sampler = Tcm_metrics.Sampler.create ~period_s:0.02 () in
+  Tcm_metrics.Sampler.force sampler;
+  (* Live STM: every registered manager on the list workload, so the
+     health report covers the whole registry from one capture. *)
+  List.iter
+    (fun manager ->
+      let cfg =
+        {
+          Harness.default with
+          structure = Harness.List_s;
+          manager;
+          threads = 2;
+          duration_s = real_duration;
+          seed;
+        }
+      in
+      ignore (Harness.run ~poll:(fun () -> Tcm_metrics.Sampler.poll sampler) cfg))
+    Tcm_core.Registry.all;
+  (* Simulator: the same instrument names under runtime="sim" (ticks),
+     so live and simulated behaviour line up in one snapshot. *)
+  List.iter
+    (fun (p : Tcm_sim.Policy.t) ->
+      let streams =
+        Array.init 4 (fun tid ->
+            fun idx ->
+             if idx >= 20 then None
+             else
+               let obj = if (tid + idx) mod 2 = 0 then 0 else 1 + tid in
+               Some (Tcm_sim.Spec.txn ~dur:3 [ Tcm_sim.Spec.write ~at:0 ~obj ]))
+      in
+      ignore (Tcm_sim.Engine.run ~horizon:5_000 ~policy:p ~n_objects:5 streams))
+    [ Tcm_sim.Policy.greedy (); Tcm_sim.Policy.karma (); Tcm_sim.Policy.aggressive () ];
+  Tcm_metrics.Sampler.force sampler;
+  Tcm_metrics.disable ();
+  let snap = Tcm_metrics.snapshot () in
+  let windows = Tcm_metrics.Sampler.windows sampler in
+  Tcm_metrics.Health.pp fmt (Tcm_metrics.Health.rows snap);
+  Tcm_metrics.Export.write_jsonl ~windows path snap;
+  Format.fprintf fmt "@.wrote %s (%d series, %d windows; analyze with bin/tcm_metrics.exe)@.@."
+    path
+    (List.length snap.Tcm_metrics.Snapshot.entries)
+    (List.length windows)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -583,6 +639,7 @@ let () =
     run_latency_table ()
   end;
   Option.iter run_trace_capture trace_path;
+  Option.iter run_metrics_capture metrics_path;
   if not no_micro then run_micro ();
   Option.iter run_json_dump json_path;
   Format.fprintf fmt "done.@."

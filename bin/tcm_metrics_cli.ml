@@ -1,0 +1,111 @@
+(** Analyze and convert tcm.metrics dumps (JSONL, as written by
+    [bench/main.exe --metrics] or [Tcm_metrics.Export.write_jsonl]). *)
+
+open Cmdliner
+
+let load path =
+  try Tcm_metrics.Export.read_jsonl path
+  with
+  | Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 2
+  | Failure msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 2
+
+let file_arg =
+  Arg.(
+    required & pos 0 (some file) None & info [] ~docv:"METRICS" ~doc:"Metrics dump (JSONL).")
+
+(* report: the contention health table — one row per (manager, runtime)
+   pair present in the snapshot. *)
+let report path =
+  let snap, _ = load path in
+  let rows = Tcm_metrics.Health.rows snap in
+  if rows = [] then begin
+    Printf.eprintf "error: no %s series in %s (was the run captured with metrics enabled?)\n"
+      Tcm_metrics.Conventions.n_attempts path;
+    exit 1
+  end;
+  Tcm_metrics.Health.pp Format.std_formatter rows
+
+(* prom: JSONL -> Prometheus text, then parse the result back as a
+   self-check so a formatting regression fails loudly here rather than
+   in whatever scrapes the file. *)
+let prom path out =
+  let snap, _ = load path in
+  let text = Tcm_metrics.Export.to_prometheus snap in
+  let samples =
+    try Tcm_metrics.Export.parse_prometheus text
+    with Failure msg ->
+      Printf.eprintf "error: emitted Prometheus text does not parse back: %s\n" msg;
+      exit 1
+  in
+  let oc = open_out out in
+  output_string oc text;
+  close_out oc;
+  Printf.printf "wrote %s (%d samples from %d series; parse-back OK)\n" out
+    (List.length samples)
+    (List.length snap.Tcm_metrics.Snapshot.entries)
+
+let out_arg =
+  Arg.(
+    value
+    & opt string "metrics.prom"
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+
+(* series: the sampler's throughput-over-time windows for one counter,
+   rendered as rate per second per label set. *)
+let series path name =
+  let _, windows = load path in
+  let matching =
+    List.filter (fun (w : Tcm_metrics.Sampler.window) -> w.w_name = name) windows
+  in
+  if matching = [] then begin
+    Printf.eprintf "error: no windows for %s in %s (known: %s)\n" name path
+      (String.concat ", "
+         (List.sort_uniq compare
+            (List.map (fun (w : Tcm_metrics.Sampler.window) -> w.w_name) windows)));
+    exit 1
+  end;
+  let t0 =
+    List.fold_left
+      (fun acc (w : Tcm_metrics.Sampler.window) -> Float.min acc w.w_t0)
+      infinity matching
+  in
+  Printf.printf "%-8s %-8s %8s %12s  %s\n" "t0(s)" "t1(s)" "delta" "rate(/s)" "labels";
+  List.iter
+    (fun (w : Tcm_metrics.Sampler.window) ->
+      let dt = w.w_t1 -. w.w_t0 in
+      Printf.printf "%8.3f %8.3f %8d %12.0f  %s\n" (w.w_t0 -. t0) (w.w_t1 -. t0) w.w_delta
+        (if dt > 0. then float_of_int w.w_delta /. dt else 0.)
+        (String.concat ","
+           (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) w.w_labels)))
+    matching
+
+let name_arg =
+  Arg.(
+    value
+    & opt string Tcm_metrics.Conventions.n_commits
+    & info [ "name" ] ~docv:"METRIC" ~doc:"Counter to render (default: commits).")
+
+let cmds =
+  [
+    Cmd.v
+      (Cmd.info "report"
+         ~doc:"Contention health table: abort/commit ratio, wasted work, latency and wait \
+               percentiles, resolve verdicts per manager.")
+      Term.(const report $ file_arg);
+    Cmd.v
+      (Cmd.info "prom"
+         ~doc:"Convert a JSONL dump to Prometheus text exposition format (with parse-back \
+               self-check).")
+      Term.(const prom $ file_arg $ out_arg);
+    Cmd.v
+      (Cmd.info "series" ~doc:"Throughput-over-time windows of one counter.")
+      Term.(const series $ file_arg $ name_arg);
+  ]
+
+let () =
+  let doc = "Analyze tcm.metrics dumps." in
+  exit (Cmd.eval (Cmd.group (Cmd.info "tcm-metrics" ~doc) cmds))

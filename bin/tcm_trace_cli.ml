@@ -24,7 +24,8 @@ let check strict path =
   let trace, drops = load path in
   let pc = Tcm_trace.Analysis.pending_commit trace in
   Printf.printf "events      %d\n" (Array.length trace);
-  if drops > 0 then Printf.printf "drops       %d (trace is incomplete)\n" drops;
+  Printf.printf "drops       %d%s\n" drops
+    (if drops > 0 then " (trace is incomplete)" else "");
   Printf.printf "conflicts   %d\n" pc.conflicts;
   Printf.printf "violations  %d\n" pc.violations;
   Printf.printf "undecidable %d\n" pc.undecidable;
@@ -35,14 +36,22 @@ let check strict path =
   else
     Printf.printf "pending-commit: VIOLATED at %d of %d conflicts\n" pc.violations
       pc.conflicts;
-  if strict && pc.violations > 0 then exit 1
+  (* A trace with drops proves nothing: the missing events could hold
+     the violation.  Strict mode therefore gates on completeness too. *)
+  if drops > 0 then
+    Printf.printf "completeness: %d dropped events%s\n" drops
+      (if strict then " -> FAIL (--strict)" else "");
+  if strict && (pc.violations > 0 || drops > 0) then exit 1
 
 let strict_arg =
-  Arg.(value & flag & info [ "strict" ] ~doc:"Exit 1 when violations are found.")
+  Arg.(
+    value & flag
+    & info [ "strict" ] ~doc:"Exit 1 when violations or dropped events are found.")
 
 let stats path =
   let trace, drops = load path in
-  if drops > 0 then Printf.printf "drops: %d (trace is incomplete)\n" drops;
+  Printf.printf "drops: %d%s\n" drops
+    (if drops > 0 then " (trace is incomplete)" else "");
   Tcm_trace.Analysis.pp_summary Format.std_formatter trace
 
 let chrome path out =

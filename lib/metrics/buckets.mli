@@ -1,0 +1,24 @@
+(** Log2 bucketing: bucket [0] holds [[0, 1]], bucket [i >= 1] holds
+    [[2^i, 2^(i+1) - 1]], the last bucket absorbs everything above its
+    lower bound. *)
+
+val floor_log2 : int -> int
+(** Floor of log2; the argument must be positive. *)
+
+val index : buckets:int -> int -> int
+(** Bucket index for a sample, clamped to [[0, buckets - 1]].
+    Negative samples land in bucket 0. *)
+
+val lower_bound : int -> int
+(** Smallest sample landing in bucket [i] (0 for bucket 0). *)
+
+val upper_bound : buckets:int -> int -> int
+(** Largest sample landing in bucket [i]; [max_int] for the last
+    bucket (rendered as ["+Inf"] by the Prometheus exporter). *)
+
+val percentile : counts:int array -> float -> float
+(** [percentile ~counts p] with [p] in [[0, 100]]: nearest-rank
+    percentile estimated from bucket counts, linearly interpolated
+    inside the winning bucket; [nan] when the histogram is empty.
+    Log2 buckets bound the error: the estimate is within a factor of
+    two of the exact sample percentile. *)

@@ -1,0 +1,110 @@
+(** The standard instrument set shared by the live STM runtime, the
+    deterministic simulator and the workload harness.
+
+    Both runtimes record under the same metric names so a live run and
+    a simulated run of the same workload produce directly comparable
+    series; the [runtime] label ("live" / "sim") keeps their units
+    apart (durations are microseconds on the live runtime and ticks in
+    the simulator).  Handles are created once per component (cold
+    path); every emit helper below is one enabled-check branch and a
+    couple of int stores when metrics are on, a single branch when
+    off. *)
+
+type t = {
+  attempts : Core.Counter.t;
+  commits : Core.Counter.t;
+  aborts : Core.Counter.t;
+  resolve : Core.Counter.t array;  (** Indexed by verdict code 0..3. *)
+  wait_d : Core.Histogram.t;
+  attempt_d : Core.Histogram.t;
+  read_set : Core.Histogram.t;
+}
+
+(* Verdict codes, aligned with [Tcm_trace.Event.d_*]. *)
+let v_abort_other = 0
+let v_abort_self = 1
+let v_block = 2
+let v_backoff = 3
+let verdict_names = [| "abort_other"; "abort_self"; "block"; "backoff" |]
+
+let n_attempts = "tcm_attempts_total"
+let n_commits = "tcm_commits_total"
+let n_aborts = "tcm_aborts_total"
+let n_resolve = "tcm_resolve_total"
+let n_wait = "tcm_wait_duration"
+let n_attempt_d = "tcm_attempt_duration"
+let n_read_set = "tcm_read_set_size"
+
+let for_manager ~runtime manager =
+  let labels = [ ("manager", manager); ("runtime", runtime) ] in
+  {
+    attempts = Core.Counter.create n_attempts ~labels ~help:"Transaction attempts started.";
+    commits = Core.Counter.create n_commits ~labels ~help:"Attempts that committed.";
+    aborts = Core.Counter.create n_aborts ~labels ~help:"Attempts that aborted.";
+    resolve =
+      Array.map
+        (fun v ->
+          Core.Counter.create n_resolve
+            ~labels:(("verdict", v) :: labels)
+            ~help:"Contention-manager verdicts, by kind.")
+        verdict_names;
+    wait_d =
+      Core.Histogram.create n_wait ~labels
+        ~help:"Time blocked behind an enemy (us live / ticks sim).";
+    attempt_d =
+      Core.Histogram.create n_attempt_d ~labels
+        ~help:"Attempt latency, commit or abort (us live / ticks sim).";
+    read_set =
+      Core.Histogram.create n_read_set ~labels
+        ~help:"Objects opened by the committed attempt.";
+  }
+
+let[@inline] attempt_begin h = Core.Counter.incr h.attempts
+
+let[@inline] attempt_commit h ~duration ~read_set =
+  Core.Counter.incr h.commits;
+  Core.Histogram.observe h.attempt_d duration;
+  Core.Histogram.observe h.read_set read_set
+
+let[@inline] attempt_abort h ~duration =
+  Core.Counter.incr h.aborts;
+  Core.Histogram.observe h.attempt_d duration
+
+let[@inline] resolve h code =
+  if code >= 0 && code < Array.length h.resolve then Core.Counter.incr h.resolve.(code)
+
+let[@inline] wait h ~duration = Core.Histogram.observe h.wait_d duration
+
+(* ------------------------------------------------------------------ *)
+(* Per-workload labels (harness)                                       *)
+(* ------------------------------------------------------------------ *)
+
+type workload = {
+  w_commits : Core.Counter.t;
+  w_aborts : Core.Counter.t;
+  w_conflicts : Core.Counter.t;
+  w_elapsed_us : Core.Counter.t;
+}
+
+let for_workload ~workload ~manager =
+  let labels = [ ("workload", workload); ("manager", manager); ("runtime", "live") ] in
+  {
+    w_commits =
+      Core.Counter.create "tcm_workload_commits_total" ~labels
+        ~help:"Committed transactions, per harness workload.";
+    w_aborts =
+      Core.Counter.create "tcm_workload_aborts_total" ~labels
+        ~help:"Aborted attempts, per harness workload.";
+    w_conflicts =
+      Core.Counter.create "tcm_workload_conflicts_total" ~labels
+        ~help:"Conflicts resolved, per harness workload.";
+    w_elapsed_us =
+      Core.Counter.create "tcm_workload_runtime_us_total" ~labels
+        ~help:"Measured wall-clock time, per harness workload.";
+  }
+
+let workload_outcome w ~commits ~aborts ~conflicts ~elapsed_us =
+  Core.Counter.add w.w_commits commits;
+  Core.Counter.add w.w_aborts aborts;
+  Core.Counter.add w.w_conflicts conflicts;
+  Core.Counter.add w.w_elapsed_us elapsed_us

@@ -1,0 +1,45 @@
+(** The standard instrument set shared by the live STM runtime, the
+    simulator and the workload harness: identical metric names, with a
+    [runtime] label ("live" / "sim") separating microsecond series
+    from tick series. *)
+
+type t
+(** Per-(runtime, manager) handles; create once per component. *)
+
+(** Verdict codes, aligned with [Tcm_trace.Event.d_*]. *)
+
+val v_abort_other : int
+val v_abort_self : int
+val v_block : int
+val v_backoff : int
+val verdict_names : string array
+
+(** Metric names (shared with {!Health} and the tests). *)
+
+val n_attempts : string
+val n_commits : string
+val n_aborts : string
+val n_resolve : string
+val n_wait : string
+val n_attempt_d : string
+val n_read_set : string
+
+val for_manager : runtime:string -> string -> t
+
+val attempt_begin : t -> unit
+val attempt_commit : t -> duration:int -> read_set:int -> unit
+val attempt_abort : t -> duration:int -> unit
+
+val resolve : t -> int -> unit
+(** Record one contention-manager verdict by code (out-of-range codes
+    are dropped). *)
+
+val wait : t -> duration:int -> unit
+
+type workload
+(** Per-(workload, manager) counters recorded by the harness. *)
+
+val for_workload : workload:string -> manager:string -> workload
+
+val workload_outcome :
+  workload -> commits:int -> aborts:int -> conflicts:int -> elapsed_us:int -> unit

@@ -1,0 +1,189 @@
+(** The metric registry and its per-domain sharded storage.
+
+    Every registered metric owns a fixed, cache-line-aligned slice of
+    one flat [int array] per domain — the same strided layout as the
+    STM runtime's stats shards: counters sit a cache line apart and a
+    line of slack at each array end keeps them from sharing a line
+    with a neighbouring heap block.  A domain increments only its own
+    shard, so the record path is a plain int store: no CAS, no
+    allocation, no cache-line ping-pong.  {!snapshot} reads the shards
+    from the calling domain, which is a benign race on monotone int
+    cells (plain-int reads cannot tear): a concurrent snapshot may lag
+    a few events, and one ordered after the counting domains' work —
+    joined domains, as in the harness — is exact.
+
+    Disabled (the default) costs one [Atomic.get] and a branch per
+    record call, exactly like [Tcm_trace.Sink]'s emitters; call
+    {!enable} to start counting.  Registration (by [Counter.create] /
+    [Histogram.create]) is the cold path: it takes a mutex and
+    deduplicates on (name, label set), so instrumented components may
+    re-create their handles freely. *)
+
+let line_words = 8 (* ints per 64-byte cache line *)
+
+let enabled_flag = Atomic.make false
+let enable () = Atomic.set enabled_flag true
+let disable () = Atomic.set enabled_flag false
+let[@inline] enabled () = Atomic.get enabled_flag
+
+type kind = K_counter | K_histogram of int  (** payload: bucket count *)
+
+type def = {
+  name : string;
+  help : string;
+  labels : (string * string) list;  (** Canonical (sorted). *)
+  kind : kind;
+  offset : int;  (** Word offset into each shard; line-aligned. *)
+  words : int;  (** Payload words (counter: 1; histogram: buckets + 1). *)
+}
+
+(* Registration state.  [defs] is newest-first; [total_words] includes
+   the leading slack line.  Mutated only under [mu]. *)
+let mu = Mutex.create ()
+let defs : def list ref = ref []
+let by_key : (string, def) Hashtbl.t = Hashtbl.create 64
+let total_words = ref line_words
+
+let key_of name labels =
+  String.concat "\x00" (name :: List.concat_map (fun (k, v) -> [ k; v ]) labels)
+
+let register ~name ~help ~labels kind payload_words =
+  Mutex.lock mu;
+  let labels = Snapshot.canon_labels labels in
+  let k = key_of name labels in
+  let d =
+    match Hashtbl.find_opt by_key k with
+    | Some d ->
+        if d.kind <> kind then begin
+          Mutex.unlock mu;
+          invalid_arg
+            (Printf.sprintf "Tcm_metrics: %s re-registered with a different kind" name)
+        end;
+        d
+    | None ->
+        let offset = !total_words in
+        let lines = (payload_words + line_words - 1) / line_words in
+        total_words := !total_words + (lines * line_words);
+        let d = { name; help; labels; kind; offset; words = payload_words } in
+        Hashtbl.add by_key k d;
+        defs := d :: !defs;
+        d
+  in
+  Mutex.unlock mu;
+  d
+
+(* ------------------------------------------------------------------ *)
+(* Shards                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type shard = { mutable arr : int array }
+
+let shards : shard list Atomic.t = Atomic.make []
+
+let shard_size () = !total_words + line_words (* trailing slack line *)
+
+let dls =
+  Domain.DLS.new_key (fun () ->
+      let s = { arr = Array.make (shard_size ()) 0 } in
+      let rec reg () =
+        let l = Atomic.get shards in
+        if not (Atomic.compare_and_set shards l (s :: l)) then reg ()
+      in
+      reg ();
+      s)
+
+(* The domain's shard array, grown if a metric was registered after
+   the shard was created (rare: instruments register at component
+   creation).  Only the owning domain replaces [arr]; a concurrent
+   snapshot that still reads the old array merely lags. *)
+let[@inline never] grow (d : def) (s : shard) =
+  let n = Array.make (max (shard_size ()) (d.offset + d.words + line_words)) 0 in
+  Array.blit s.arr 0 n 0 (Array.length s.arr);
+  s.arr <- n;
+  n
+
+let[@inline] slots (d : def) =
+  let s = Domain.DLS.get dls in
+  let a = s.arr in
+  if d.offset + d.words <= Array.length a then a else grow d s
+
+let reset () =
+  List.iter (fun s -> Array.fill s.arr 0 (Array.length s.arr) 0) (Atomic.get shards)
+
+(* ------------------------------------------------------------------ *)
+(* Metric handles                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Counter = struct
+  type t = def
+
+  let create ?(help = "") ?(labels = []) name = register ~name ~help ~labels K_counter 1
+
+  let[@inline] add c n =
+    if Atomic.get enabled_flag then begin
+      let a = slots c in
+      a.(c.offset) <- a.(c.offset) + n
+    end
+
+  let[@inline] incr c = add c 1
+end
+
+module Histogram = struct
+  type t = def
+
+  (* 24 log2 buckets span [0, 2^23): ~8.4 s in microseconds, and any
+     plausible tick or read-set count; the last bucket absorbs the
+     rest. *)
+  let default_buckets = 24
+
+  let create ?(help = "") ?(labels = []) ?(buckets = default_buckets) name =
+    if buckets < 2 then invalid_arg "Histogram.create: need at least 2 buckets";
+    register ~name ~help ~labels (K_histogram buckets) (buckets + 1)
+
+  let[@inline] observe h v =
+    if Atomic.get enabled_flag then begin
+      let a = slots h in
+      let b = h.words - 1 in
+      let i = Buckets.index ~buckets:b v in
+      a.(h.offset + i) <- a.(h.offset + i) + 1;
+      a.(h.offset + b) <- a.(h.offset + b) + if v > 0 then v else 0
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot: merge the shards                                          *)
+(* ------------------------------------------------------------------ *)
+
+let snapshot () : Snapshot.t =
+  Mutex.lock mu;
+  let ds = List.rev !defs in
+  Mutex.unlock mu;
+  let shard_arrays = List.map (fun s -> s.arr) (Atomic.get shards) in
+  let entries =
+    List.map
+      (fun d ->
+        let value =
+          match d.kind with
+          | K_counter ->
+              Snapshot.Counter
+                (List.fold_left
+                   (fun acc a -> if d.offset < Array.length a then acc + a.(d.offset) else acc)
+                   0 shard_arrays)
+          | K_histogram b ->
+              let counts = Array.make b 0 in
+              let sum = ref 0 in
+              List.iter
+                (fun a ->
+                  if d.offset + b < Array.length a then begin
+                    for i = 0 to b - 1 do
+                      counts.(i) <- counts.(i) + a.(d.offset + i)
+                    done;
+                    sum := !sum + a.(d.offset + b)
+                  end)
+                shard_arrays;
+              Snapshot.Histogram { Snapshot.counts; sum = !sum }
+        in
+        { Snapshot.name = d.name; labels = d.labels; help = d.help; value })
+      ds
+  in
+  { Snapshot.time = Unix.gettimeofday (); entries }

@@ -1,0 +1,46 @@
+(** The metric registry and its per-domain sharded storage.
+
+    Counters and histograms allocate fixed cache-line-aligned slices
+    of one flat [int array] per domain (the STM stats-shard layout);
+    the record path is a plain int store by the owning domain, one
+    [Atomic.get] + branch when metrics are disabled (the default), and
+    never allocates.  Registration deduplicates on (name, label set)
+    under a mutex, so components may re-create handles freely. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Zero every shard (all series).  Registered metrics survive. *)
+
+module Counter : sig
+  type t
+
+  val create : ?help:string -> ?labels:(string * string) list -> string -> t
+  (** Idempotent per (name, label set).
+      @raise Invalid_argument if the series exists as a histogram. *)
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+end
+
+module Histogram : sig
+  type t
+
+  val default_buckets : int
+  (** 24: log2 buckets spanning [0, 2^23), last bucket unbounded. *)
+
+  val create :
+    ?help:string -> ?labels:(string * string) list -> ?buckets:int -> string -> t
+
+  val observe : t -> int -> unit
+  (** Record one sample (negative samples count in bucket 0 and add
+      nothing to the sum). *)
+end
+
+val snapshot : unit -> Snapshot.t
+(** Merge every domain's shard into a point-in-time snapshot.  Safe to
+    call concurrently with recording: a concurrent snapshot may lag a
+    few events; one ordered after the recording domains joined is
+    exact. *)

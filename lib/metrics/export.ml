@@ -1,0 +1,347 @@
+(** Exporters: Prometheus text exposition format and JSONL, plus the
+    matching parsers (the smoke tests and the CLI re-read both
+    formats, so neither can rot silently). *)
+
+let schema = "tcm-metrics/1"
+
+(* ------------------------------------------------------------------ *)
+(* Shared string helpers                                               *)
+(* ------------------------------------------------------------------ *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let find_sub line pat =
+  let n = String.length line and m = String.length pat in
+  let rec go i =
+    if i + m > n then -1 else if String.sub line i m = pat then i else go (i + 1)
+  in
+  go 0
+
+(* Scan a double-quoted string starting at [line.[j] = '"']; returns
+   the unescaped contents and the index past the closing quote. *)
+let scan_string line j =
+  let n = String.length line in
+  if j >= n || line.[j] <> '"' then failwith ("expected string at: " ^ line);
+  let buf = Buffer.create 16 in
+  let rec go j =
+    if j >= n then failwith ("unterminated string: " ^ line)
+    else
+      match line.[j] with
+      | '"' -> (Buffer.contents buf, j + 1)
+      | '\\' when j + 1 < n ->
+          Buffer.add_char buf
+            (match line.[j + 1] with 'n' -> '\n' | 't' -> '\t' | 'r' -> '\r' | c -> c);
+          go (j + 2)
+      | c ->
+          Buffer.add_char buf c;
+          go (j + 1)
+  in
+  go (j + 1)
+
+let num_end line start =
+  let n = String.length line in
+  let j = ref start in
+  while
+    !j < n
+    &&
+    match line.[!j] with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  do
+    incr j
+  done;
+  !j
+
+let int_field line key =
+  let pat = "\"" ^ key ^ "\":" in
+  let i = find_sub line pat in
+  if i < 0 then failwith (Printf.sprintf "metrics line missing %S: %s" key line)
+  else
+    let start = i + String.length pat in
+    let stop = num_end line start in
+    if stop = start then failwith ("metrics line bad int for " ^ key ^ ": " ^ line)
+    else int_of_string (String.sub line start (stop - start))
+
+let float_field line key =
+  let pat = "\"" ^ key ^ "\":" in
+  let i = find_sub line pat in
+  if i < 0 then failwith (Printf.sprintf "metrics line missing %S: %s" key line)
+  else
+    let start = i + String.length pat in
+    let stop = num_end line start in
+    if stop = start then failwith ("metrics line bad number for " ^ key ^ ": " ^ line)
+    else float_of_string (String.sub line start (stop - start))
+
+let str_field line key =
+  let pat = "\"" ^ key ^ "\":" in
+  let i = find_sub line pat in
+  if i < 0 then failwith (Printf.sprintf "metrics line missing %S: %s" key line)
+  else fst (scan_string line (i + String.length pat))
+
+(* The {"k":"v",...} object after "labels": *)
+let labels_field line =
+  let pat = "\"labels\":{" in
+  let i = find_sub line pat in
+  if i < 0 then failwith ("metrics line missing labels: " ^ line)
+  else begin
+    let n = String.length line in
+    let rec pairs acc j =
+      if j >= n then failwith ("unterminated labels: " ^ line)
+      else
+        match line.[j] with
+        | '}' -> List.rev acc
+        | ',' -> pairs acc (j + 1)
+        | '"' ->
+            let k, j = scan_string line j in
+            if j >= n || line.[j] <> ':' then failwith ("bad label pair: " ^ line);
+            let v, j = scan_string line (j + 1) in
+            pairs ((k, v) :: acc) j
+        | _ -> failwith ("bad labels object: " ^ line)
+    in
+    pairs [] (i + String.length pat)
+  end
+
+(* The [a,b,...] int array after "counts": *)
+let counts_field line =
+  let pat = "\"counts\":[" in
+  let i = find_sub line pat in
+  if i < 0 then failwith ("metrics line missing counts: " ^ line)
+  else begin
+    let n = String.length line in
+    let rec ints acc j =
+      if j >= n then failwith ("unterminated counts: " ^ line)
+      else
+        match line.[j] with
+        | ']' -> List.rev acc
+        | ',' -> ints acc (j + 1)
+        | _ ->
+            let stop = num_end line j in
+            if stop = j then failwith ("bad counts array: " ^ line)
+            else ints (int_of_string (String.sub line j (stop - j)) :: acc) stop
+    in
+    Array.of_list (ints [] (i + String.length pat))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* JSONL                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let labels_json labels =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v)) labels)
+  ^ "}"
+
+let output_jsonl ?(windows = []) oc (s : Snapshot.t) =
+  Printf.fprintf oc "{\"schema\":\"%s\",\"time\":%.6f,\"entries\":%d,\"windows\":%d}\n"
+    schema s.Snapshot.time
+    (List.length s.Snapshot.entries)
+    (List.length windows);
+  List.iter
+    (fun (e : Snapshot.entry) ->
+      match e.value with
+      | Snapshot.Counter v ->
+          Printf.fprintf oc "{\"type\":\"counter\",\"name\":\"%s\",\"labels\":%s,\"value\":%d}\n"
+            (escape e.name) (labels_json e.labels) v
+      | Snapshot.Histogram h ->
+          Printf.fprintf oc
+            "{\"type\":\"histogram\",\"name\":\"%s\",\"labels\":%s,\"sum\":%d,\"counts\":[%s]}\n"
+            (escape e.name) (labels_json e.labels) h.Snapshot.sum
+            (String.concat "," (Array.to_list (Array.map string_of_int h.Snapshot.counts))))
+    s.Snapshot.entries;
+  List.iter
+    (fun (w : Sampler.window) ->
+      Printf.fprintf oc
+        "{\"type\":\"window\",\"name\":\"%s\",\"labels\":%s,\"t0\":%.6f,\"t1\":%.6f,\"delta\":%d}\n"
+        (escape w.Sampler.w_name)
+        (labels_json w.Sampler.w_labels)
+        w.Sampler.w_t0 w.Sampler.w_t1 w.Sampler.w_delta)
+    windows
+
+let write_jsonl ?windows path s =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_jsonl ?windows oc s)
+
+let read_jsonl path : Snapshot.t * Sampler.window list =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let time = ref 0. in
+      let entries = ref [] in
+      let windows = ref [] in
+      (try
+         while true do
+           let line = String.trim (input_line ic) in
+           if line = "" then ()
+           else if find_sub line "\"schema\"" >= 0 then begin
+             let s = str_field line "schema" in
+             if s <> schema then failwith ("unknown metrics schema: " ^ s);
+             time := float_field line "time"
+           end
+           else
+             match str_field line "type" with
+             | "counter" ->
+                 entries :=
+                   {
+                     Snapshot.name = str_field line "name";
+                     labels = Snapshot.canon_labels (labels_field line);
+                     help = "";
+                     value = Snapshot.Counter (int_field line "value");
+                   }
+                   :: !entries
+             | "histogram" ->
+                 entries :=
+                   {
+                     Snapshot.name = str_field line "name";
+                     labels = Snapshot.canon_labels (labels_field line);
+                     help = "";
+                     value =
+                       Snapshot.Histogram
+                         { Snapshot.counts = counts_field line; sum = int_field line "sum" };
+                   }
+                   :: !entries
+             | "window" ->
+                 windows :=
+                   {
+                     Sampler.w_name = str_field line "name";
+                     w_labels = Snapshot.canon_labels (labels_field line);
+                     w_t0 = float_field line "t0";
+                     w_t1 = float_field line "t1";
+                     w_delta = int_field line "delta";
+                   }
+                   :: !windows
+             | t -> failwith ("unknown metrics line type: " ^ t)
+         done
+       with End_of_file -> ());
+      ( { Snapshot.time = !time; entries = List.rev !entries },
+        List.rev !windows ))
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition format                                   *)
+(* ------------------------------------------------------------------ *)
+
+let prom_labels = function
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape v)) labels)
+      ^ "}"
+
+(* Group families: the exposition format wants every sample of one
+   metric name contiguous, after its HELP/TYPE header. *)
+let to_prometheus (s : Snapshot.t) =
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let names = ref [] in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Snapshot.entry) ->
+      if not (Hashtbl.mem seen e.Snapshot.name) then begin
+        Hashtbl.add seen e.Snapshot.name ();
+        names := e.Snapshot.name :: !names
+      end)
+    s.Snapshot.entries;
+  List.iter
+    (fun name ->
+      let family =
+        List.filter (fun (e : Snapshot.entry) -> e.Snapshot.name = name) s.Snapshot.entries
+      in
+      (match family with
+      | [] -> ()
+      | e :: _ ->
+          if e.help <> "" then out "# HELP %s %s\n" name e.help;
+          out "# TYPE %s %s\n" name
+            (match e.value with Snapshot.Counter _ -> "counter" | _ -> "histogram"));
+      List.iter
+        (fun (e : Snapshot.entry) ->
+          match e.value with
+          | Snapshot.Counter v -> out "%s%s %d\n" name (prom_labels e.labels) v
+          | Snapshot.Histogram h ->
+              let buckets = Array.length h.counts in
+              let cum = ref 0 in
+              Array.iteri
+                (fun i c ->
+                  cum := !cum + c;
+                  let le =
+                    if i = buckets - 1 then "+Inf"
+                    else string_of_int (Buckets.upper_bound ~buckets i)
+                  in
+                  out "%s_bucket%s %d\n" name
+                    (prom_labels (e.labels @ [ ("le", le) ]))
+                    !cum)
+                h.counts;
+              out "%s_sum%s %d\n" name (prom_labels e.labels) h.Snapshot.sum;
+              out "%s_count%s %d\n" name (prom_labels e.labels) !cum)
+        family)
+    (List.rev !names);
+  Buffer.contents buf
+
+let write_prometheus path s =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_prometheus s))
+
+type prom_sample = {
+  s_name : string;
+  s_labels : (string * string) list;
+  s_value : float;
+}
+
+(* Line parser for the exposition format we emit (name{labels} value);
+   comments and blank lines are skipped. *)
+let parse_prometheus text : prom_sample list =
+  let lines = String.split_on_char '\n' text in
+  List.filter_map
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then None
+      else begin
+        let n = String.length line in
+        let name_end = ref 0 in
+        while
+          !name_end < n
+          &&
+          match line.[!name_end] with
+          | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+          | _ -> false
+        do
+          incr name_end
+        done;
+        if !name_end = 0 then failwith ("bad prometheus line: " ^ line);
+        let name = String.sub line 0 !name_end in
+        let labels, j =
+          if !name_end < n && line.[!name_end] = '{' then begin
+            let rec pairs acc j =
+              if j >= n then failwith ("unterminated prometheus labels: " ^ line)
+              else
+                match line.[j] with
+                | '}' -> (List.rev acc, j + 1)
+                | ',' | ' ' -> pairs acc (j + 1)
+                | _ ->
+                    let stop = String.index_from line j '=' in
+                    let k = String.sub line j (stop - j) in
+                    let v, j = scan_string line (stop + 1) in
+                    pairs ((k, v) :: acc) j
+            in
+            pairs [] (!name_end + 1)
+          end
+          else ([], !name_end)
+        in
+        let rest = String.trim (String.sub line j (n - j)) in
+        let value = if rest = "+Inf" then infinity else float_of_string rest in
+        Some { s_name = name; s_labels = labels; s_value = value }
+      end)
+    lines

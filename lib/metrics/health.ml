@@ -1,0 +1,104 @@
+(** The contention health report: one row per (manager, runtime) pair
+    found in a snapshot, summarizing commit/abort balance, wasted
+    work, latency percentiles and the resolve-verdict mix — the
+    at-a-glance answer to "which manager is healthy under this
+    contention regime". *)
+
+type row = {
+  manager : string;
+  runtime : string;  (** "live" (durations in us) or "sim" (ticks). *)
+  attempts : int;
+  commits : int;
+  aborts : int;
+  abort_commit_ratio : float;  (** [aborts /. commits]; [inf] when commits = 0. *)
+  wasted_frac : float;
+      (** Fraction of attempts that aborted — work thrown away. *)
+  attempt_p50 : float;
+  attempt_p99 : float;
+  wait_p50 : float;  (** [nan] when the manager never blocked. *)
+  wait_p99 : float;
+  read_set_p50 : float;
+  verdicts : (string * int) list;  (** Resolve breakdown, by verdict name. *)
+}
+
+let ratio a b = if b = 0 then if a = 0 then 0. else infinity else float_of_int a /. float_of_int b
+
+let pcts h p = match h with None -> nan | Some h -> Snapshot.hist_percentile h p
+
+let row_of (s : Snapshot.t) ~manager ~runtime : row =
+  let labels = [ ("manager", manager); ("runtime", runtime) ] in
+  let c name = Snapshot.counter_value s ~name ~labels in
+  let h name = Snapshot.hist_value s ~name ~labels in
+  let attempts = c Conventions.n_attempts in
+  let commits = c Conventions.n_commits in
+  let aborts = c Conventions.n_aborts in
+  let attempt_d = h Conventions.n_attempt_d in
+  let wait_d = h Conventions.n_wait in
+  let read_set = h Conventions.n_read_set in
+  {
+    manager;
+    runtime;
+    attempts;
+    commits;
+    aborts;
+    abort_commit_ratio = ratio aborts commits;
+    wasted_frac = ratio aborts attempts;
+    attempt_p50 = pcts attempt_d 50.;
+    attempt_p99 = pcts attempt_d 99.;
+    wait_p50 = pcts wait_d 50.;
+    wait_p99 = pcts wait_d 99.;
+    read_set_p50 = pcts read_set 50.;
+    verdicts =
+      Array.to_list
+        (Array.map
+           (fun v ->
+             ( v,
+               Snapshot.counter_value s ~name:Conventions.n_resolve
+                 ~labels:(("verdict", v) :: labels) ))
+           Conventions.verdict_names);
+  }
+
+(* (manager, runtime) pairs, in first-appearance order of the
+   attempts counter — i.e. instrument registration order. *)
+let managers (s : Snapshot.t) : (string * string) list =
+  List.filter_map
+    (fun (e : Snapshot.entry) ->
+      if e.Snapshot.name = Conventions.n_attempts then
+        match (Snapshot.label e "manager", Snapshot.label e "runtime") with
+        | Some m, Some r -> Some (m, r)
+        | _ -> None
+      else None)
+    s.Snapshot.entries
+
+(* Idle series (registered — e.g. by a run with metrics disabled — but
+   never recorded into) carry no health signal; drop their rows. *)
+let rows (s : Snapshot.t) : row list =
+  List.filter
+    (fun r -> r.attempts > 0)
+    (List.map (fun (manager, runtime) -> row_of s ~manager ~runtime) (managers s))
+
+let fnum v =
+  if Float.is_nan v then "-"
+  else if v = infinity then "inf"
+  else if v >= 1000. then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.1f" v
+
+let pp fmt (rows : row list) =
+  Format.fprintf fmt
+    "%-14s %-5s %9s %9s %8s %6s %7s %8s %8s %8s %8s %6s  %s@." "manager" "rt"
+    "attempts" "commits" "aborts" "ab/cm" "wasted%" "p50-att" "p99-att" "p50-wait"
+    "p99-wait" "p50-rs" "verdicts other/self/block/backoff";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt
+        "%-14s %-5s %9d %9d %8d %6s %6.1f%% %8s %8s %8s %8s %6s  %s@." r.manager
+        r.runtime r.attempts r.commits r.aborts
+        (fnum r.abort_commit_ratio)
+        (100. *. r.wasted_frac)
+        (fnum r.attempt_p50) (fnum r.attempt_p99) (fnum r.wait_p50) (fnum r.wait_p99)
+        (fnum r.read_set_p50)
+        (String.concat "/" (List.map (fun (_, n) -> string_of_int n) r.verdicts)))
+    rows;
+  Format.fprintf fmt
+    "(durations: us on runtime=live, ticks on runtime=sim; p50-rs = median read-set \
+     size at commit)@."

@@ -1,0 +1,29 @@
+(** Contention health report: one row per (manager, runtime) pair in a
+    snapshot — abort/commit ratio, wasted-work fraction, latency and
+    wait percentiles, and the resolve-verdict breakdown. *)
+
+type row = {
+  manager : string;
+  runtime : string;  (** "live" (durations in us) or "sim" (ticks). *)
+  attempts : int;
+  commits : int;
+  aborts : int;
+  abort_commit_ratio : float;  (** [inf] when commits = 0 and aborts > 0. *)
+  wasted_frac : float;  (** Fraction of attempts that aborted. *)
+  attempt_p50 : float;
+  attempt_p99 : float;
+  wait_p50 : float;  (** [nan] when the manager never blocked. *)
+  wait_p99 : float;
+  read_set_p50 : float;
+  verdicts : (string * int) list;
+}
+
+val managers : Snapshot.t -> (string * string) list
+(** (manager, runtime) pairs found in the snapshot, in registration
+    order. *)
+
+val rows : Snapshot.t -> row list
+(** One row per pair from {!managers} that recorded at least one
+    attempt (idle registered series are dropped). *)
+
+val pp : Format.formatter -> row list -> unit

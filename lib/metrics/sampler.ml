@@ -1,0 +1,69 @@
+(** Windowed sampler: periodic snapshots turned into per-window counter
+    deltas — the throughput-over-time series a Figures 1–4 style plot
+    needs.
+
+    Pull-based: the driving thread calls {!poll} from its wait loop
+    (e.g. the harness duration wait); a snapshot is taken whenever at
+    least [period_s] elapsed since the previous one.  {!force} brackets
+    a run with exact start/end points. *)
+
+type window = {
+  w_t0 : float;
+  w_t1 : float;
+  w_name : string;
+  w_labels : (string * string) list;
+  w_delta : int;
+}
+
+type t = {
+  period_s : float;
+  mutable snaps : Snapshot.t list;  (** Newest first. *)
+  mutable last : float;
+}
+
+let create ?(period_s = 0.05) () = { period_s; snaps = []; last = neg_infinity }
+
+let force t =
+  let s = Core.snapshot () in
+  t.snaps <- s :: t.snaps;
+  t.last <- s.Snapshot.time
+
+let poll t = if Unix.gettimeofday () -. t.last >= t.period_s then force t
+
+let snapshots t = List.rev t.snaps
+
+(* Adjacent-pair counter deltas; zero deltas are dropped so idle
+   series don't bloat the export. *)
+let windows t : window list =
+  let rec pairs acc = function
+    | s0 :: (s1 :: _ as rest) ->
+        let d = Snapshot.diff ~earlier:s0 ~later:s1 in
+        let ws =
+          List.filter_map
+            (fun (e : Snapshot.entry) ->
+              match e.value with
+              | Snapshot.Counter v when v > 0 ->
+                  Some
+                    {
+                      w_t0 = s0.Snapshot.time;
+                      w_t1 = s1.Snapshot.time;
+                      w_name = e.name;
+                      w_labels = e.labels;
+                      w_delta = v;
+                    }
+              | _ -> None)
+            d.Snapshot.entries
+        in
+        pairs (ws :: acc) rest
+    | _ -> List.concat (List.rev acc)
+  in
+  pairs [] (snapshots t)
+
+(* Per-window deltas of one series, oldest first. *)
+let series t ~name ~labels =
+  let labels = Snapshot.canon_labels labels in
+  List.filter_map
+    (fun w ->
+      if w.w_name = name && w.w_labels = labels then Some (w.w_t0, w.w_t1, w.w_delta)
+      else None)
+    (windows t)

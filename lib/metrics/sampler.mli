@@ -1,0 +1,33 @@
+(** Windowed sampler: periodic snapshots turned into per-window
+    counter deltas (throughput-over-time series).  Pull-based — the
+    driving thread calls {!poll} from its wait loop. *)
+
+type window = {
+  w_t0 : float;
+  w_t1 : float;
+  w_name : string;
+  w_labels : (string * string) list;
+  w_delta : int;
+}
+
+type t
+
+val create : ?period_s:float -> unit -> t
+(** [period_s] defaults to 0.05 s. *)
+
+val poll : t -> unit
+(** Snapshot if at least [period_s] elapsed since the last one. *)
+
+val force : t -> unit
+(** Snapshot unconditionally (bracket a run with exact endpoints). *)
+
+val snapshots : t -> Snapshot.t list
+(** Oldest first. *)
+
+val windows : t -> window list
+(** Adjacent-pair counter deltas, oldest window first; zero deltas are
+    dropped. *)
+
+val series :
+  t -> name:string -> labels:(string * string) list -> (float * float * int) list
+(** The windows of one series: [(t0, t1, delta)], oldest first. *)

@@ -1,0 +1,105 @@
+(** Point-in-time aggregation of the metric registry.
+
+    A snapshot is plain data: the shard merge in [Core.snapshot]
+    produces one, the exporters consume one, and [merge]/[diff] turn
+    several into cross-process aggregates or windowed deltas.  Series
+    are keyed by (name, canonical label set); values add pointwise, so
+    [merge] is associative and commutative. *)
+
+type hist = { counts : int array; sum : int }
+(** [counts.(i)] samples in log2 bucket [i] (see {!Buckets}); [sum]
+    the total of all raw samples, for means. *)
+
+type value = Counter of int | Histogram of hist
+
+type entry = {
+  name : string;
+  labels : (string * string) list;  (** Sorted (canonical). *)
+  help : string;
+  value : value;
+}
+
+type t = { time : float; entries : entry list }
+
+let canon_labels l = List.sort compare l
+let key (e : entry) = (e.name, e.labels)
+let label (e : entry) k = List.assoc_opt k e.labels
+
+let empty = { time = 0.; entries = [] }
+
+let find t ~name ~labels =
+  let labels = canon_labels labels in
+  List.find_opt (fun e -> e.name = name && e.labels = labels) t.entries
+
+let counter_value t ~name ~labels =
+  match find t ~name ~labels with
+  | Some { value = Counter v; _ } -> v
+  | _ -> 0
+
+let hist_value t ~name ~labels =
+  match find t ~name ~labels with
+  | Some { value = Histogram h; _ } -> Some h
+  | _ -> None
+
+let hist_count (h : hist) = Array.fold_left ( + ) 0 h.counts
+let hist_percentile (h : hist) p = Buckets.percentile ~counts:h.counts p
+
+let hist_mean (h : hist) =
+  match hist_count h with
+  | 0 -> nan
+  | n -> float_of_int h.sum /. float_of_int n
+
+let merge_value a b =
+  match (a, b) with
+  | Counter x, Counter y -> Counter (x + y)
+  | Histogram x, Histogram y ->
+      let n = max (Array.length x.counts) (Array.length y.counts) in
+      let counts =
+        Array.init n (fun i ->
+            (if i < Array.length x.counts then x.counts.(i) else 0)
+            + if i < Array.length y.counts then y.counts.(i) else 0)
+      in
+      Histogram { counts; sum = x.sum + y.sum }
+  | _ -> invalid_arg "Snapshot.merge: counter/histogram kind mismatch for a series"
+
+(* [later - earlier], clamped at zero (a reset between the two
+   snapshots would otherwise produce negative deltas). *)
+let sub_value later earlier =
+  match (later, earlier) with
+  | Counter x, Counter y -> Counter (max 0 (x - y))
+  | Histogram x, Histogram y ->
+      let counts =
+        Array.mapi
+          (fun i c -> max 0 (c - if i < Array.length y.counts then y.counts.(i) else 0))
+          x.counts
+      in
+      Histogram { counts; sum = max 0 (x.sum - y.sum) }
+  | v, _ -> v
+
+let merge a b =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (e : entry) -> Hashtbl.replace tbl (key e) e.value) b.entries;
+  let merged_a =
+    List.map
+      (fun e ->
+        match Hashtbl.find_opt tbl (key e) with
+        | Some v ->
+            Hashtbl.remove tbl (key e);
+            { e with value = merge_value e.value v }
+        | None -> e)
+      a.entries
+  in
+  let rest = List.filter (fun e -> Hashtbl.mem tbl (key e)) b.entries in
+  { time = Float.max a.time b.time; entries = merged_a @ rest }
+
+let diff ~earlier ~later =
+  {
+    later with
+    entries =
+      List.map
+        (fun (e : entry) ->
+          match find earlier ~name:e.name ~labels:e.labels with
+          | Some pe -> { e with value = sub_value e.value pe.value }
+          | None -> e)
+        later.entries;
+  }

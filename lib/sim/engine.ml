@@ -28,7 +28,12 @@ type cell = { attempt : int; kind : cell_kind }
 type thread_status =
   | Idle_s
   | Running_s
-  | Waiting_s of { obj : int; enemy : int * int; deadline : int option }
+  | Waiting_s of {
+      obj : int;
+      enemy : int * int;
+      deadline : int option;
+      since : int;  (** Tick the wait started — the wait-duration sample. *)
+    }
   | Backing_off_s of { until : int }
   | Finished_s
 
@@ -44,6 +49,11 @@ type tstate = {
           runtime draws [Txn.attempt_id] from, so merged traces never
           collide. *)
   mutable status : thread_status;
+  mutable attempt_start : int;  (** Tick the current attempt began (metrics). *)
+  mutable opens_base : int;
+      (** [opens] at the current attempt's start; the difference is the
+          attempt's read-set size ([opens] itself is cumulative, the
+          policies read it as pressure). *)
   mutable progress : int;
   mutable pending : Spec.access list;
   mutable held : int list;  (** Objects owned for writing. *)
@@ -93,6 +103,9 @@ let run ?(horizon = default_horizon) ?(record_grid = false) ?ranks
     ?(ts_on_restart = `Keep) ~(policy : Policy.t) ~n_objects
     (streams : (int -> Spec.txn option) array) : result =
   let n = Array.length streams in
+  (* Same instrument names as the live runtime; runtime="sim" keeps the
+     units (ticks vs us) apart in the registry. *)
+  let mx = Tcm_metrics.Conventions.for_manager ~runtime:"sim" policy.Policy.name in
   let ts_counter =
     (* Later transactions must be younger than any explicit rank. *)
     ref (match ranks with None -> 0 | Some r -> Array.fold_left max 0 r)
@@ -117,6 +130,8 @@ let run ?(horizon = default_horizon) ?(record_grid = false) ?ranks
           attempt = 0;
           attempt_uid = 0;
           status = Idle_s;
+          attempt_start = 0;
+          opens_base = 0;
           progress = 0;
           pending = [];
           held = [];
@@ -161,6 +176,7 @@ let run ?(horizon = default_horizon) ?(record_grid = false) ?ranks
     let halted = is_halted victim in
     Tcm_trace.Sink.attempt_abort ~txid:victim.timestamp
       ~attempt:victim.attempt_uid ~tick:now;
+    Tcm_metrics.Conventions.attempt_abort mx ~duration:(now - victim.attempt_start);
     release victim;
     victim.waiting_flag <- false;
     victim.aborts <- victim.aborts + 1;
@@ -187,6 +203,9 @@ let run ?(horizon = default_horizon) ?(record_grid = false) ?ranks
       victim.status <- Backing_off_s { until = now + 1 };
       victim.attempt <- victim.attempt + 1;
       victim.attempt_uid <- Tcm_stm.Txid.next_attempt_id ();
+      victim.attempt_start <- now + 1;
+      victim.opens_base <- victim.opens;
+      Tcm_metrics.Conventions.attempt_begin mx;
       Tcm_trace.Sink.attempt_begin ~txid:victim.timestamp
         ~attempt:victim.attempt_uid ~tick:(now + 1)
     end;
@@ -254,15 +273,18 @@ let run ?(horizon = default_horizon) ?(record_grid = false) ?ranks
                 policy.Policy.resolve ~me:(view_of t) ~other:(view_of enemy) ~attempts:t.stuck
                   ~now
               in
+              (* Trace decision codes double as metrics verdict codes. *)
+              let dcode =
+                match d with
+                | Policy.Abort_other -> Tcm_trace.Event.d_abort_other
+                | Policy.Abort_self -> Tcm_trace.Event.d_abort_self
+                | Policy.Block _ -> Tcm_trace.Event.d_block
+                | Policy.Backoff _ -> Tcm_trace.Event.d_backoff
+              in
               if Tcm_trace.Sink.enabled () then
                 Tcm_trace.Sink.conflict ~me:t.timestamp ~other:enemy.timestamp
-                  ~decision:
-                    (match d with
-                    | Policy.Abort_other -> Tcm_trace.Event.d_abort_other
-                    | Policy.Abort_self -> Tcm_trace.Event.d_abort_self
-                    | Policy.Block _ -> Tcm_trace.Event.d_block
-                    | Policy.Backoff _ -> Tcm_trace.Event.d_backoff)
-                  ~tick:now;
+                  ~decision:dcode ~tick:now;
+              Tcm_metrics.Conventions.resolve mx dcode;
               t.stuck <- t.stuck + 1;
               match d with
               | Policy.Abort_other ->
@@ -279,6 +301,7 @@ let run ?(horizon = default_horizon) ?(record_grid = false) ?ranks
                         obj = a.Spec.obj;
                         enemy = (enemy.tid, enemy.attempt);
                         deadline = Option.map (fun d -> now + d) timeout;
+                        since = now;
                       }
               | Policy.Backoff d ->
                   t.status <- Backing_off_s { until = now + max 1 d }))
@@ -299,6 +322,9 @@ let run ?(horizon = default_horizon) ?(record_grid = false) ?ranks
         t.priority := 0;
         t.attempt <- t.attempt + 1;
         t.attempt_uid <- Tcm_stm.Txid.next_attempt_id ();
+        t.attempt_start <- now;
+        t.opens_base <- t.opens;
+        Tcm_metrics.Conventions.attempt_begin mx;
         Tcm_trace.Sink.attempt_begin ~txid:t.timestamp ~attempt:t.attempt_uid
           ~tick:now;
         t.status <- Running_s;
@@ -318,7 +344,7 @@ let run ?(horizon = default_horizon) ?(record_grid = false) ?ranks
               t.status <- Running_s;
               process_accesses t ~now
             end
-        | Waiting_s { obj; enemy = enemy_tid, enemy_attempt; deadline } ->
+        | Waiting_s { obj; enemy = enemy_tid, enemy_attempt; deadline; since } ->
             let resume =
               (match objs.(obj).owner with
               | None -> true
@@ -330,6 +356,7 @@ let run ?(horizon = default_horizon) ?(record_grid = false) ?ranks
             in
             if resume then begin
               t.waiting_flag <- false;
+              Tcm_metrics.Conventions.wait mx ~duration:(now - since);
               Tcm_trace.Sink.wait_end ~me:t.timestamp
                 ~enemy:threads.(enemy_tid).timestamp ~tick:now;
               t.status <- Running_s;
@@ -351,6 +378,9 @@ let run ?(horizon = default_horizon) ?(record_grid = false) ?ranks
                   release t;
                   Tcm_trace.Sink.attempt_commit ~txid:t.timestamp
                     ~attempt:t.attempt_uid ~tick:(now + 1);
+                  Tcm_metrics.Conventions.attempt_commit mx
+                    ~duration:(now + 1 - t.attempt_start)
+                    ~read_set:(t.opens - t.opens_base);
                   t.commits <- t.commits + 1;
                   incr total_commits;
                   commit_log := (t.tid, t.txn_index, now + 1) :: !commit_log;

@@ -139,6 +139,9 @@ type t = {
 and per_domain = {
   cm_state : Cm_intf.packed;
   shard : shard;
+  mx : Tcm_metrics.Conventions.t;
+      (** Metric handles for this runtime's manager; every emit is a
+          single enabled-check branch while metrics are off. *)
   mutable current : tx option;
 }
 
@@ -160,6 +163,9 @@ and tx = {
   mutable write_stamps : int Atomic.t list;
       (** Stamp cells of variables acquired this attempt, bulk-bumped
           at commit publication (invisible mode only). *)
+  mutable n_opens : int;
+      (** Objects opened by this attempt (reads and writes) — the
+          read-set-size sample recorded at commit. *)
 }
 
 let create ?(config = default_config) cm =
@@ -172,7 +178,12 @@ let create ?(config = default_config) cm =
           if not (Atomic.compare_and_set shards l (shard :: l)) then register ()
         in
         register ();
-        { cm_state = Cm_intf.instantiate cm; shard; current = None })
+        {
+          cm_state = Cm_intf.instantiate cm;
+          shard;
+          mx = Tcm_metrics.Conventions.for_manager ~runtime:"live" (Cm_intf.name cm);
+          current = None;
+        })
   in
   { config; cm; shards; dls }
 
@@ -236,6 +247,17 @@ let block_on tx (other : Txn.t) timeout_usec =
   Atomic.set tx.txn.Txn.waiting true;
   Tcm_trace.Sink.wait_begin ~me:(Txn.timestamp tx.txn)
     ~enemy:(Txn.timestamp other) ~tick:0;
+  (* Wall clock only when metrics are on; the spin loop itself never
+     consults it. *)
+  let m_t0 = if Tcm_metrics.enabled () then Unix.gettimeofday () else 0. in
+  let finish () =
+    Atomic.set tx.txn.Txn.waiting false;
+    Tcm_trace.Sink.wait_end ~me:(Txn.timestamp tx.txn)
+      ~enemy:(Txn.timestamp other) ~tick:0;
+    if m_t0 > 0. then
+      Tcm_metrics.Conventions.wait tx.dom.mx
+        ~duration:(int_of_float ((Unix.gettimeofday () -. m_t0) *. 1e6))
+  in
   let cap_usec = tx.rt.config.block_poll_usec in
   let deadline =
     match timeout_usec with
@@ -244,9 +266,7 @@ let block_on tx (other : Txn.t) timeout_usec =
   in
   let rec wait round =
     if not (Txn.is_active tx.txn) then begin
-      Atomic.set tx.txn.Txn.waiting false;
-      Tcm_trace.Sink.wait_end ~me:(Txn.timestamp tx.txn)
-        ~enemy:(Txn.timestamp other) ~tick:0;
+      finish ();
       raise Abort_attempt
     end;
     if
@@ -259,9 +279,7 @@ let block_on tx (other : Txn.t) timeout_usec =
     end
   in
   wait 0;
-  Atomic.set tx.txn.Txn.waiting false;
-  Tcm_trace.Sink.wait_end ~me:(Txn.timestamp tx.txn)
-    ~enemy:(Txn.timestamp other) ~tick:0
+  finish ()
 
 let decision_trace_code = function
   | Decision.Abort_other -> Tcm_trace.Event.d_abort_other
@@ -276,10 +294,12 @@ let resolve_conflict tx ~(other : Txn.t) ~attempts =
   tick tx.dom.shard ix_conflicts;
   let (Cm_intf.Packed ((module M), st)) = tx.dom.cm_state in
   let verdict = M.resolve st ~me:tx.txn ~other ~attempts in
+  (* The trace decision codes double as the metrics verdict codes. *)
   if Tcm_trace.Sink.enabled () then
     Tcm_trace.Sink.conflict ~me:(Txn.timestamp tx.txn)
       ~other:(Txn.timestamp other)
       ~decision:(decision_trace_code verdict) ~tick:0;
+  Tcm_metrics.Conventions.resolve tx.dom.mx (decision_trace_code verdict);
   match verdict with
   | Decision.Abort_other ->
       if Txn.try_abort other then tick tx.dom.shard ix_enemy_aborts
@@ -294,6 +314,7 @@ let resolve_conflict tx ~(other : Txn.t) ~attempts =
       check_self tx
 
 let cm_opened tx =
+  tx.n_opens <- tx.n_opens + 1;
   Txn.record_open tx.txn;
   let (Cm_intf.Packed ((module M), st)) = tx.dom.cm_state in
   M.opened st tx.txn
@@ -570,17 +591,25 @@ let atomically rt f =
             valid_upto = Tvar.now ();
             n_fragile = 0;
             write_stamps = [];
+            n_opens = 0;
           }
         in
         dom.current <- Some tx;
         M.begin_attempt cm_st txn;
         Tcm_trace.Sink.attempt_begin ~txid:(Txn.timestamp txn)
           ~attempt:txn.Txn.attempt_id ~tick:0;
+        (* Attempt latency: the clock is read only while metrics are
+           enabled; [0.] doubles as the "disabled" sentinel. *)
+        let m_t0 = if Tcm_metrics.enabled () then Unix.gettimeofday () else 0. in
+        let m_us () = int_of_float ((Unix.gettimeofday () -. m_t0) *. 1e6) in
+        Tcm_metrics.Conventions.attempt_begin dom.mx;
         let finish_abort () =
           ignore (Txn.try_abort txn);
           Atomic.set txn.Txn.waiting false;
           Tcm_trace.Sink.attempt_abort ~txid:(Txn.timestamp txn)
             ~attempt:txn.Txn.attempt_id ~tick:0;
+          if m_t0 > 0. then
+            Tcm_metrics.Conventions.attempt_abort dom.mx ~duration:(m_us ());
           tick dom.shard ix_aborts;
           M.aborted cm_st txn;
           dom.current <- None
@@ -591,6 +620,9 @@ let atomically rt f =
               tick dom.shard ix_commits;
               Tcm_trace.Sink.attempt_commit ~txid:(Txn.timestamp txn)
                 ~attempt:txn.Txn.attempt_id ~tick:0;
+              if m_t0 > 0. then
+                Tcm_metrics.Conventions.attempt_commit dom.mx ~duration:(m_us ())
+                  ~read_set:tx.n_opens;
               M.committed cm_st txn;
               dom.current <- None;
               v

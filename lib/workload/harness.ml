@@ -90,7 +90,11 @@ let spin n =
   done;
   if !acc = -1 then Atomic.incr sink
 
-let run (cfg : config) : outcome =
+(* Polling granularity for the measurement wait: fine enough for the
+   metrics sampler's windows, coarse enough to stay out of the way. *)
+let poll_step_s = 0.01
+
+let run ?poll (cfg : config) : outcome =
   let config = { Runtime.default_config with read_mode = cfg.read_mode } in
   let rt = Stm.create ~config cfg.manager in
   let ops = make_ops cfg.structure in
@@ -134,13 +138,35 @@ let run (cfg : config) : outcome =
   in
   let t0 = Unix.gettimeofday () in
   let doms = List.init cfg.threads (fun tid -> Domain.spawn (body tid)) in
-  Unix.sleepf cfg.duration_s;
+  (match poll with
+  | None -> Unix.sleepf cfg.duration_s
+  | Some poll ->
+      (* Poll from the driver thread so samplers see throughput evolve
+         without a background thread of their own. *)
+      let deadline = t0 +. cfg.duration_s in
+      let rec loop () =
+        let left = deadline -. Unix.gettimeofday () in
+        if left > 0. then begin
+          Unix.sleepf (Float.min poll_step_s left);
+          poll ();
+          loop ()
+        end
+      in
+      loop ());
   Atomic.set stop true;
   List.iter Domain.join doms;
   let elapsed = Unix.gettimeofday () -. t0 in
   let s = Stm.stats rt in
   let commits = Array.fold_left ( + ) 0 per_thread in
   let all_latencies = Array.fold_left (fun acc l -> List.rev_append l acc) [] latencies in
+  let wx =
+    Tcm_metrics.Conventions.for_workload
+      ~workload:(structure_name cfg.structure)
+      ~manager:(Cm_intf.name cfg.manager)
+  in
+  Tcm_metrics.Conventions.workload_outcome wx ~commits ~aborts:s.Runtime.n_aborts
+    ~conflicts:s.Runtime.n_conflicts
+    ~elapsed_us:(int_of_float (elapsed *. 1e6));
   {
     commits;
     aborts = s.Runtime.n_aborts;

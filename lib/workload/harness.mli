@@ -43,4 +43,8 @@ type outcome = {
 val make_ops : structure -> Tcm_structures.Intset.ops
 (** A fresh instance of the structure with its operation closures. *)
 
-val run : config -> outcome
+val run : ?poll:(unit -> unit) -> config -> outcome
+(** [?poll] is called from the driver thread every ~10 ms during the
+    measurement window — hook for {!Tcm_metrics.Sampler.poll} so
+    throughput-over-time windows can be cut without a background
+    thread. *)

@@ -32,12 +32,15 @@ let median xs = percentile 50. xs
     of red-black-forest transaction lengths. *)
 let cv xs = match mean xs with 0. -> 0. | m -> stddev xs /. m
 
+(* The range is closed at both ends: a sample exactly at [hi] lands in
+   the last bucket rather than being dropped (p100 of a latency sample
+   IS the max — losing it skewed every tail histogram). *)
 let histogram ~buckets ~lo ~hi xs =
   let h = Array.make buckets 0 in
   let w = (hi -. lo) /. float_of_int buckets in
   List.iter
     (fun x ->
-      if x >= lo && x < hi then
+      if x >= lo && x <= hi then
         let b = int_of_float ((x -. lo) /. w) in
         h.(min (buckets - 1) b) <- h.(min (buckets - 1) b) + 1)
     xs;

@@ -15,3 +15,6 @@ val cv : float list -> float
     red-black forest's transaction-length variance. *)
 
 val histogram : buckets:int -> lo:float -> hi:float -> float list -> int array
+(** Equal-width buckets over the closed range [[lo, hi]]; a sample
+    exactly at [hi] counts in the last bucket.  Samples outside the
+    range are dropped. *)

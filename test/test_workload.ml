@@ -53,6 +53,14 @@ let t_histogram () =
   let h = Stats.histogram ~buckets:4 ~lo:0. ~hi:4. [ 0.5; 1.5; 1.6; 3.9; 7. ] in
   Alcotest.(check (array int)) "buckets" [| 1; 2; 0; 1 |] h
 
+let t_histogram_upper_edge () =
+  (* Regression: a sample exactly at [hi] (the p100 of a latency run)
+     must land in the last bucket, not vanish. *)
+  let h = Stats.histogram ~buckets:4 ~lo:0. ~hi:4. [ 0.; 4. ] in
+  Alcotest.(check (array int)) "both edges kept" [| 1; 0; 0; 1 |] h;
+  let n = Array.fold_left ( + ) 0 (Stats.histogram ~buckets:8 ~lo:0. ~hi:10. [ 10.; 10. ]) in
+  check_int "no sample at hi dropped" 2 n
+
 (* ------------------------------------------------------------------ *)
 (* Harness (live STM)                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -233,6 +241,7 @@ let () =
           Alcotest.test_case "json emitter" `Quick t_json_emit;
           Alcotest.test_case "coefficient of variation" `Quick t_cv;
           Alcotest.test_case "histogram" `Quick t_histogram;
+          Alcotest.test_case "histogram upper edge" `Quick t_histogram_upper_edge;
         ] );
       ( "harness",
         [
