@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test bench-smoke metrics-smoke bench ci clean
+.PHONY: all build test bench-smoke metrics-smoke write-smoke bench ci clean
 
 # Perf-trajectory point number: `make bench N=2` writes BENCH_2.json.
 N ?= 1
@@ -25,11 +25,16 @@ bench-smoke:
 metrics-smoke:
 	dune build @metrics-smoke
 
+# Allocation regression gate: minor words per committed transaction on
+# the pooled write path must stay under the budget in write_cost.ml.
+write-smoke:
+	dune build @write-smoke
+
 # Full bench, regenerating the committed perf trajectory point.
 bench:
 	dune exec bench/main.exe -- --quick --no-micro --json BENCH_$(N).json
 
-ci: build test bench-smoke metrics-smoke
+ci: build test bench-smoke metrics-smoke write-smoke
 
 clean:
 	dune clean

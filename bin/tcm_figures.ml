@@ -6,6 +6,7 @@
     tcm_figures fig1
     tcm_figures fig3 --mode real --threads 1,2,4 --duration 0.2
     tcm_figures all --mode sim --horizon 8000
+    tcm_figures --summary BENCH.json
     v} *)
 
 open Cmdliner
@@ -35,10 +36,83 @@ let seed_arg =
   let doc = "Random seed." in
   Arg.(value & opt int 42 & info [ "seed" ] ~doc)
 
+let summary_arg =
+  let doc =
+    "Summarize a bench JSON dump (bench/main.exe --json) instead of running figures: \
+     per-figure throughput and, on schema tcm-bench/2, GC words per committed \
+     transaction.  Accepts schema tcm-bench/1 and tcm-bench/2."
+  in
+  Arg.(value & opt (some file) None & info [ "summary" ] ~docv:"FILE" ~doc)
+
 let parse_threads s =
   String.split_on_char ',' s |> List.filter (fun x -> x <> "") |> List.map int_of_string
 
-let run figure mode threads duration horizon seed =
+(* ------------------------------------------------------------------ *)
+(* --summary: re-read a bench dump (tcm-bench/1 or /2)                 *)
+(* ------------------------------------------------------------------ *)
+
+let known_schemas = [ "tcm-bench/1"; "tcm-bench/2" ]
+
+let num = function
+  | Some (Report.Json.Int i) -> float_of_int i
+  | Some (Report.Json.Float f) -> f
+  | _ -> nan
+
+let jstr = function Some (Report.Json.Str s) -> s | _ -> "?"
+
+let jarr = function Some (Report.Json.Arr xs) -> xs | _ -> []
+
+let per_commit words commits =
+  if Float.is_nan words || commits <= 0. then "-"
+  else Printf.sprintf "%.1f" (words /. commits)
+
+let summarize path =
+  let ic = open_in_bin path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let j =
+    match Report.Json.of_string text with
+    | j -> j
+    | exception Report.Json.Parse_error msg ->
+        Printf.eprintf "%s: malformed JSON (%s)\n" path msg;
+        exit 2
+  in
+  let open Report.Json in
+  let schema = jstr (member "schema" j) in
+  if not (List.mem schema known_schemas) then begin
+    Printf.eprintf "%s: unknown schema %S (expected %s)\n" path schema
+      (String.concat " or " known_schemas);
+    exit 2
+  end;
+  Printf.printf "bench dump %s (schema %s, mode %s, seed %.0f)\n" path schema
+    (jstr (member "mode" j))
+    (num (member "seed" j));
+  List.iter
+    (fun fig ->
+      Printf.printf "\n== %s: %s ==\n" (jstr (member "id" fig)) (jstr (member "title" fig));
+      Printf.printf "%8s %-14s %12s %10s %12s %12s\n" "threads" "manager" "throughput"
+        "commits" "minor-w/txn" "major-w/txn";
+      List.iter
+        (fun row ->
+          let threads = num (member "threads" row) in
+          List.iter
+            (fun m ->
+              let commits = num (member "commits" m) in
+              (* tcm-bench/1 rows have no words fields; render "-". *)
+              Printf.printf "%8.0f %-14s %12.1f %10.0f %12s %12s\n" threads
+                (jstr (member "name" m))
+                (num (member "throughput" m))
+                commits
+                (per_commit (num (member "minor_words" m)) commits)
+                (per_commit (num (member "major_words" m)) commits))
+            (jarr (member "managers" row)))
+        (jarr (member "rows" fig)))
+    (jarr (member "figures" j))
+
+let run_figures figure mode threads duration horizon seed =
   let specs =
     match figure with
     | "all" -> Figures.all
@@ -64,10 +138,17 @@ let run figure mode threads duration horizon seed =
       Report.print_figure Format.std_formatter r)
     specs
 
+let run summary figure mode threads duration horizon seed =
+  match summary with
+  | Some path -> summarize path
+  | None -> run_figures figure mode threads duration horizon seed
+
 let cmd =
   let doc = "Reproduce the figures of 'Toward a Theory of Transactional Contention Managers'." in
   Cmd.v
     (Cmd.info "tcm-figures" ~doc)
-    Term.(const run $ figure_arg $ mode_arg $ threads_arg $ duration_arg $ horizon_arg $ seed_arg)
+    Term.(
+      const run $ summary_arg $ figure_arg $ mode_arg $ threads_arg $ duration_arg
+      $ horizon_arg $ seed_arg)
 
 let () = exit (Cmd.eval cmd)

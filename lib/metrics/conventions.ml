@@ -15,6 +15,7 @@ type t = {
   commits : Core.Counter.t;
   aborts : Core.Counter.t;
   resolve : Core.Counter.t array;  (** Indexed by verdict code 0..3. *)
+  pool : Core.Counter.t array;  (** Indexed by pool-event code 0..2. *)
   wait_d : Core.Histogram.t;
   attempt_d : Core.Histogram.t;
   read_set : Core.Histogram.t;
@@ -27,10 +28,20 @@ let v_block = 2
 let v_backoff = 3
 let verdict_names = [| "abort_other"; "abort_self"; "block"; "backoff" |]
 
+(* Locator-pool event codes: [hit] = write acquired a recycled locator,
+   [miss] = the freelist was empty (or every candidate hazard-held) and
+   a locator was freshly allocated, [recycled] = a displaced dead
+   locator was returned to the freelist. *)
+let p_hit = 0
+let p_miss = 1
+let p_recycled = 2
+let pool_event_names = [| "hit"; "miss"; "recycled" |]
+
 let n_attempts = "tcm_attempts_total"
 let n_commits = "tcm_commits_total"
 let n_aborts = "tcm_aborts_total"
 let n_resolve = "tcm_resolve_total"
+let n_pool = "tcm_pool_total"
 let n_wait = "tcm_wait_duration"
 let n_attempt_d = "tcm_attempt_duration"
 let n_read_set = "tcm_read_set_size"
@@ -48,6 +59,13 @@ let for_manager ~runtime manager =
             ~labels:(("verdict", v) :: labels)
             ~help:"Contention-manager verdicts, by kind.")
         verdict_names;
+    pool =
+      Array.map
+        (fun e ->
+          Core.Counter.create n_pool
+            ~labels:(("event", e) :: labels)
+            ~help:"Locator-pool events: hit / miss / recycled.")
+        pool_event_names;
     wait_d =
       Core.Histogram.create n_wait ~labels
         ~help:"Time blocked behind an enemy (us live / ticks sim).";
@@ -74,6 +92,9 @@ let[@inline] resolve h code =
   if code >= 0 && code < Array.length h.resolve then Core.Counter.incr h.resolve.(code)
 
 let[@inline] wait h ~duration = Core.Histogram.observe h.wait_d duration
+
+let[@inline] pool_event h code =
+  if code >= 0 && code < Array.length h.pool then Core.Counter.incr h.pool.(code)
 
 (* ------------------------------------------------------------------ *)
 (* Per-workload labels (harness)                                       *)

@@ -14,12 +14,20 @@ val v_block : int
 val v_backoff : int
 val verdict_names : string array
 
+(** Locator-pool event codes ([tcm_pool_total{event=...}]). *)
+
+val p_hit : int
+val p_miss : int
+val p_recycled : int
+val pool_event_names : string array
+
 (** Metric names (shared with {!Health} and the tests). *)
 
 val n_attempts : string
 val n_commits : string
 val n_aborts : string
 val n_resolve : string
+val n_pool : string
 val n_wait : string
 val n_attempt_d : string
 val n_read_set : string
@@ -35,6 +43,10 @@ val resolve : t -> int -> unit
     are dropped). *)
 
 val wait : t -> duration:int -> unit
+
+val pool_event : t -> int -> unit
+(** Record one locator-pool event by code (out-of-range codes are
+    dropped). *)
 
 type workload
 (** Per-(workload, manager) counters recorded by the harness. *)

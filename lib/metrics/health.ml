@@ -18,6 +18,10 @@ type row = {
   wait_p50 : float;  (** [nan] when the manager never blocked. *)
   wait_p99 : float;
   read_set_p50 : float;
+  pool_eff : float;
+      (** Locator-pool efficiency, [hits /. (hits + misses)]; [nan]
+          when the runtime never took a locator (read-only load, or a
+          sim run — the simulator has no locator pool). *)
   verdicts : (string * int) list;  (** Resolve breakdown, by verdict name. *)
 }
 
@@ -48,6 +52,14 @@ let row_of (s : Snapshot.t) ~manager ~runtime : row =
     wait_p50 = pcts wait_d 50.;
     wait_p99 = pcts wait_d 99.;
     read_set_p50 = pcts read_set 50.;
+    pool_eff =
+      (let ev e =
+         Snapshot.counter_value s ~name:Conventions.n_pool
+           ~labels:(("event", e) :: labels)
+       in
+       let hits = ev "hit" and misses = ev "miss" in
+       if hits + misses = 0 then nan
+       else float_of_int hits /. float_of_int (hits + misses));
     verdicts =
       Array.to_list
         (Array.map
@@ -85,20 +97,21 @@ let fnum v =
 
 let pp fmt (rows : row list) =
   Format.fprintf fmt
-    "%-14s %-5s %9s %9s %8s %6s %7s %8s %8s %8s %8s %6s  %s@." "manager" "rt"
+    "%-14s %-5s %9s %9s %8s %6s %7s %8s %8s %8s %8s %6s %6s  %s@." "manager" "rt"
     "attempts" "commits" "aborts" "ab/cm" "wasted%" "p50-att" "p99-att" "p50-wait"
-    "p99-wait" "p50-rs" "verdicts other/self/block/backoff";
+    "p99-wait" "p50-rs" "pool%" "verdicts other/self/block/backoff";
   List.iter
     (fun r ->
       Format.fprintf fmt
-        "%-14s %-5s %9d %9d %8d %6s %6.1f%% %8s %8s %8s %8s %6s  %s@." r.manager
+        "%-14s %-5s %9d %9d %8d %6s %6.1f%% %8s %8s %8s %8s %6s %6s  %s@." r.manager
         r.runtime r.attempts r.commits r.aborts
         (fnum r.abort_commit_ratio)
         (100. *. r.wasted_frac)
         (fnum r.attempt_p50) (fnum r.attempt_p99) (fnum r.wait_p50) (fnum r.wait_p99)
         (fnum r.read_set_p50)
+        (fnum (100. *. r.pool_eff))
         (String.concat "/" (List.map (fun (_, n) -> string_of_int n) r.verdicts)))
     rows;
   Format.fprintf fmt
     "(durations: us on runtime=live, ticks on runtime=sim; p50-rs = median read-set \
-     size at commit)@."
+     size at commit; pool%% = locator-pool hit rate)@."

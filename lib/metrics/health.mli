@@ -15,6 +15,9 @@ type row = {
   wait_p50 : float;  (** [nan] when the manager never blocked. *)
   wait_p99 : float;
   read_set_p50 : float;
+  pool_eff : float;
+      (** Locator-pool hit rate, [hits /. (hits + misses)]; [nan] when
+          the series never took a locator (read-only load or sim). *)
   verdicts : (string * int) list;
 }
 

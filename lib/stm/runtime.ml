@@ -32,7 +32,33 @@
       CAS admits a narrow write-skew race, so this mode trades
       strictness for speed.  Invisible-mode consistency assumes the
       writers sharing those tvars also run in invisible mode (stamps
-      are not advanced by visible-mode writers). *)
+      are not advanced by visible-mode writers).
+
+    {1 Allocation discipline}
+
+    The steady-state hot paths allocate nothing (see DESIGN.md,
+    "Allocation discipline"):
+
+    - locators come from the per-domain pool in [Tvar], refilled in
+      place and recycled when displaced;
+    - the transaction context [tx] is a per-domain scratch record,
+      reused across attempts and logical transactions; its read log
+      and write-stamp log are growable flat arrays reset by length,
+      not reallocation;
+    - per logical transaction the runtime allocates only the [shared]
+      descriptor, and per attempt only the [Txn.t] attempt record with
+      its two atomics — those must stay fresh, because enemies abort a
+      specific attempt by CAS-ing {e its} status word, and a reused
+      status cell could receive an abort meant for a dead attempt.
+
+    Committing a read-only transaction in invisible mode takes a fast
+    path: final validation alone, with no status CAS and no stamp
+    publication (nothing was published that other transactions could
+    observe, so no terminal status needs to be advertised).  Visible
+    mode cannot skip the CAS: registered reader-slot entries are
+    reclaimed by writers {e only} when the registrant's status is
+    decided, so a forever-Active reader descriptor would pin its slots
+    and stall writers. *)
 
 exception Abort_attempt
 (** Internal control flow: the current attempt is (being) aborted and
@@ -123,10 +149,11 @@ type validity = Invalid | Valid_fragile | Valid_stable
    skip the entry.  Fragile entries keep [seen = -1] (matching no real
    stamp) until a recheck finds them stable.  [check] decides validity
    from the locator: the entry stays valid while the variable still
-   carries the locator we resolved the value from and the resolution
-   is unchanged — or once the reading transaction itself owns the
-   variable with the observed value as the locator's old version
-   (read-then-write upgrade). *)
+   carries the locator we resolved the value from {e in the same
+   incarnation} (locator pointer plus seqlock generation) and the
+   resolution is unchanged — or once the reading transaction itself
+   owns the variable with the observed value as the locator's old
+   version (read-then-write upgrade). *)
 type read_entry = { stamp : int Atomic.t; mutable seen : int; check : unit -> validity }
 
 type t = {
@@ -142,13 +169,19 @@ and per_domain = {
   mx : Tcm_metrics.Conventions.t;
       (** Metric handles for this runtime's manager; every emit is a
           single enabled-check branch while metrics are off. *)
-  mutable current : tx option;
+  pool : Tvar.pool;  (** This domain's locator freelist + hazard slot. *)
+  scratch : tx;
+      (** The domain's reusable transaction context; reset (by lengths
+          and field stores, never reallocation) at each attempt start. *)
+  mutable running : bool;
+      (** Whether [scratch] is currently inside [atomically] (the
+          nested-transaction test; replaces an allocated [tx option]). *)
 }
 
 and tx = {
-  rt : t;
-  txn : Txn.t;
+  cfg : config;
   dom : per_domain;
+  mutable txn : Txn.t;  (** Current attempt; fresh per attempt. *)
   mutable read_log : read_entry array;  (** Invisible mode only. *)
   mutable read_len : int;
   mutable valid_upto : int;
@@ -160,13 +193,21 @@ and tx = {
           unsound — such an entry can go stale without a stamp moving —
           so every read revalidates the whole set, as the pre-stamp
           runtime did. *)
-  mutable write_stamps : int Atomic.t list;
+  mutable wstamps : int Atomic.t array;
       (** Stamp cells of variables acquired this attempt, bulk-bumped
-          at commit publication (invisible mode only). *)
+          at commit publication (invisible mode only).  Flat array,
+          cleared by [wstamps_len <- 0]. *)
+  mutable wstamps_len : int;
+  mutable n_writes : int;
+      (** Variables acquired by this attempt (both read modes) — zero
+          means the commit may take the read-only fast path. *)
   mutable n_opens : int;
       (** Objects opened by this attempt (reads and writes) — the
           read-set-size sample recorded at commit. *)
 }
+
+let empty_log : read_entry array = [||]
+let empty_wstamps : int Atomic.t array = [||]
 
 let create ?(config = default_config) cm =
   let shards = Atomic.make [] in
@@ -178,12 +219,31 @@ let create ?(config = default_config) cm =
           if not (Atomic.compare_and_set shards l (shard :: l)) then register ()
         in
         register ();
-        {
-          cm_state = Cm_intf.instantiate cm;
-          shard;
-          mx = Tcm_metrics.Conventions.for_manager ~runtime:"live" (Cm_intf.name cm);
-          current = None;
-        })
+        let rec dom =
+          {
+            cm_state = Cm_intf.instantiate cm;
+            shard;
+            mx = Tcm_metrics.Conventions.for_manager ~runtime:"live" (Cm_intf.name cm);
+            pool = Tvar.domain_pool ();
+            scratch;
+            running = false;
+          }
+        and scratch =
+          {
+            cfg = config;
+            dom;
+            txn = Txn.committed_sentinel;
+            read_log = empty_log;
+            read_len = 0;
+            valid_upto = 0;
+            n_fragile = 0;
+            wstamps = empty_wstamps;
+            wstamps_len = 0;
+            n_writes = 0;
+            n_opens = 0;
+          }
+        in
+        dom)
   in
   { config; cm; shards; dls }
 
@@ -258,7 +318,7 @@ let block_on tx (other : Txn.t) timeout_usec =
       Tcm_metrics.Conventions.wait tx.dom.mx
         ~duration:(int_of_float ((Unix.gettimeofday () -. m_t0) *. 1e6))
   in
-  let cap_usec = tx.rt.config.block_poll_usec in
+  let cap_usec = tx.cfg.block_poll_usec in
   let deadline =
     match timeout_usec with
     | None -> infinity
@@ -310,7 +370,7 @@ let resolve_conflict tx ~(other : Txn.t) ~attempts =
   | Decision.Block { timeout_usec } -> block_on tx other timeout_usec
   | Decision.Backoff { usec } ->
       tick tx.dom.shard ix_backoffs;
-      sleep_usec (min usec tx.rt.config.backoff_cap_usec);
+      sleep_usec (min usec tx.cfg.backoff_cap_usec);
       check_self tx
 
 let cm_opened tx =
@@ -324,7 +384,6 @@ let cm_opened tx =
 (* ------------------------------------------------------------------ *)
 
 let dummy_entry = { stamp = Atomic.make 0; seen = 0; check = (fun () -> Valid_stable) }
-let empty_log : read_entry array = [||]
 
 let push_read tx e =
   let cap = Array.length tx.read_log in
@@ -336,11 +395,28 @@ let push_read tx e =
   tx.read_log.(tx.read_len) <- e;
   tx.read_len <- tx.read_len + 1
 
+let no_stamp = Atomic.make 0
+
+let push_wstamp tx cell =
+  let cap = Array.length tx.wstamps in
+  if tx.wstamps_len = cap then begin
+    let a = Array.make (if cap = 0 then 8 else 2 * cap) no_stamp in
+    Array.blit tx.wstamps 0 a 0 cap;
+    tx.wstamps <- a
+  end;
+  tx.wstamps.(tx.wstamps_len) <- cell;
+  tx.wstamps_len <- tx.wstamps_len + 1
+
+(* The entry captures the owner and seqlock generation it was resolved
+   under: [check] must never dereference [loc.owner] afresh, because a
+   recycled locator's owner field belongs to a different transaction —
+   a live one whose status would be mistaken for our resolution
+   basis. *)
 let make_read_entry (type v) (tx : tx) (tvar : v Tvar.t) (loc : v Tvar.locator)
-    ~saw_committed ~seen (value : v) : read_entry =
+    ~(owner : Txn.t) ~gen0 ~saw_committed ~seen (value : v) : read_entry =
   let check () =
     let cur = Atomic.get tvar.Tvar.loc in
-    if cur == loc then
+    if cur == loc && Tvar.locator_gen loc = gen0 then
       if saw_committed then Valid_stable
       else
         (* We resolved [old_v] against a non-committed owner: the value
@@ -348,7 +424,7 @@ let make_read_entry (type v) (tx : tx) (tvar : v Tvar.t) (loc : v Tvar.locator)
            terminal, so the entry is stable from then on; an Active
            owner may still commit — possibly having already published
            its commit stamp — so the entry stays fragile. *)
-        (match Txn.status loc.Tvar.owner with
+        (match Txn.status owner with
         | Status.Committed -> Invalid
         | Status.Aborted -> Valid_stable
         | Status.Active -> Valid_fragile)
@@ -357,7 +433,9 @@ let make_read_entry (type v) (tx : tx) (tvar : v Tvar.t) (loc : v Tvar.locator)
          the read stays consistent iff the stable value we captured at
          acquisition is the one we had read.  Stable: only we can
          replace our own locator while this attempt lives, and any
-         later replacement bumps the stamp. *)
+         later replacement bumps the stamp.  (No false positives from
+         recycling: only this domain ever writes this attempt's
+         descriptor into a locator's owner field.) *)
       Valid_stable
     else Invalid
   in
@@ -411,115 +489,247 @@ let rec drain_readers tx tvar attempts =
       resolve_conflict tx ~other:r ~attempts;
       drain_readers tx tvar (attempts + 1)
 
-let rec acquire : 'a. tx -> 'a Tvar.t -> int -> 'a Tvar.locator =
-  fun tx tvar attempts ->
+(* Open [tvar] for writing and return the transaction's tentative
+   value for it.  With [put = true] the tentative value becomes [v];
+   with [put = false] ([read_for_write]) it is left as it was.
+
+   Pooled locators make the two classic windows of the DSTM install
+   CAS dangerous, and one hazard-slot publication per open closes
+   both:
+
+   - {e Field reads.}  After [Tvar.protect] (an SC store, so it
+     fences) there is exactly one incarnation of [loc] for the rest of
+     the open: any displacement ordered after the fence reaches the
+     freelist pop's hazard scan, which drops held candidates.  The
+     seqlock re-check of [gen] then validates that the owner/value
+     reads all came from that one incarnation (a refill that raced the
+     protect bumps [gen] first, so mixed reads re-loop).
+
+   - {e The CAS itself.}  The same single-incarnation argument makes
+     the install CAS ABA-free — [loc] cannot be displaced, recycled
+     and reinstalled behind its back — so the CAS doubles as the
+     linkage check: success proves the validated incarnation was
+     linked continuously, and the displaced [loc] satisfies the
+     reclamation rule (owner decided, unlinked by our CAS).
+
+   Presetting [new_v] through [take_locator] (before publication)
+   means no store into a {e published} locator is needed on the fresh
+   path; the only such store is the repeat-write branch below, where
+   the hazard plus a linked re-check keeps it from corrupting a
+   recycled locator's next incarnation.  The hazard slot stays
+   published between opens — the next open overwrites it, and the
+   attempt epilogue ([finish_attempt]) clears it — so an open costs
+   one hazard store, not a protect/unprotect pair.
+
+   When the incumbent's owner is already decided — the uncontended
+   case — the contention manager is not consulted at all: a dead
+   owner cannot lose anything, so there is no conflict in the paper's
+   sense, and the open costs one CAS plus the pool refill. *)
+let rec open_write : 'a. tx -> 'a Tvar.t -> put:bool -> 'a -> int -> 'a =
+  fun tx tvar ~put v attempts ->
    check_self tx;
+   let pool = tx.dom.pool in
    let loc = Atomic.get tvar.Tvar.loc in
-   if loc.Tvar.owner == tx.txn then loc
-   else
-     match Txn.status loc.Tvar.owner with
-     | Status.Active ->
-         resolve_conflict tx ~other:loc.Tvar.owner ~attempts;
-         acquire tx tvar (attempts + 1)
-     | Status.Committed | Status.Aborted ->
-         let cur = Tvar.value_of_locator loc in
-         let nloc = { Tvar.owner = tx.txn; old_v = cur; new_v = ref cur } in
-         if Atomic.compare_and_set tvar.Tvar.loc loc nloc then begin
-           if tx.rt.config.read_mode = `Visible then drain_readers tx tvar 0
+   Tvar.protect pool loc;
+   let g = Tvar.locator_gen loc in
+   let owner = loc.Tvar.owner in
+   if owner == tx.txn then
+     (* Repeat access to a variable we hold.  (Ownership cannot be
+        spurious: only this domain writes this attempt's descriptor
+        into owner fields.)  Before storing, re-check that [loc] is
+        still linked — it was loaded before the hazard fence, so it
+        may already have been displaced (we were aborted) and even
+        popped for reuse; linked-after-fence rules that out. *)
+     if put then
+       if Atomic.get tvar.Tvar.loc == loc then begin
+         loc.Tvar.new_v <- v;
+         v
+       end
+       else begin
+         check_self tx;
+         (* Unlinked but somehow still active: impossible (our locator
+            is displaced only after our abort), so [check_self] raised. *)
+         raise Abort_attempt
+       end
+     else
+       let cur = loc.Tvar.new_v in
+       if Tvar.locator_gen loc = g then cur
+       else begin
+         check_self tx;
+         raise Abort_attempt
+       end
+   else begin
+     let st = Txn.status owner in
+     let cur =
+       match st with Status.Committed -> loc.Tvar.new_v | _ -> loc.Tvar.old_v
+     in
+     if Tvar.locator_gen loc <> g then
+       (* Recycled between the load and the hazard fence: the fields
+          may mix incarnations; retry from a fresh load. *)
+       open_write tx tvar ~put v attempts
+     else
+       match st with
+       | Status.Active ->
+           resolve_conflict tx ~other:owner ~attempts;
+           open_write tx tvar ~put v (attempts + 1)
+       | Status.Committed | Status.Aborted ->
+           let value = if put then v else cur in
+           let nloc = Tvar.take_locator pool ~owner:tx.txn ~old_v:cur ~new_v:value in
+           Tcm_metrics.Conventions.pool_event tx.dom.mx
+             (if Tvar.last_take_hit pool then Tcm_metrics.Conventions.p_hit
+              else Tcm_metrics.Conventions.p_miss);
+           if Atomic.compare_and_set tvar.Tvar.loc loc nloc then begin
+             if Tvar.recycle_locator pool loc then
+               Tcm_metrics.Conventions.pool_event tx.dom.mx
+                 Tcm_metrics.Conventions.p_recycled;
+             (match tx.cfg.read_mode with
+              | `Visible -> drain_readers tx tvar 0
+              | `Invisible ->
+                  (* Make concurrent invisible readers revalidate,
+                     record the cell for commit publication, and
+                     re-check our own read set (the entry on this very
+                     variable flips to its upgrade branch). *)
+                  Tvar.bump_version tvar;
+                  push_wstamp tx (Tvar.stamp_cell tvar);
+                  validate_extend tx ~extend:true);
+             tx.n_writes <- tx.n_writes + 1;
+             cm_opened tx;
+             Tcm_trace.Sink.acquired ~txid:(Txn.timestamp tx.txn)
+               ~obj:tvar.Tvar.id ~write:true ~tick:0;
+             value
+           end
            else begin
-             (* Make concurrent invisible readers revalidate, record the
-                cell for commit publication, and re-check our own read
-                set (the entry on this very variable flips to its
-                upgrade branch). *)
-             Tvar.bump_version tvar;
-             tx.write_stamps <- Tvar.stamp_cell tvar :: tx.write_stamps;
-             validate_extend tx ~extend:true
-           end;
-           cm_opened tx;
-           Tcm_trace.Sink.acquired ~txid:(Txn.timestamp tx.txn)
-             ~obj:tvar.Tvar.id ~write:true ~tick:0;
-           nloc
-         end
-         else acquire tx tvar attempts
+             (* Lost the install race; [nloc] was never published, so
+                it goes straight back to the freelist (no [recycled]
+                event: nothing was displaced). *)
+             ignore (Tvar.recycle_locator pool nloc);
+             open_write tx tvar ~put v attempts
+           end
+   end
 
 (* ------------------------------------------------------------------ *)
 (* Public transactional operations                                     *)
 (* ------------------------------------------------------------------ *)
 
-let write tx tvar v =
-  let loc = acquire tx tvar 0 in
-  loc.Tvar.new_v := v
+let write tx tvar v = ignore (open_write tx tvar ~put:true v 0)
+
+(* Seqlock read of a locator we believe we own.  The ownership test
+   itself needs no generation check: only this domain ever stores this
+   attempt's descriptor into an owner field, so a recycled locator can
+   never spuriously present [tx.txn] as owner.  A failed re-check
+   means our locator was displaced — possible only after an enemy
+   aborted us — so the attempt restarts. *)
 
 let rec read_visible : 'a. tx -> 'a Tvar.t -> int -> 'a =
   fun tx tvar attempts ->
    check_self tx;
    let loc = Atomic.get tvar.Tvar.loc in
-   if loc.Tvar.owner == tx.txn then !(loc.Tvar.new_v)
+   let g = Tvar.locator_gen loc in
+   if loc.Tvar.owner == tx.txn then begin
+     let v = loc.Tvar.new_v in
+     if Tvar.locator_gen loc = g then v
+     else begin
+       check_self tx;
+       raise Abort_attempt
+     end
+   end
    else begin
      Tvar.register_reader tvar tx.txn;
      (* Re-read after registration: any writer that acquired before our
         registration either drained us (sees us in the list) or is
         observed right here. *)
      let loc = Atomic.get tvar.Tvar.loc in
-     if loc.Tvar.owner == tx.txn then !(loc.Tvar.new_v)
-     else
-       match Txn.status loc.Tvar.owner with
-       | Status.Active ->
-           resolve_conflict tx ~other:loc.Tvar.owner ~attempts;
-           read_visible tx tvar (attempts + 1)
-       | Status.Committed ->
-           cm_opened tx;
-           !(loc.Tvar.new_v)
-       | Status.Aborted ->
-           cm_opened tx;
-           loc.Tvar.old_v
+     let g = Tvar.locator_gen loc in
+     let owner = loc.Tvar.owner in
+     if owner == tx.txn then begin
+       let v = loc.Tvar.new_v in
+       if Tvar.locator_gen loc = g then v
+       else begin
+         check_self tx;
+         raise Abort_attempt
+       end
+     end
+     else begin
+       let st = Txn.status owner in
+       let v =
+         match st with Status.Committed -> loc.Tvar.new_v | _ -> loc.Tvar.old_v
+       in
+       if Tvar.locator_gen loc <> g then
+         (* Recycled under us: fields (and [owner]) may mix
+            incarnations; retry from a fresh locator load. *)
+         read_visible tx tvar attempts
+       else
+         match st with
+         | Status.Active ->
+             resolve_conflict tx ~other:owner ~attempts;
+             read_visible tx tvar (attempts + 1)
+         | Status.Committed | Status.Aborted ->
+             cm_opened tx;
+             v
+     end
    end
 
-let read_invisible tx tvar =
-  check_self tx;
-  let loc = Atomic.get tvar.Tvar.loc in
-  if loc.Tvar.owner == tx.txn then !(loc.Tvar.new_v)
-  else begin
-    let saw_committed = Txn.status loc.Tvar.owner = Status.Committed in
-    let v = if saw_committed then !(loc.Tvar.new_v) else loc.Tvar.old_v in
-    (* The stamp is read after the owner's status: commit publication
-       bumps stamps before the status CAS, so observing a committed
-       owner implies observing its bump and taking the slow path. *)
-    let ver = Tvar.version tvar in
-    (* Trust the stamp only when the resolution came from a committed
-       owner.  A still-Active owner may already have published its
-       commit stamp to this very cell, so its later status flip would
-       invalidate the entry while leaving the stamp — and hence every
-       stamp-gated skip, including commit-time validation — unchanged.
-       [seen = -1] keeps such entries on the recheck path until a
-       validation finds their owner in a terminal state. *)
-    let seen =
-      if saw_committed then ver
-      else begin
-        tx.n_fragile <- tx.n_fragile + 1;
-        -1
-      end
-    in
-    push_read tx (make_read_entry tx tvar loc ~saw_committed ~seen v);
-    if ver > tx.valid_upto || tx.n_fragile > 0 then validate_extend tx ~extend:true;
-    cm_opened tx;
-    v
-  end
+let rec read_invisible : 'a. tx -> 'a Tvar.t -> 'a =
+  fun tx tvar ->
+   check_self tx;
+   let loc = Atomic.get tvar.Tvar.loc in
+   let g = Tvar.locator_gen loc in
+   if loc.Tvar.owner == tx.txn then begin
+     let v = loc.Tvar.new_v in
+     if Tvar.locator_gen loc = g then v
+     else begin
+       check_self tx;
+       raise Abort_attempt
+     end
+   end
+   else begin
+     let owner = loc.Tvar.owner in
+     let saw_committed =
+       match Txn.status owner with Status.Committed -> true | _ -> false
+     in
+     let v = if saw_committed then loc.Tvar.new_v else loc.Tvar.old_v in
+     (* The stamp is read after the owner's status: commit publication
+        bumps stamps before the status CAS, so observing a committed
+        owner implies observing its bump and taking the slow path. *)
+     let ver = Tvar.version tvar in
+     if Tvar.locator_gen loc <> g then read_invisible tx tvar
+     else begin
+       (* Trust the stamp only when the resolution came from a
+          committed owner.  A still-Active owner may already have
+          published its commit stamp to this very cell, so its later
+          status flip would invalidate the entry while leaving the
+          stamp — and hence every stamp-gated skip, including
+          commit-time validation — unchanged.  [seen = -1] keeps such
+          entries on the recheck path until a validation finds their
+          owner in a terminal state. *)
+       let seen =
+         if saw_committed then ver
+         else begin
+           tx.n_fragile <- tx.n_fragile + 1;
+           -1
+         end
+       in
+       push_read tx (make_read_entry tx tvar loc ~owner ~gen0:g ~saw_committed ~seen v);
+       if ver > tx.valid_upto || tx.n_fragile > 0 then validate_extend tx ~extend:true;
+       cm_opened tx;
+       v
+     end
+   end
 
 let read tx tvar =
-  match tx.rt.config.read_mode with
+  match tx.cfg.read_mode with
   | `Visible -> read_visible tx tvar 0
   | `Invisible -> read_invisible tx tvar
 
 (** Read through the write path: acquires the variable exclusively.
     Use for read-modify-write accesses to avoid upgrade conflicts. *)
-let read_for_write tx tvar =
-  let loc = acquire tx tvar 0 in
-  !(loc.Tvar.new_v)
+let read_for_write (tx : tx) tvar =
+  (* [v] is never used on the [put = false] path; any value of the
+     right type will do, and the variable's own current value is one
+     we can name without touching the user's type. *)
+  open_write tx tvar ~put:false (Atomic.get tvar.Tvar.loc).Tvar.old_v 0
 
-let modify tx tvar f =
-  let loc = acquire tx tvar 0 in
-  loc.Tvar.new_v := f !(loc.Tvar.new_v)
+let modify tx tvar f = write tx tvar (f (read_for_write tx tvar))
 
 (** User-requested abort-and-retry of the current attempt. *)
 let retry_now tx : 'a =
@@ -542,118 +752,144 @@ let check tx cond = if not cond then retry_wait tx
 (* The atomic block                                                    *)
 (* ------------------------------------------------------------------ *)
 
+let publish_stamps tx =
+  (* Publish stamps before the status CAS: a reader that observes the
+     committed owner then necessarily observes moved stamps and falls
+     back to full validation.  The store is monotone ([advance_stamp]):
+     an attempt that loses the CAS below may publish arbitrarily late,
+     and must not drag a stamp backward past the next owner's bump —
+     its forward bump merely causes spurious revalidations
+     elsewhere. *)
+  if tx.wstamps_len > 0 then begin
+    let s = Tvar.next_stamp () in
+    for i = 0 to tx.wstamps_len - 1 do
+      Tvar.advance_stamp tx.wstamps.(i) s
+    done
+  end
+
 let commit tx =
   (* [validate] raises on failure; [commit] runs outside [atomically]'s
      exception match (the [v ->] branch), so convert to a [false]
      return here rather than letting [Abort_attempt] escape. *)
-  let valid =
-    tx.rt.config.read_mode <> `Invisible
-    || match validate tx with () -> true | exception Abort_attempt -> false
-  in
-  valid
-  && begin
-       (* Publish stamps before the status CAS: a reader that observes
-          the committed owner then necessarily observes moved stamps and
-          falls back to full validation.  The store is monotone
-          ([advance_stamp]): an attempt that loses the CAS below may
-          publish arbitrarily late, and must not drag a stamp backward
-          past the next owner's bump — its forward bump merely causes
-          spurious revalidations elsewhere. *)
-       (match tx.write_stamps with
-       | [] -> ()
-       | ws ->
-           let s = Tvar.next_stamp () in
-           List.iter (fun cell -> Tvar.advance_stamp cell s) ws);
-       Txn.try_commit tx.txn
-     end
+  match tx.cfg.read_mode with
+  | `Invisible when tx.n_writes = 0 ->
+      (* Read-only fast path: the transaction published nothing — no
+         locators, no reader-slot entries, no waiting flag — so no
+         other transaction ever consults its status, and final
+         validation alone decides the commit.  The status CAS and
+         stamp publication are skipped entirely.  (Writers keep the
+         CAS: their locators make the attempt's status the variables'
+         pending value, and visible-mode readers keep it too — their
+         reader-slot entries are reclaimed only once the status is
+         decided.) *)
+      (match validate tx with () -> true | exception Abort_attempt -> false)
+  | `Invisible -> (
+      match validate tx with
+      | () ->
+          publish_stamps tx;
+          Txn.try_commit tx.txn
+      | exception Abort_attempt -> false)
+  | `Visible -> Txn.try_commit tx.txn
+
+(* One attempt bookkeeping cycle.  Top-level (not a closure inside
+   [atomically]) so the per-transaction path allocates nothing beyond
+   the attempt descriptor itself. *)
+
+let m_us m_t0 = int_of_float ((Unix.gettimeofday () -. m_t0) *. 1e6)
+
+let finish_abort dom tx m_t0 =
+  ignore (Txn.try_abort tx.txn);
+  Atomic.set tx.txn.Txn.waiting false;
+  (* An abort can be raised while the hazard slot covers a locator
+     (validation inside [acquire], conflict resolution mid-drain). *)
+  Tvar.unprotect dom.pool;
+  Tcm_trace.Sink.attempt_abort ~txid:(Txn.timestamp tx.txn)
+    ~attempt:tx.txn.Txn.attempt_id ~tick:0;
+  if m_t0 > 0. then Tcm_metrics.Conventions.attempt_abort dom.mx ~duration:(m_us m_t0);
+  tick dom.shard ix_aborts;
+  let (Cm_intf.Packed ((module M), cm_st)) = dom.cm_state in
+  M.aborted cm_st tx.txn;
+  dom.running <- false
+
+let rec attempt_loop : 'a. t -> per_domain -> tx -> (tx -> 'a) -> Txn.shared -> int -> int -> 'a =
+  fun rt dom tx f shared wait_round n ->
+   (match rt.config.max_attempts with
+   | Some m when n > m -> raise (Too_many_attempts n)
+   | _ -> ());
+   let txn = Txn.new_attempt shared in
+   tx.txn <- txn;
+   tx.read_len <- 0;
+   tx.valid_upto <- Tvar.now ();
+   tx.n_fragile <- 0;
+   tx.wstamps_len <- 0;
+   tx.n_writes <- 0;
+   tx.n_opens <- 0;
+   dom.running <- true;
+   let (Cm_intf.Packed ((module M), cm_st)) = dom.cm_state in
+   M.begin_attempt cm_st txn;
+   Tcm_trace.Sink.attempt_begin ~txid:(Txn.timestamp txn)
+     ~attempt:txn.Txn.attempt_id ~tick:0;
+   (* Attempt latency: the clock is read only while metrics are
+      enabled; [0.] doubles as the "disabled" sentinel. *)
+   let m_t0 = if Tcm_metrics.enabled () then Unix.gettimeofday () else 0. in
+   Tcm_metrics.Conventions.attempt_begin dom.mx;
+   match f tx with
+   | v ->
+       if commit tx then begin
+         (* Opens leave the hazard slot published (one store per open,
+            not a pair); release it now so the last locator we touched
+            does not linger un-recyclable. *)
+         Tvar.unprotect dom.pool;
+         tick dom.shard ix_commits;
+         Tcm_trace.Sink.attempt_commit ~txid:(Txn.timestamp txn)
+           ~attempt:txn.Txn.attempt_id ~tick:0;
+         if m_t0 > 0. then
+           Tcm_metrics.Conventions.attempt_commit dom.mx ~duration:(m_us m_t0)
+             ~read_set:tx.n_opens;
+         M.committed cm_st txn;
+         dom.running <- false;
+         v
+       end
+       else begin
+         finish_abort dom tx m_t0;
+         attempt_loop rt dom tx f shared 0 (n + 1)
+       end
+   | exception Abort_attempt ->
+       finish_abort dom tx m_t0;
+       attempt_loop rt dom tx f shared 0 (n + 1)
+   | exception Retry_wait ->
+       finish_abort dom tx m_t0;
+       (* The caller is waiting for another transaction to change the
+          state it checked: yield first (the writer is often already
+          runnable), then pause geometrically. *)
+       if wait_round = 0 then Unix.sleepf 0.
+       else
+         sleep_usec
+           (min rt.config.backoff_cap_usec
+              (rt.config.block_poll_usec * (1 lsl min (wait_round - 1) 12)));
+       attempt_loop rt dom tx f shared (wait_round + 1) (n + 1)
+   | exception e ->
+       (* User exception: abort the transaction, propagate. *)
+       finish_abort dom tx m_t0;
+       raise e
 
 let atomically rt f =
   let dom = Domain.DLS.get rt.dls in
-  match dom.current with
-  | Some tx when Txn.is_active tx.txn ->
+  if dom.running then
+    if Txn.is_active dom.scratch.txn then
       (* Nested atomically: flatten into the enclosing transaction. *)
-      f tx
-  | _ ->
-      let (Cm_intf.Packed ((module M), cm_st)) = dom.cm_state in
-      let shared = Txn.new_shared () in
-      let rec attempt ?(wait_round = 0) n =
-        (match rt.config.max_attempts with
-        | Some m when n > m -> raise (Too_many_attempts n)
-        | _ -> ());
-        let txn = Txn.new_attempt shared in
-        let tx =
-          {
-            rt;
-            txn;
-            dom;
-            read_log = empty_log;
-            read_len = 0;
-            valid_upto = Tvar.now ();
-            n_fragile = 0;
-            write_stamps = [];
-            n_opens = 0;
-          }
-        in
-        dom.current <- Some tx;
-        M.begin_attempt cm_st txn;
-        Tcm_trace.Sink.attempt_begin ~txid:(Txn.timestamp txn)
-          ~attempt:txn.Txn.attempt_id ~tick:0;
-        (* Attempt latency: the clock is read only while metrics are
-           enabled; [0.] doubles as the "disabled" sentinel. *)
-        let m_t0 = if Tcm_metrics.enabled () then Unix.gettimeofday () else 0. in
-        let m_us () = int_of_float ((Unix.gettimeofday () -. m_t0) *. 1e6) in
-        Tcm_metrics.Conventions.attempt_begin dom.mx;
-        let finish_abort () =
-          ignore (Txn.try_abort txn);
-          Atomic.set txn.Txn.waiting false;
-          Tcm_trace.Sink.attempt_abort ~txid:(Txn.timestamp txn)
-            ~attempt:txn.Txn.attempt_id ~tick:0;
-          if m_t0 > 0. then
-            Tcm_metrics.Conventions.attempt_abort dom.mx ~duration:(m_us ());
-          tick dom.shard ix_aborts;
-          M.aborted cm_st txn;
-          dom.current <- None
-        in
-        match f tx with
-        | v ->
-            if commit tx then begin
-              tick dom.shard ix_commits;
-              Tcm_trace.Sink.attempt_commit ~txid:(Txn.timestamp txn)
-                ~attempt:txn.Txn.attempt_id ~tick:0;
-              if m_t0 > 0. then
-                Tcm_metrics.Conventions.attempt_commit dom.mx ~duration:(m_us ())
-                  ~read_set:tx.n_opens;
-              M.committed cm_st txn;
-              dom.current <- None;
-              v
-            end
-            else begin
-              finish_abort ();
-              attempt (n + 1)
-            end
-        | exception Abort_attempt ->
-            finish_abort ();
-            attempt (n + 1)
-        | exception Retry_wait ->
-            finish_abort ();
-            (* The caller is waiting for another transaction to change
-               the state it checked: yield first (the writer is often
-               already runnable), then pause geometrically. *)
-            if wait_round = 0 then Unix.sleepf 0.
-            else
-              sleep_usec
-                (min rt.config.backoff_cap_usec
-                   (rt.config.block_poll_usec * (1 lsl min (wait_round - 1) 12)));
-            attempt ~wait_round:(wait_round + 1) (n + 1)
-        | exception e ->
-            (* User exception: abort the transaction, propagate. *)
-            finish_abort ();
-            raise e
-      in
-      attempt 1
+      f dom.scratch
+    else
+      (* The enclosing attempt was aborted by an enemy but has not yet
+         noticed.  Starting an unrelated top-level transaction here (the
+         historical behaviour) would alias the enclosing attempt's
+         reused context, so instead abort the enclosing attempt — it is
+         doomed anyway, and its restart re-runs this call. *)
+      raise Abort_attempt
+  else attempt_loop rt dom dom.scratch f (Txn.new_shared ()) 0 1
 
-(** Number of attempts the currently running transaction has made so
-    far on this domain (1 for the first attempt); for diagnostics. *)
+(** Descriptor of the transaction currently running on this domain;
+    for diagnostics. *)
 let current_txn rt =
   let dom = Domain.DLS.get rt.dls in
-  Option.map (fun tx -> tx.txn) dom.current
+  if dom.running then Some dom.scratch.txn else None

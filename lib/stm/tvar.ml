@@ -5,16 +5,60 @@
     the last committed value [old_v] and the tentative value [new_v].
     The logical value of the variable is
 
-    - [!new_v]  if the owner committed,
-    - [old_v]   if the owner is active or aborted.
+    - [new_v]  if the owner committed,
+    - [old_v]  if the owner is active or aborted.
 
-    A writer acquires the variable by installing (with CAS) a fresh
-    locator that carries itself as owner; [new_v] is a ref mutated
-    exclusively by the owner while it is active, and becomes the
-    committed value if the owner's commit CAS succeeds.  Publication of
-    [new_v] happens through the owner's atomic status transition, which
-    makes the plain ref safe under the OCaml memory model
-    (message-passing pattern).
+    A writer acquires the variable by installing (with CAS) a locator
+    that carries itself as owner; [new_v] is mutated exclusively by the
+    owner while it is active, and becomes the committed value if the
+    owner's commit CAS succeeds.  Publication of [new_v] happens
+    through the owner's atomic status transition, which makes the plain
+    field safe under the OCaml memory model (message-passing pattern).
+
+    {1 Locator pooling}
+
+    Locators are {e pooled}: instead of allocating a record (plus a
+    value ref) on every [open_write], each domain keeps a small
+    freelist of dead locators and refills one in place.  That makes
+    the steady-state write path allocation-free, at the price of two
+    hazards that the plain protocol did not have:
+
+    - {e Seqlock generations.}  A pooled locator's fields are mutable,
+      so a reader that loaded the locator pointer may observe fields
+      from a {e later incarnation} if the locator is recycled
+      mid-read.  Every locator therefore carries a generation counter
+      [gen], bumped exactly once per reuse — {e before} any field of
+      the new incarnation is written.  Readers use the seqlock recipe:
+      load the locator, load [gen], read the fields, re-check [gen].
+      An unchanged generation proves the fields all belonged to the
+      incarnation that was linked at the initial load, so the read
+      linearizes there, exactly like the unpooled protocol.
+
+    - {e Hazard slots (the reclamation rule).}  A locator may be
+      recycled only after its owner's status is decided {e and} it has
+      been unlinked from the variable: recycling is therefore driven
+      by displacement — the writer whose CAS replaces a dead locator
+      pushes the displaced one onto its own domain's freelist.  A
+      still-published locator is never recycled, since concurrent
+      readers resolve values through it.  Unlinking alone is not
+      enough, though: a reader (or the owner mutating [new_v]) may
+      still hold a reference it is about to dereference.  Each domain
+      owns one {e hazard slot}; publishing a locator there and then
+      re-checking that it is still linked guarantees the locator
+      cannot be refilled until the slot is cleared (any unlink ordered
+      after the re-check happens before the freelist pop that would
+      reuse it, and the pop scans every hazard slot, dropping — never
+      reusing — a candidate that is held).  This also makes the
+      acquire CAS ABA-free: a hazard-protected incumbent cannot be
+      displaced, recycled and reinstalled behind the CAS's back.
+
+    The pool is bounded ([pool_cap] per domain); beyond that, and for
+    hazard-held candidates, locators are simply dropped for the GC —
+    pooling is an optimisation, never a liveness requirement.  A
+    pooled locator pins its last [owner]/[old_v]/[new_v] until reuse;
+    the bound keeps that retention O(pool_cap) per domain.
+
+    {1 Per-variable bookkeeping}
 
     Two pieces of per-variable bookkeeping support the runtime's hot
     paths:
@@ -33,7 +77,15 @@
       readers than slots.  Registration and writer-side scans are
       allocation-free while the slots suffice. *)
 
-type 'a locator = { owner : Txn.t; old_v : 'a; new_v : 'a ref }
+type 'a locator = {
+  mutable owner : Txn.t;
+  mutable old_v : 'a;
+  mutable new_v : 'a;
+  gen : int Atomic.t;
+      (** Incarnation counter: bumped once per reuse, before any field
+          of the new incarnation is stored (see the seqlock rule
+          above).  Never reset. *)
+}
 
 type 'a t = {
   id : int;
@@ -70,6 +122,127 @@ let rec advance_stamp cell s =
 let bump_version t = advance_stamp t.version (next_stamp ())
 
 (* ------------------------------------------------------------------ *)
+(* Locator pool & hazard slots                                         *)
+(* ------------------------------------------------------------------ *)
+
+let locator_gen (loc : 'a locator) = Atomic.get loc.gen
+
+(* Pools hold locators type-erased to [Obj.t]: values of every ['a]
+   share one uniform representation, and a refill overwrites both value
+   fields before the locator is re-exposed, so the [Obj.magic] at
+   [take_locator] never lets one incarnation's payload escape into
+   another's type.  (The locator record also carries the non-value
+   [owner]/[gen] fields, so it can never be subject to the flat-float
+   representation — fields are always boxed uniformly.) *)
+type erased = Obj.t locator
+
+let dummy_locator : erased =
+  { owner = Txn.committed_sentinel; old_v = Obj.repr 0; new_v = Obj.repr 0; gen = Atomic.make 0 }
+
+(* A unique block that is never a locator, marking an idle hazard
+   slot. *)
+let no_hazard : Obj.t = Obj.repr (ref 0)
+
+type pool = {
+  mutable items : erased array;  (** Freelist stack, owner-domain only. *)
+  mutable len : int;
+  mutable last_hit : bool;
+      (** Whether the most recent [take_locator] was a freelist refill
+          (out-of-band so the hot path returns the locator unboxed,
+          with no tuple). *)
+  hazard : Obj.t Atomic.t;
+      (** The locator this domain is currently dereferencing (or
+          [no_hazard]).  Written only by the owning domain; read by
+          every domain's freelist pop. *)
+}
+
+let pool_cap = 64
+
+(* All hazard slots ever created, scanned by [take_locator].  One slot
+   per domain-with-a-pool; domains are few, so a list scan per pool pop
+   is cheap, and slots of dead domains scan as idle. *)
+let hazard_registry : Obj.t Atomic.t list Atomic.t = Atomic.make []
+
+let rec register_hazard h =
+  let l = Atomic.get hazard_registry in
+  if not (Atomic.compare_and_set hazard_registry l (h :: l)) then register_hazard h
+
+let pool_key =
+  Domain.DLS.new_key (fun () ->
+      let hazard = Atomic.make no_hazard in
+      register_hazard hazard;
+      { items = Array.make pool_cap dummy_locator; len = 0; last_hit = false; hazard })
+
+let domain_pool () = Domain.DLS.get pool_key
+
+let pool_size p = p.len
+let last_take_hit p = p.last_hit
+
+let protect (p : pool) (loc : 'a locator) = Atomic.set p.hazard (Obj.repr loc)
+let unprotect (p : pool) = Atomic.set p.hazard no_hazard
+
+let rec hazard_held hs (o : Obj.t) =
+  match hs with
+  | [] -> false
+  | h :: rest -> Atomic.get h == o || hazard_held rest o
+
+(* Pop a freelist entry no hazard slot currently holds; [dummy_locator]
+   signals an empty freelist (it is never pushed, so the sentinel is
+   unambiguous — and returning it instead of an option keeps the pop
+   allocation-free).  A held candidate is dropped for the GC — the
+   holder may dereference it arbitrarily late, so it must never be
+   refilled. *)
+let rec pop_free (p : pool) : erased =
+  if p.len = 0 then dummy_locator
+  else begin
+    let n = p.len - 1 in
+    p.len <- n;
+    let c = p.items.(n) in
+    p.items.(n) <- dummy_locator;
+    if hazard_held (Atomic.get hazard_registry) (Obj.repr c) then pop_free p
+    else c
+  end
+
+(** Take a locator owned by [owner] carrying the given value slots
+    (the tentative value is preset {e before} publication, so the
+    writer needs no store into the locator after its install CAS),
+    refilled from the domain freelist when possible.  [last_take_hit]
+    reports whether this call was a refill.  The generation bump
+    precedes every field store — as an SC operation it also fences
+    them — so a seqlock reader of the previous incarnation can never
+    validate against fields of this one. *)
+let take_locator (type a) (p : pool) ~(owner : Txn.t) ~(old_v : a) ~(new_v : a) :
+    a locator =
+  let c = pop_free p in
+  if c == dummy_locator then begin
+    p.last_hit <- false;
+    { owner; old_v; new_v; gen = Atomic.make 0 }
+  end
+  else begin
+      p.last_hit <- true;
+      Atomic.incr c.gen;
+      let l : a locator = Obj.magic c in
+      l.owner <- owner;
+      l.old_v <- old_v;
+      l.new_v <- new_v;
+      l
+  end
+
+(** Return a locator to the domain freelist.  {b Reclamation rule}
+    (caller's obligation): the locator's [owner] status must be
+    decided, and the locator must be unlinked from its variable — i.e.
+    the caller displaced it with a successful CAS, or it was never
+    published at all (a CAS-loser).  Returns [false] when the pool is
+    full and the locator was dropped for the GC instead. *)
+let recycle_locator (p : pool) (loc : 'a locator) =
+  if p.len >= pool_cap then false
+  else begin
+    p.items.(p.len) <- (Obj.magic loc : erased);
+    p.len <- p.len + 1;
+    true
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Construction & inspection                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -80,7 +253,9 @@ let no_reader = Txn.committed_sentinel
 let make v =
   {
     id = Txid.next_tvar_id ();
-    loc = Atomic.make { owner = Txn.committed_sentinel; old_v = v; new_v = ref v };
+    loc =
+      Atomic.make
+        { owner = Txn.committed_sentinel; old_v = v; new_v = v; gen = Atomic.make 0 };
     version = Atomic.make 0;
     reader_slots =
       [| Atomic.make no_reader; Atomic.make no_reader; Atomic.make no_reader;
@@ -91,17 +266,26 @@ let make v =
 let id t = t.id
 
 (** Value of a locator as seen by an outside observer, given the
-    owner's status read {e after} the locator itself. *)
+    owner's status read {e after} the locator itself.  Only meaningful
+    on a locator known stable: one the caller owns, holds under its
+    hazard slot, or validates with the seqlock generation afterwards. *)
 let value_of_locator (loc : 'a locator) : 'a =
   match Txn.status loc.owner with
-  | Status.Committed -> !(loc.new_v)
+  | Status.Committed -> loc.new_v
   | Status.Active | Status.Aborted -> loc.old_v
 
 (** Latest committed value, for non-transactional inspection (tests,
-    debugging).  Linearizes at the atomic load of the locator. *)
-let peek t =
+    debugging).  Linearizes at the atomic load of the locator; the
+    seqlock re-check guards against the locator being recycled
+    mid-read. *)
+let rec peek t =
   let loc = Atomic.get t.loc in
-  value_of_locator loc
+  let g = Atomic.get loc.gen in
+  let owner = loc.owner in
+  let v =
+    match Txn.status owner with Status.Committed -> loc.new_v | _ -> loc.old_v
+  in
+  if Atomic.get loc.gen = g then v else peek t
 
 (* ------------------------------------------------------------------ *)
 (* Visible readers                                                     *)
@@ -113,6 +297,28 @@ let rec live_readers acc died = function
   | r :: rest ->
       if Txn.is_active r then live_readers (r :: acc) died rest
       else live_readers acc true rest
+
+(* The registration loops live at top level: local recursive functions
+   would close over the variable and the transaction, allocating two
+   closures per visible read — the read path must stay
+   allocation-free. *)
+let rec rr_overflow t (txn : Txn.t) =
+  let rs = Atomic.get t.reader_overflow in
+  if List.memq txn rs then ()
+  else
+    let live, _ = live_readers [] false rs in
+    if not (Atomic.compare_and_set t.reader_overflow rs (txn :: live)) then
+      rr_overflow t txn
+
+let rec rr_slot t (txn : Txn.t) slots n i =
+  if i = n then rr_overflow t txn
+  else
+    let cell = slots.(i) in
+    let r = Atomic.get cell in
+    if r == txn then ()
+    else if Txn.is_active r then rr_slot t txn slots n (i + 1)
+    else if Atomic.compare_and_set cell r txn then ()
+    else rr_slot t txn slots n i (* lost the race for this slot; re-examine it *)
 
 (** Register [txn] as a visible reader.  The scan stops at the first
     slot that already holds [txn] or at the first claimable (dead)
@@ -126,43 +332,22 @@ let rec live_readers acc died = function
     like any other entry.  Only when every slot holds a live reader
     does registration fall back to the CAS'd overflow list. *)
 let register_reader t (txn : Txn.t) =
-  let slots = t.reader_slots in
-  let n = Array.length slots in
-  let rec overflow () =
-    let rs = Atomic.get t.reader_overflow in
-    if List.memq txn rs then ()
-    else
-      let live, _ = live_readers [] false rs in
-      if not (Atomic.compare_and_set t.reader_overflow rs (txn :: live)) then overflow ()
-  in
-  let rec go i =
-    if i = n then overflow ()
-    else
-      let cell = slots.(i) in
-      let r = Atomic.get cell in
-      if r == txn then ()
-      else if Txn.is_active r then go (i + 1)
-      else if Atomic.compare_and_set cell r txn then ()
-      else go i (* lost the race for this slot; re-examine it *)
-  in
-  go 0
+  rr_slot t txn t.reader_slots (Array.length t.reader_slots) 0
+
+let rec far_overflow (txn : Txn.t) = function
+  | [] -> None
+  | r :: rest -> if r != txn && Txn.is_active r then Some r else far_overflow txn rest
+
+let rec far_slot t (txn : Txn.t) slots n i =
+  if i = n then far_overflow txn (Atomic.get t.reader_overflow)
+  else
+    let r = Atomic.get slots.(i) in
+    if r != txn && Txn.is_active r then Some r else far_slot t txn slots n (i + 1)
 
 (** First active reader other than [txn], if any.  Allocation-free
     while the overflow list is empty. *)
 let find_active_reader t (txn : Txn.t) =
-  let slots = t.reader_slots in
-  let n = Array.length slots in
-  let rec over = function
-    | [] -> None
-    | r :: rest -> if r != txn && Txn.is_active r then Some r else over rest
-  in
-  let rec slot i =
-    if i = n then over (Atomic.get t.reader_overflow)
-    else
-      let r = Atomic.get slots.(i) in
-      if r != txn && Txn.is_active r then Some r else slot (i + 1)
-  in
-  slot 0
+  far_slot t txn t.reader_slots (Array.length t.reader_slots) 0
 
 (** Opportunistically drop dead reader entries: dead slots are reset to
     the sentinel, and the overflow list is rebuilt in a single pass —

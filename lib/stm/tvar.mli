@@ -3,11 +3,31 @@
 
     The variable atomically points at a {e locator}: the owning
     attempt, the last committed value [old_v], and the tentative value
-    [new_v].  The logical value is [!new_v] if the owner committed,
-    [old_v] otherwise.  Writers acquire by CAS-installing a fresh
-    locator; [new_v] is mutated exclusively by the active owner and is
+    [new_v].  The logical value is [new_v] if the owner committed,
+    [old_v] otherwise.  Writers acquire by CAS-installing a locator
+    they own; [new_v] is mutated exclusively by the active owner and is
     published through the owner's atomic status transition
     (message-passing pattern, safe under the OCaml memory model).
+
+    Locators are {e pooled} per domain, so the steady-state write path
+    allocates nothing.  Pooling makes locator fields mutable, guarded
+    by two mechanisms (see the implementation for the full argument):
+
+    - a {e seqlock generation} [gen], bumped once per reuse before any
+      refill store, which readers re-check after reading fields — an
+      unchanged generation proves the fields belong to the incarnation
+      linked at the initial load;
+    - one {e hazard slot} per domain: publish the locator you are
+      about to dereference, re-check it is still linked, and it cannot
+      be refilled until you clear the slot.  The freelist pop scans
+      all hazard slots and {e drops} (never reuses) held candidates.
+
+    {b Reclamation rule}: a locator may be recycled only once its
+    owner's status is decided {e and} it is unlinked from the variable
+    — in practice, by the writer whose CAS displaced it (or for a
+    locator that lost its install CAS and was never published).  A
+    still-published locator must never be recycled: concurrent readers
+    resolve values through it.
 
     [version] carries a stamp from a global clock, advanced by
     invisible-mode writers on locator install and commit publication;
@@ -20,7 +40,12 @@
     so writers resolve read-write conflicts through the contention
     manager, matching the paper's conflict definition. *)
 
-type 'a locator = { owner : Txn.t; old_v : 'a; new_v : 'a ref }
+type 'a locator = {
+  mutable owner : Txn.t;
+  mutable old_v : 'a;
+  mutable new_v : 'a;
+  gen : int Atomic.t;  (** Incarnation counter; bumped once per reuse. *)
+}
 
 type 'a t = {
   id : int;
@@ -36,11 +61,55 @@ val id : 'a t -> int
 
 val value_of_locator : 'a locator -> 'a
 (** Value as seen by an outside observer (owner status read after the
-    locator itself). *)
+    locator itself).  Only meaningful on a locator known stable —
+    owned, hazard-protected, or seqlock-validated by the caller. *)
 
 val peek : 'a t -> 'a
 (** Latest committed value, for non-transactional inspection (tests,
-    debugging); linearizes at the atomic load of the locator. *)
+    debugging); linearizes at the atomic load of the locator
+    (seqlock-guarded against concurrent recycling). *)
+
+(** {2 Locator pool (per-domain freelist + hazard slot)} *)
+
+type pool
+(** A domain's locator freelist and hazard slot.  Only ever used by
+    the owning domain, except that other domains' freelist pops read
+    the hazard slot. *)
+
+val domain_pool : unit -> pool
+(** The calling domain's pool (created on first use; shared by every
+    runtime on the domain). *)
+
+val take_locator : pool -> owner:Txn.t -> old_v:'a -> new_v:'a -> 'a locator
+(** A locator owned by [owner] with the given value slots (tentative
+    value preset before publication); refilled from the freelist when
+    possible, freshly allocated otherwise.  {!last_take_hit} reports
+    which (out-of-band, so the hot path allocates no tuple). *)
+
+val last_take_hit : pool -> bool
+(** Whether the most recent {!take_locator} on this pool was a
+    freelist refill. *)
+
+val recycle_locator : pool -> 'a locator -> bool
+(** Return a locator to the freelist.  Caller must uphold the
+    reclamation rule: owner decided, and unlinked (displaced by the
+    caller's CAS, or never published).  [false] when the pool was full
+    and the locator was dropped for the GC. *)
+
+val protect : pool -> 'a locator -> unit
+(** Publish the locator in this domain's hazard slot.  After a
+    subsequent check that it is still linked, its fields are frozen
+    until {!unprotect}. *)
+
+val unprotect : pool -> unit
+(** Clear this domain's hazard slot. *)
+
+val locator_gen : 'a locator -> int
+(** Current incarnation of the locator (seqlock read protocol: load
+    locator, load generation, read fields, re-check generation). *)
+
+val pool_size : pool -> int
+(** Number of locators currently on the freelist (tests). *)
 
 (** {2 Version stamps (invisible-read validation)} *)
 

@@ -11,24 +11,33 @@
     fresh for every attempt, because enemies abort a specific attempt by
     CAS-ing its status word.
 
-    All fields read by other threads are [Atomic.t]; the contention
-    managers compare two descriptors using only these public fields,
-    reflecting the decentralised setting described in Section 2. *)
+    The fields that carry the inter-transaction protocol — [status] and
+    [waiting] — are [Atomic.t]: enemies CAS the status word, and the
+    waiting flag is a cross-domain signal (Greedy Rule 1).  The
+    heuristic counters ([priority], [aborts], [opens]) are plain
+    mutable ints.  They are monotone advisory inputs to the contention
+    managers, not synchronisation: an enemy comparing priorities may
+    read a value that lags by a few increments, and Eruption's
+    cross-domain pressure transfer may occasionally lose an update to
+    a racing increment — both decide at worst a different but equally
+    legitimate conflict verdict (the managers are heuristics over
+    racy snapshots by design, Section 2's decentralised setting).
+    Plain-int accesses cannot tear in OCaml, so the values read are
+    always some value that was written. *)
 
 type shared = {
   timestamp : int;
       (** Priority: smaller is older is higher-priority.  Retained
           across aborts, refreshed only for a new logical transaction. *)
-  priority : int Atomic.t;
+  mutable priority : int;
       (** Accumulated priority used by Karma / Eruption / Polka:
           incremented on each successful object open, retained across
           aborts, reset on commit (by virtue of the logical transaction
           ending). Other managers ignore it. *)
-  aborts : int Atomic.t;
+  mutable aborts : int;
       (** Number of times this logical transaction was aborted. *)
-  opens : int Atomic.t;
+  mutable opens : int;
       (** Number of successful object opens over all attempts. *)
-  born : float;  (** Wall-clock time of the logical transaction start. *)
 }
 
 type t = {
@@ -41,13 +50,7 @@ type t = {
 }
 
 let new_shared () =
-  {
-    timestamp = Txid.next_timestamp ();
-    priority = Atomic.make 0;
-    aborts = Atomic.make 0;
-    opens = Atomic.make 0;
-    born = Unix.gettimeofday ();
-  }
+  { timestamp = Txid.next_timestamp (); priority = 0; aborts = 0; opens = 0 }
 
 let new_attempt shared =
   {
@@ -60,15 +63,7 @@ let new_attempt shared =
 (** Sentinel owner used for the initial locator of every tvar: a
     permanently committed transaction. *)
 let committed_sentinel =
-  let shared =
-    {
-      timestamp = 0;
-      priority = Atomic.make 0;
-      aborts = Atomic.make 0;
-      opens = Atomic.make 0;
-      born = 0.;
-    }
-  in
+  let shared = { timestamp = 0; priority = 0; aborts = 0; opens = 0 } in
   {
     attempt_id = 0;
     status = Atomic.make Status.Committed;
@@ -77,15 +72,18 @@ let committed_sentinel =
   }
 
 let status t = Atomic.get t.status
-let is_active t = status t = Status.Active
-let is_committed t = status t = Status.Committed
-let is_aborted t = status t = Status.Aborted
+
+(* Match, not [=]: polymorphic equality on variant constants is a
+   runtime call, and these predicates sit on the hot path. *)
+let is_active t = match status t with Status.Active -> true | _ -> false
+let is_committed t = match status t with Status.Committed -> true | _ -> false
+let is_aborted t = match status t with Status.Aborted -> true | _ -> false
 let is_waiting t = Atomic.get t.waiting
 
 let timestamp t = t.shared.timestamp
-let priority t = Atomic.get t.shared.priority
-let abort_count t = Atomic.get t.shared.aborts
-let open_count t = Atomic.get t.shared.opens
+let priority t = t.shared.priority
+let abort_count t = t.shared.aborts
+let open_count t = t.shared.opens
 
 (** [older_than a b] is true when [a] has higher (older) priority. *)
 let older_than a b = timestamp a < timestamp b
@@ -94,7 +92,7 @@ let older_than a b = timestamp a < timestamp b
     the call (whether we did it or it already was). *)
 let try_abort t =
   if Atomic.compare_and_set t.status Status.Active Status.Aborted then begin
-    Atomic.incr t.shared.aborts;
+    t.shared.aborts <- t.shared.aborts + 1;
     true
   end
   else is_aborted t
@@ -102,11 +100,11 @@ let try_abort t =
 (** Owner-side commit.  Fails iff an enemy aborted us first. *)
 let try_commit t = Atomic.compare_and_set t.status Status.Active Status.Committed
 
-let add_priority t n = ignore (Atomic.fetch_and_add t.shared.priority n)
+let add_priority t n = t.shared.priority <- t.shared.priority + n
 
 let record_open t =
-  Atomic.incr t.shared.opens;
-  Atomic.incr t.shared.priority
+  t.shared.opens <- t.shared.opens + 1;
+  t.shared.priority <- t.shared.priority + 1
 
 let pp fmt t =
   Format.fprintf fmt "tx#%d[ts=%d;%a%s]" t.attempt_id (timestamp t) Status.pp

@@ -9,16 +9,19 @@
     each retry, because enemies abort a specific attempt by CAS-ing its
     status word.
 
-    Everything enemies read is atomic; contention managers compare two
-    descriptors using only these public fields, reflecting the
-    decentralised setting of Section 2. *)
+    [status] and [waiting] are atomic — they carry the inter-thread
+    protocol.  The heuristic counters ([priority], [aborts], [opens])
+    are plain mutable ints: monotone advisory inputs to the contention
+    managers, read cross-domain as racy snapshots (no tearing on
+    OCaml ints; a lagging read yields at worst a different but equally
+    legitimate verdict from a heuristic that is defined over stale
+    views anyway). *)
 
 type shared = {
   timestamp : int;  (** Priority: smaller = older = higher. *)
-  priority : int Atomic.t;  (** Karma-style accumulated priority. *)
-  aborts : int Atomic.t;  (** Times this logical transaction aborted. *)
-  opens : int Atomic.t;  (** Successful opens across attempts. *)
-  born : float;  (** Wall-clock start of the logical transaction. *)
+  mutable priority : int;  (** Karma-style accumulated priority. *)
+  mutable aborts : int;  (** Times this logical transaction aborted. *)
+  mutable opens : int;  (** Successful opens across attempts. *)
 }
 
 type t = {

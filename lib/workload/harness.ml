@@ -64,6 +64,12 @@ type outcome = {
   latency_p50_us : float;  (** Median transaction latency, sampled. *)
   latency_p99_us : float;
       (** Tail latency: where contention-manager fairness shows up. *)
+  minor_words : float;
+      (** Minor-heap words allocated by the worker domains during the
+          measurement window ([Gc.quick_stat] deltas, summed — the
+          counters are per-domain in OCaml 5).  Divide by [commits]
+          for the allocation cost per committed transaction. *)
+  major_words : float;  (** Major-heap words, same accounting. *)
   stats : Tcm_stm.Runtime.stats_snapshot;
       (** Full runtime counters (enemy/self aborts, blocks, backoffs)
           for detailed reporting, e.g. the bench's JSON dump. *)
@@ -110,7 +116,10 @@ let run ?poll (cfg : config) : outcome =
   let stop = Atomic.make false in
   let per_thread = Array.make cfg.threads 0 in
   let latencies = Array.make cfg.threads [] in
+  let minor_w = Array.make cfg.threads 0. in
+  let major_w = Array.make cfg.threads 0. in
   let body tid () =
+    let g0 = Gc.quick_stat () in
     let rng = Splitmix.create (cfg.seed + (tid * 7919) + 1) in
     let count = ref 0 in
     let samples = ref [] in
@@ -134,7 +143,10 @@ let run ?poll (cfg : config) : outcome =
       incr count
     done;
     per_thread.(tid) <- !count;
-    latencies.(tid) <- !samples
+    latencies.(tid) <- !samples;
+    let g1 = Gc.quick_stat () in
+    minor_w.(tid) <- g1.Gc.minor_words -. g0.Gc.minor_words;
+    major_w.(tid) <- g1.Gc.major_words -. g0.Gc.major_words
   in
   let t0 = Unix.gettimeofday () in
   let doms = List.init cfg.threads (fun tid -> Domain.spawn (body tid)) in
@@ -176,5 +188,7 @@ let run ?poll (cfg : config) : outcome =
     elapsed_s = elapsed;
     latency_p50_us = Stats.percentile 50. all_latencies;
     latency_p99_us = Stats.percentile 99. all_latencies;
+    minor_words = Array.fold_left ( +. ) 0. minor_w;
+    major_words = Array.fold_left ( +. ) 0. major_w;
     stats = s;
   }

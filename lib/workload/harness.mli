@@ -37,6 +37,11 @@ type outcome = {
   elapsed_s : float;
   latency_p50_us : float;  (** Median sampled transaction latency. *)
   latency_p99_us : float;  (** Tail latency (fairness indicator). *)
+  minor_words : float;
+      (** Minor-heap words allocated by the worker domains during the
+          window (per-domain [Gc.quick_stat] deltas, summed); divide
+          by [commits] for the per-transaction allocation cost. *)
+  major_words : float;  (** Major-heap words, same accounting. *)
   stats : Runtime.stats_snapshot;  (** Full runtime counters. *)
 }
 

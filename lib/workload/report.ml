@@ -110,6 +110,178 @@ module Json = struct
     let buf = Buffer.create 4096 in
     emit buf t;
     Buffer.contents buf
+
+  exception Parse_error of string
+
+  (* Recursive-descent parser for the dialect [emit] writes (strict
+     JSON; numbers with a '.', 'e' or 'E' become [Float], the rest
+     [Int]).  Enough for the analyzer CLIs to re-read bench dumps
+     without an external dependency. *)
+  let of_string str =
+    let n = String.length str in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+    let peek () = if !pos < n then str.[!pos] else '\255' in
+    let rec skip_ws () =
+      match peek () with
+      | ' ' | '\t' | '\n' | '\r' ->
+          incr pos;
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      if peek () = c then incr pos else fail (Printf.sprintf "expected '%c'" c)
+    in
+    let keyword w v =
+      if !pos + String.length w <= n && String.sub str !pos (String.length w) = w then begin
+        pos := !pos + String.length w;
+        v
+      end
+      else fail (Printf.sprintf "expected %s" w)
+    in
+    let utf8 buf cp =
+      (* Encode one code point; surrogate pairs are not recombined
+         ([emit] never writes them — it only escapes C0 controls). *)
+      if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+      else if cp < 0x800 then begin
+        Buffer.add_char buf (Char.chr (0xc0 lor (cp lsr 6)));
+        Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+      end
+      else begin
+        Buffer.add_char buf (Char.chr (0xe0 lor (cp lsr 12)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+        Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+      end
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string";
+        match str.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+            incr pos;
+            (if !pos >= n then fail "unterminated escape");
+            (match str.[!pos] with
+            | '"' -> Buffer.add_char buf '"'; incr pos
+            | '\\' -> Buffer.add_char buf '\\'; incr pos
+            | '/' -> Buffer.add_char buf '/'; incr pos
+            | 'b' -> Buffer.add_char buf '\b'; incr pos
+            | 'f' -> Buffer.add_char buf '\012'; incr pos
+            | 'n' -> Buffer.add_char buf '\n'; incr pos
+            | 'r' -> Buffer.add_char buf '\r'; incr pos
+            | 't' -> Buffer.add_char buf '\t'; incr pos
+            | 'u' ->
+                if !pos + 4 >= n then fail "truncated \\u escape";
+                let hex = String.sub str (!pos + 1) 4 in
+                (match int_of_string_opt ("0x" ^ hex) with
+                | Some cp -> utf8 buf cp
+                | None -> fail "bad \\u escape");
+                pos := !pos + 5
+            | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+            go ()
+        | c ->
+            Buffer.add_char buf c;
+            incr pos;
+            go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && is_num_char str.[!pos] do
+        incr pos
+      done;
+      let tok = String.sub str start (!pos - start) in
+      let floaty = String.exists (fun c -> c = '.' || c = 'e' || c = 'E') tok in
+      if floaty then
+        match float_of_string_opt tok with
+        | Some f -> Float f
+        | None -> fail "bad number"
+      else
+        match int_of_string_opt tok with
+        | Some i -> Int i
+        | None -> (
+            match float_of_string_opt tok with
+            | Some f -> Float f
+            | None -> fail "bad number")
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | 'n' -> keyword "null" Null
+      | 't' -> keyword "true" (Bool true)
+      | 'f' -> keyword "false" (Bool false)
+      | '"' -> Str (parse_string ())
+      | '[' ->
+          incr pos;
+          skip_ws ();
+          if peek () = ']' then begin
+            incr pos;
+            Arr []
+          end
+          else begin
+            let rec elems acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | ',' ->
+                  incr pos;
+                  elems (v :: acc)
+              | ']' ->
+                  incr pos;
+                  List.rev (v :: acc)
+              | _ -> fail "expected ',' or ']'"
+            in
+            Arr (elems [])
+          end
+      | '{' ->
+          incr pos;
+          skip_ws ();
+          if peek () = '}' then begin
+            incr pos;
+            Obj []
+          end
+          else begin
+            let member () =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              (k, v)
+            in
+            let rec members acc =
+              let kv = member () in
+              skip_ws ();
+              match peek () with
+              | ',' ->
+                  incr pos;
+                  members (kv :: acc)
+              | '}' ->
+                  incr pos;
+                  List.rev (kv :: acc)
+              | _ -> fail "expected ',' or '}'"
+            in
+            Obj (members [])
+          end
+      | '-' | '0' .. '9' -> parse_number ()
+      | '\255' -> fail "unexpected end of input"
+      | c -> fail (Printf.sprintf "unexpected '%c'" c)
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
 end
 
 let json_of_outcome (o : Harness.outcome) : Json.t =
@@ -122,6 +294,10 @@ let json_of_outcome (o : Harness.outcome) : Json.t =
       ("conflicts", Json.Int o.Harness.conflicts);
       ("latency_p50_us", Json.Float o.Harness.latency_p50_us);
       ("latency_p99_us", Json.Float o.Harness.latency_p99_us);
+      (* tcm-bench/2: GC allocation during the measurement window
+         (summed per-domain quick_stat deltas). *)
+      ("minor_words", Json.Float o.Harness.minor_words);
+      ("major_words", Json.Float o.Harness.major_words);
       ("enemy_aborts", Json.Int s.Tcm_stm.Runtime.n_enemy_aborts);
       ("self_aborts", Json.Int s.Tcm_stm.Runtime.n_self_aborts);
       ("blocks", Json.Int s.Tcm_stm.Runtime.n_blocks);
@@ -163,7 +339,7 @@ let bench_json ?(extra = []) ~mode ~duration_s ~seed
   Json.to_string
     (Json.Obj
        ([
-          ("schema", Json.Str "tcm-bench/1");
+          ("schema", Json.Str "tcm-bench/2");
           ("mode", Json.Str mode);
           ("duration_s_per_point", Json.Float duration_s);
           ("seed", Json.Int seed);

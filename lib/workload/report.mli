@@ -25,6 +25,16 @@ module Json : sig
     | Obj of (string * t) list
 
   val to_string : t -> string
+
+  exception Parse_error of string
+
+  val of_string : string -> t
+  (** Strict-JSON parser for the dialect {!to_string} emits, so the
+      analyzer CLIs can re-read bench dumps without an external
+      dependency.  @raise Parse_error on malformed input. *)
+
+  val member : string -> t -> t option
+  (** Object field lookup; [None] on missing keys and non-objects. *)
 end
 
 val json_of_outcome : Harness.outcome -> Json.t

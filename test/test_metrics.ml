@@ -213,6 +213,12 @@ let populated () =
   M.Conventions.attempt_commit mx ~duration:120 ~read_set:9;
   M.Conventions.attempt_begin mx;
   M.Conventions.attempt_abort mx ~duration:4000;
+  M.Conventions.pool_event mx M.Conventions.p_hit;
+  M.Conventions.pool_event mx M.Conventions.p_hit;
+  M.Conventions.pool_event mx M.Conventions.p_hit;
+  M.Conventions.pool_event mx M.Conventions.p_miss;
+  M.Conventions.pool_event mx M.Conventions.p_recycled;
+  M.Conventions.pool_event mx 99 (* out of range: dropped *);
   M.disable ();
   M.snapshot ()
 
@@ -253,6 +259,15 @@ let t_prometheus_roundtrip () =
   Alcotest.(check (float 1e-9))
     "resolve verdict carried" 1.
     (value M.Conventions.n_resolve [ ("verdict", "block") ]);
+  Alcotest.(check (float 1e-9))
+    "pool hits carried" 3.
+    (value M.Conventions.n_pool [ ("event", "hit") ]);
+  Alcotest.(check (float 1e-9))
+    "pool misses carried" 1.
+    (value M.Conventions.n_pool [ ("event", "miss") ]);
+  Alcotest.(check (float 1e-9))
+    "pool recycles carried" 1.
+    (value M.Conventions.n_pool [ ("event", "recycled") ]);
   (* Histogram exposition: _count and _sum lines, plus a cumulative
      +Inf bucket equal to _count. *)
   Alcotest.(check (float 1e-9)) "wait count" 1. (value (M.Conventions.n_wait ^ "_count") []);
@@ -279,7 +294,22 @@ let t_health_rows () =
       Alcotest.(check (float 1e-9)) "wasted" 0.5 r.M.Health.wasted_frac;
       check_int "verdict mix" 1 (List.assoc "block" r.M.Health.verdicts);
       check_int "other verdicts zero" 0 (List.assoc "abort_self" r.M.Health.verdicts);
-      check_bool "wait p50 sane" true (r.M.Health.wait_p50 >= 32. && r.M.Health.wait_p50 <= 64.)
+      check_bool "wait p50 sane" true (r.M.Health.wait_p50 >= 32. && r.M.Health.wait_p50 <= 64.);
+      (* 3 hits / (3 hits + 1 miss); the out-of-range event was dropped. *)
+      Alcotest.(check (float 1e-9)) "pool efficiency" 0.75 r.M.Health.pool_eff
+  | rows -> Alcotest.fail (Printf.sprintf "expected one row, got %d" (List.length rows))
+
+(* A series that never takes a locator (e.g. the simulator) has no
+   pool hit rate, not a zero one. *)
+let t_health_pool_idle () =
+  fresh ();
+  M.enable ();
+  let mx = M.Conventions.for_manager ~runtime:"sim" "simmgr" in
+  M.Conventions.attempt_begin mx;
+  M.Conventions.attempt_commit mx ~duration:3 ~read_set:1;
+  M.disable ();
+  match M.Health.rows (M.snapshot ()) with
+  | [ r ] -> check_bool "pool_eff is nan" true (Float.is_nan r.M.Health.pool_eff)
   | rows -> Alcotest.fail (Printf.sprintf "expected one row, got %d" (List.length rows))
 
 let t_sampler_windows () =
@@ -329,6 +359,7 @@ let () =
       ( "report",
         [
           Alcotest.test_case "health rows" `Quick t_health_rows;
+          Alcotest.test_case "health pool idle" `Quick t_health_pool_idle;
           Alcotest.test_case "sampler windows" `Quick t_sampler_windows;
         ] );
     ]

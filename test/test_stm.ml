@@ -494,7 +494,8 @@ let t_inv_published_stamp_race () =
   (* Hand-build an enemy frozen between publication and its status
      CAS: locator installed, commit stamp published, still Active. *)
   let enemy = Txn.new_attempt (Txn.new_shared ()) in
-  Atomic.set a.Tvar.loc { Tvar.owner = enemy; old_v = 100; new_v = ref 200 };
+  Atomic.set a.Tvar.loc
+    { Tvar.owner = enemy; old_v = 100; new_v = 200; gen = Atomic.make 0 };
   Tvar.bump_version a;
   Tvar.advance_stamp (Tvar.stamp_cell a) (Tvar.next_stamp ());
   let attempts = ref 0 in
@@ -520,6 +521,137 @@ let t_stamp_monotone () =
   check_int "lagging publication cannot move a stamp backward" 10 (Atomic.get cell);
   Tvar.advance_stamp cell 12;
   check_int "newer stamp still advances" 12 (Atomic.get cell)
+
+(* ------------------------------------------------------------------ *)
+(* Locator pool (PR 4: allocation-free write path)                     *)
+(* ------------------------------------------------------------------ *)
+
+let t_pool_reuse_lifo () =
+  let p = Tvar.domain_pool () in
+  let owner = Txn.new_attempt (Txn.new_shared ()) in
+  let l1 = Tvar.take_locator p ~owner ~old_v:1 ~new_v:2 in
+  let g1 = Tvar.locator_gen l1 in
+  ignore (Txn.try_commit owner);
+  (* Owner decided + never published: recyclable. *)
+  check_bool "recycled" true (Tvar.recycle_locator p l1);
+  let l2 = Tvar.take_locator p ~owner ~old_v:3 ~new_v:4 in
+  check_bool "freelist is LIFO: same locator back" true (l2 == l1);
+  check_bool "reported as a hit" true (Tvar.last_take_hit p);
+  check_int "generation bumped once per reuse" (g1 + 1) (Tvar.locator_gen l2);
+  check_int "fields refilled" 3 l2.Tvar.old_v;
+  check_int "tentative value preset" 4 l2.Tvar.new_v
+
+let t_pool_hazard_blocks_reuse () =
+  let p = Tvar.domain_pool () in
+  let owner = Txn.new_attempt (Txn.new_shared ()) in
+  ignore (Txn.try_commit owner);
+  let l = Tvar.take_locator p ~owner ~old_v:1 ~new_v:2 in
+  let g = Tvar.locator_gen l in
+  check_bool "recycled" true (Tvar.recycle_locator p l);
+  (* A published hazard freezes the incarnation: the pop must drop the
+     held candidate, never hand it back. *)
+  Tvar.protect p l;
+  let l' = Tvar.take_locator p ~owner ~old_v:5 ~new_v:6 in
+  check_bool "held locator not reused" true (not (l' == l));
+  check_int "held incarnation untouched" g (Tvar.locator_gen l);
+  check_int "held fields untouched" 1 l.Tvar.old_v;
+  Tvar.unprotect p;
+  (* Dropped, not deferred: the slot was consumed by the scan. *)
+  let l'' = Tvar.take_locator p ~owner ~old_v:7 ~new_v:8 in
+  check_bool "dropped candidate stays dropped" true (not (l'' == l))
+
+let t_pool_capacity_bounded () =
+  let p = Tvar.domain_pool () in
+  let owner = Txn.new_attempt (Txn.new_shared ()) in
+  ignore (Txn.try_commit owner);
+  (* Push fresh locators until the cap rejects one: retention is
+     bounded, overflow is dropped for the GC rather than queued. *)
+  let rejected = ref false in
+  let pushes = ref 0 in
+  while (not !rejected) && !pushes < 10_000 do
+    incr pushes;
+    let l = { Tvar.owner; old_v = 0; new_v = 0; gen = Atomic.make 0 } in
+    if not (Tvar.recycle_locator p l) then rejected := true
+  done;
+  check_bool "cap rejects the overflow push" true !rejected;
+  check_bool "freelist stays bounded" true (!pushes <= 65 && Tvar.pool_size p <= 64)
+
+(* Read-only commits in invisible mode skip publication entirely — but
+   must still abort on a stale read set (deterministic regression for
+   the fast path). *)
+let t_read_only_fast_path_still_validates () =
+  let rt = invisible_rt () in
+  let a = Tvar.make 10 and b = Tvar.make 20 in
+  let attempts = ref 0 in
+  let sum =
+    Stm.atomically rt (fun tx ->
+        incr attempts;
+        let x = Stm.read tx a in
+        if !attempts = 1 then
+          enemy_commit rt (fun tx' ->
+              Stm.write tx' a 11;
+              Stm.write tx' b 19);
+        (* No writes: commit takes the validate-only fast path, which
+           must notice [a] moved rather than publish the torn sum. *)
+        x + Stm.read tx b)
+  in
+  check_int "fast path aborted the stale snapshot" 2 !attempts;
+  check_int "second attempt sees a consistent pair" 30 sum
+
+(* Multi-domain ABA hammer: writers continuously displace and recycle
+   locators on a shared pair while readers race them.  A reader that
+   trusts a recycled locator's fields (the classic pooling ABA) would
+   observe a torn pair and break the invariant a + b = 0.  Run once
+   per read mode — each mode homogeneous, since a runtime's conflict
+   detection only covers peers of its own mode (visible writers drain
+   reader slots; invisible writers publish stamps). *)
+let pool_aba_hammer read_mode () =
+  let a = Tvar.make 0 and b = Tvar.make 0 in
+  (* Churn variables so writer pools constantly recycle. *)
+  let churn = Array.init 8 (fun _ -> Tvar.make 0) in
+  let rt =
+    Stm.create
+      ~config:{ Runtime.default_config with read_mode }
+      (module Tcm_core.Greedy)
+  in
+  let stop = Atomic.make false in
+  let torn = Atomic.make 0 in
+  let writer seed () =
+    let rng = Splitmix.create seed in
+    while not (Atomic.get stop) do
+      Stm.atomically rt (fun tx ->
+          let x = Stm.read tx a in
+          Stm.write tx a (x + 1);
+          Stm.write tx b (-(x + 1));
+          let c = churn.(Splitmix.int rng (Array.length churn)) in
+          Stm.write tx c x)
+    done
+  in
+  let reader () =
+    while not (Atomic.get stop) do
+      let s = Stm.atomically rt (fun tx -> Stm.read tx a + Stm.read tx b) in
+      if s <> 0 then Atomic.incr torn;
+      (* Non-transactional peeks exercise the seqlock path too. *)
+      ignore (Tvar.peek a)
+    done
+  in
+  let doms =
+    [
+      Domain.spawn (writer 1);
+      Domain.spawn (writer 2);
+      Domain.spawn (writer 3);
+      Domain.spawn (reader);
+      Domain.spawn (reader);
+    ]
+  in
+  Unix.sleepf 0.3;
+  Atomic.set stop true;
+  List.iter Domain.join doms;
+  check_int "no torn reads through recycled locators" 0 (Atomic.get torn);
+  check_int "final pair consistent" 0 (Tvar.peek a + Tvar.peek b)
+
+let t_pool_aba_hammer_visible () = pool_aba_hammer `Visible ()
+let t_pool_aba_hammer_invisible () = pool_aba_hammer `Invisible ()
 
 (* qcheck: arbitrary interleavings of single-threaded transactions on a
    register behave like plain assignments. *)
@@ -585,6 +717,16 @@ let () =
           Alcotest.test_case "published stamp under active owner" `Quick
             t_inv_published_stamp_race;
           Alcotest.test_case "stamps are monotone" `Quick t_stamp_monotone;
+        ] );
+      ( "locator pool",
+        [
+          Alcotest.test_case "reuse is LIFO with a generation bump" `Quick t_pool_reuse_lifo;
+          Alcotest.test_case "hazard blocks reuse" `Quick t_pool_hazard_blocks_reuse;
+          Alcotest.test_case "capacity bounded" `Quick t_pool_capacity_bounded;
+          Alcotest.test_case "read-only fast path still validates" `Quick
+            t_read_only_fast_path_still_validates;
+          Alcotest.test_case "ABA hammer (visible)" `Quick t_pool_aba_hammer_visible;
+          Alcotest.test_case "ABA hammer (invisible)" `Quick t_pool_aba_hammer_invisible;
         ] );
       ( "concurrency",
         [

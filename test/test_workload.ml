@@ -44,6 +44,37 @@ let t_json_emit () =
             ("d", Float 2.5);
           ]))
 
+let t_json_parse_roundtrip () =
+  let open Report.Json in
+  let v =
+    Obj
+      [
+        ("schema", Str "tcm-bench/2");
+        ("seed", Int 42);
+        ("minor_words", Float 8123.5);
+        ("empty", Arr []);
+        ("rows", Arr [ Obj [ ("threads", Int 2); ("ok", Bool true); ("gap", Null) ] ]);
+        ("text", Str "a\"b\\c\nd\twide: \xc3\xa9");
+      ]
+  in
+  (match of_string (to_string v) with
+  | v' when v' = v -> ()
+  | v' -> Alcotest.fail (Printf.sprintf "roundtrip drifted: %s" (to_string v')));
+  (* Whitespace and \u escapes, as other emitters write them. *)
+  (match of_string "  { \"a\" : [ 1 , 2.5 , \"\\u0041\\u00e9\" ] }\n" with
+  | Obj [ ("a", Arr [ Int 1; Float 2.5; Str "A\xc3\xa9" ]) ] -> ()
+  | j -> Alcotest.fail (Printf.sprintf "unexpected parse: %s" (to_string j)));
+  check_bool "member finds" true (member "seed" v = Some (Int 42));
+  check_bool "member misses" true (member "nope" v = None);
+  List.iter
+    (fun bad ->
+      check_bool ("rejects " ^ bad) true
+        (try
+           ignore (of_string bad);
+           false
+         with Parse_error _ -> true))
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2" ]
+
 let t_cv () =
   check_float "no spread" 0. (Stats.cv [ 4.; 4.; 4. ]);
   check_float "zero mean" 0. (Stats.cv [ 0.; 0. ]);
@@ -87,7 +118,11 @@ let t_harness_runs () =
   check_int "per-thread adds up" o.Harness.commits (Array.fold_left ( + ) 0 o.Harness.per_thread);
   check_bool "throughput positive" true (o.Harness.throughput > 0.);
   check_bool "latency sampled" true (o.Harness.latency_p50_us > 0.);
-  check_bool "p99 >= p50" true (o.Harness.latency_p99_us >= o.Harness.latency_p50_us)
+  check_bool "p99 >= p50" true (o.Harness.latency_p99_us >= o.Harness.latency_p50_us);
+  (* The GC accounting must see the worker domains' allocation (the
+     skiplist workload allocates per txn). *)
+  check_bool "minor words counted" true (o.Harness.minor_words > 0.);
+  check_bool "major words non-negative" true (o.Harness.major_words >= 0.)
 
 let t_harness_post_work_slows () =
   let base = { Harness.default with threads = 1; duration_s = 0.05 } in
@@ -239,6 +274,7 @@ let () =
           Alcotest.test_case "stddev" `Quick t_stddev;
           Alcotest.test_case "percentiles" `Quick t_percentile;
           Alcotest.test_case "json emitter" `Quick t_json_emit;
+          Alcotest.test_case "json parse roundtrip" `Quick t_json_parse_roundtrip;
           Alcotest.test_case "coefficient of variation" `Quick t_cv;
           Alcotest.test_case "histogram" `Quick t_histogram;
           Alcotest.test_case "histogram upper edge" `Quick t_histogram_upper_edge;
