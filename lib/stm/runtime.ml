@@ -43,8 +43,10 @@
       place and recycled when displaced;
     - the transaction context [tx] is a per-domain scratch record,
       reused across attempts and logical transactions; its read log
-      and write-stamp log are growable flat arrays reset by length,
-      not reallocation;
+      and write-stamp log are growable flat arrays, never reallocated
+      mid-attempt and scrubbed (dummy-filled, oversized arrays
+      dropped) when the attempt ends, so a finished transaction pins
+      none of its read set;
     - per logical transaction the runtime allocates only the [shared]
       descriptor, and per attempt only the [Txn.t] attempt record with
       its two atomics — those must stay fresh, because enemies abort a
@@ -407,6 +409,25 @@ let push_wstamp tx cell =
   tx.wstamps.(tx.wstamps_len) <- cell;
   tx.wstamps_len <- tx.wstamps_len + 1
 
+(* Scratch arrays above this capacity are replaced rather than kept: a
+   single huge transaction must not pin a huge log on the domain
+   forever. *)
+let log_retain_cap = 1024
+
+(* Scrub the scratch logs when an attempt ends.  Resetting by length
+   alone would keep every entry — closures over tvars, stamp cells and
+   user values — reachable until the slot happens to be overwritten by
+   a later transaction, pinning a finished transaction's whole read
+   set.  Runs in the attempt epilogue (commit and abort), so the cost
+   sits next to the O(read set) work the attempt already did. *)
+let clear_logs tx =
+  if Array.length tx.read_log > log_retain_cap then tx.read_log <- empty_log
+  else if tx.read_len > 0 then Array.fill tx.read_log 0 tx.read_len dummy_entry;
+  tx.read_len <- 0;
+  if Array.length tx.wstamps > log_retain_cap then tx.wstamps <- empty_wstamps
+  else if tx.wstamps_len > 0 then Array.fill tx.wstamps 0 tx.wstamps_len no_stamp;
+  tx.wstamps_len <- 0
+
 (* The entry captures the owner and seqlock generation it was resolved
    under: [check] must never dereference [loc.owner] afresh, because a
    recycled locator's owner field belongs to a different transaction —
@@ -495,31 +516,39 @@ let rec drain_readers tx tvar attempts =
 
    Pooled locators make the two classic windows of the DSTM install
    CAS dangerous, and one hazard-slot publication per open closes
-   both:
+   both — {e provided no field of [loc] is read before the hazard is
+   known effective}:
 
-   - {e Field reads.}  After [Tvar.protect] (an SC store, so it
-     fences) there is exactly one incarnation of [loc] for the rest of
-     the open: any displacement ordered after the fence reaches the
-     freelist pop's hazard scan, which drops held candidates.  The
-     seqlock re-check of [gen] then validates that the owner/value
-     reads all came from that one incarnation (a refill that raced the
-     protect bumps [gen] first, so mixed reads re-loop).
+   - {e Field reads.}  [Tvar.protect] (an SC store, so it fences) is
+     followed by a re-load of the variable that must still yield
+     [loc] before any field is touched.  The re-load orders the field
+     reads after the install CAS of whichever incarnation is linked
+     (they read a locator whose refill completed before that CAS),
+     and the hazard guarantees there will be no {e next} incarnation
+     while we hold it: any displacement ordered after our re-load
+     reaches the freelist pop's hazard scan, which drops held
+     candidates.  Protecting without re-loading would not be enough —
+     a freelist pop that raced the protect leaves [loc] mid-refill,
+     its [owner] and value fields mixing incarnations (the bug class
+     this ordering exists to rule out: a stale [owner] read could
+     even present a dead attempt of ours as live ownership and let
+     the repeat-write store below corrupt an enemy's locator).
 
-   - {e The CAS itself.}  The same single-incarnation argument makes
-     the install CAS ABA-free — [loc] cannot be displaced, recycled
-     and reinstalled behind its back — so the CAS doubles as the
-     linkage check: success proves the validated incarnation was
-     linked continuously, and the displaced [loc] satisfies the
-     reclamation rule (owner decided, unlinked by our CAS).
+   - {e The CAS itself.}  The same argument makes the install CAS
+     ABA-free — from the re-load on, [loc] cannot be displaced,
+     recycled and reinstalled behind its back — so a successful CAS
+     proves the incarnation we validated was linked continuously, and
+     the displaced [loc] satisfies the reclamation rule (owner
+     decided, unlinked by our CAS).
 
    Presetting [new_v] through [take_locator] (before publication)
    means no store into a {e published} locator is needed on the fresh
-   path; the only such store is the repeat-write branch below, where
-   the hazard plus a linked re-check keeps it from corrupting a
-   recycled locator's next incarnation.  The hazard slot stays
-   published between opens — the next open overwrites it, and the
-   attempt epilogue ([finish_attempt]) clears it — so an open costs
-   one hazard store, not a protect/unprotect pair.
+   path; the only such store is the repeat-write branch below, safe
+   because the hazard-then-linked re-check proved [loc] is our own
+   live incarnation and pinned it against recycling.  The hazard slot
+   stays published between opens — the next open overwrites it, and
+   the attempt epilogue clears it — so an open costs one hazard store
+   and one extra load, not a protect/unprotect pair.
 
    When the incumbent's owner is already decided — the uncontended
    case — the contention manager is not consulted at all: a dead
@@ -531,80 +560,65 @@ let rec open_write : 'a. tx -> 'a Tvar.t -> put:bool -> 'a -> int -> 'a =
    let pool = tx.dom.pool in
    let loc = Atomic.get tvar.Tvar.loc in
    Tvar.protect pool loc;
-   let g = Tvar.locator_gen loc in
-   let owner = loc.Tvar.owner in
-   if owner == tx.txn then
+   if Atomic.get tvar.Tvar.loc != loc then
+     (* Displaced before the hazard took effect (possibly mid-refill
+        by now); nothing was read from it.  Retry from a fresh load. *)
+     open_write tx tvar ~put v attempts
+   else if loc.Tvar.owner == tx.txn then
      (* Repeat access to a variable we hold.  (Ownership cannot be
-        spurious: only this domain writes this attempt's descriptor
-        into owner fields.)  Before storing, re-check that [loc] is
-        still linked — it was loaded before the hazard fence, so it
-        may already have been displaced (we were aborted) and even
-        popped for reuse; linked-after-fence rules that out. *)
-     if put then
-       if Atomic.get tvar.Tvar.loc == loc then begin
-         loc.Tvar.new_v <- v;
-         v
-       end
-       else begin
-         check_self tx;
-         (* Unlinked but somehow still active: impossible (our locator
-            is displaced only after our abort), so [check_self] raised. *)
-         raise Abort_attempt
-       end
-     else
-       let cur = loc.Tvar.new_v in
-       if Tvar.locator_gen loc = g then cur
-       else begin
-         check_self tx;
-         raise Abort_attempt
-       end
+        spurious: the linked re-check above ordered this read after
+        the install CAS of the linked incarnation, and only this
+        domain writes this attempt's descriptor into owner fields.)
+        [loc] is pinned by the hazard, so the store below cannot land
+        in a recycled locator's next incarnation. *)
+     if put then begin
+       loc.Tvar.new_v <- v;
+       v
+     end
+     else loc.Tvar.new_v
    else begin
+     let owner = loc.Tvar.owner in
      let st = Txn.status owner in
-     let cur =
-       match st with Status.Committed -> loc.Tvar.new_v | _ -> loc.Tvar.old_v
-     in
-     if Tvar.locator_gen loc <> g then
-       (* Recycled between the load and the hazard fence: the fields
-          may mix incarnations; retry from a fresh load. *)
-       open_write tx tvar ~put v attempts
-     else
-       match st with
-       | Status.Active ->
-           resolve_conflict tx ~other:owner ~attempts;
-           open_write tx tvar ~put v (attempts + 1)
-       | Status.Committed | Status.Aborted ->
-           let value = if put then v else cur in
-           let nloc = Tvar.take_locator pool ~owner:tx.txn ~old_v:cur ~new_v:value in
-           Tcm_metrics.Conventions.pool_event tx.dom.mx
-             (if Tvar.last_take_hit pool then Tcm_metrics.Conventions.p_hit
-              else Tcm_metrics.Conventions.p_miss);
-           if Atomic.compare_and_set tvar.Tvar.loc loc nloc then begin
-             if Tvar.recycle_locator pool loc then
-               Tcm_metrics.Conventions.pool_event tx.dom.mx
-                 Tcm_metrics.Conventions.p_recycled;
-             (match tx.cfg.read_mode with
-              | `Visible -> drain_readers tx tvar 0
-              | `Invisible ->
-                  (* Make concurrent invisible readers revalidate,
-                     record the cell for commit publication, and
-                     re-check our own read set (the entry on this very
-                     variable flips to its upgrade branch). *)
-                  Tvar.bump_version tvar;
-                  push_wstamp tx (Tvar.stamp_cell tvar);
-                  validate_extend tx ~extend:true);
-             tx.n_writes <- tx.n_writes + 1;
-             cm_opened tx;
-             Tcm_trace.Sink.acquired ~txid:(Txn.timestamp tx.txn)
-               ~obj:tvar.Tvar.id ~write:true ~tick:0;
-             value
-           end
-           else begin
-             (* Lost the install race; [nloc] was never published, so
-                it goes straight back to the freelist (no [recycled]
-                event: nothing was displaced). *)
-             ignore (Tvar.recycle_locator pool nloc);
-             open_write tx tvar ~put v attempts
-           end
+     match st with
+     | Status.Active ->
+         resolve_conflict tx ~other:owner ~attempts;
+         open_write tx tvar ~put v (attempts + 1)
+     | Status.Committed | Status.Aborted ->
+         let cur =
+           match st with Status.Committed -> loc.Tvar.new_v | _ -> loc.Tvar.old_v
+         in
+         let value = if put then v else cur in
+         let nloc = Tvar.take_locator pool ~owner:tx.txn ~old_v:cur ~new_v:value in
+         Tcm_metrics.Conventions.pool_event tx.dom.mx
+           (if Tvar.last_take_hit pool then Tcm_metrics.Conventions.p_hit
+            else Tcm_metrics.Conventions.p_miss);
+         if Atomic.compare_and_set tvar.Tvar.loc loc nloc then begin
+           if Tvar.recycle_locator pool loc then
+             Tcm_metrics.Conventions.pool_event tx.dom.mx
+               Tcm_metrics.Conventions.p_recycled;
+           (match tx.cfg.read_mode with
+            | `Visible -> drain_readers tx tvar 0
+            | `Invisible ->
+                (* Make concurrent invisible readers revalidate,
+                   record the cell for commit publication, and
+                   re-check our own read set (the entry on this very
+                   variable flips to its upgrade branch). *)
+                Tvar.bump_version tvar;
+                push_wstamp tx (Tvar.stamp_cell tvar);
+                validate_extend tx ~extend:true);
+           tx.n_writes <- tx.n_writes + 1;
+           cm_opened tx;
+           Tcm_trace.Sink.acquired ~txid:(Txn.timestamp tx.txn)
+             ~obj:tvar.Tvar.id ~write:true ~tick:0;
+           value
+         end
+         else begin
+           (* Lost the install race; [nloc] was never published, so
+              it goes straight back to the freelist (no [recycled]
+              event: nothing was displaced). *)
+           ignore (Tvar.recycle_locator pool nloc);
+           open_write tx tvar ~put v attempts
+         end
    end
 
 (* ------------------------------------------------------------------ *)
@@ -613,19 +627,22 @@ let rec open_write : 'a. tx -> 'a Tvar.t -> put:bool -> 'a -> int -> 'a =
 
 let write tx tvar v = ignore (open_write tx tvar ~put:true v 0)
 
-(* Seqlock read of a locator we believe we own.  The ownership test
-   itself needs no generation check: only this domain ever stores this
-   attempt's descriptor into an owner field, so a recycled locator can
-   never spuriously present [tx.txn] as owner.  A failed re-check
-   means our locator was displaced — possible only after an enemy
-   aborted us — so the attempt restarts. *)
+(* Seqlock read of a locator we believe we own.  The generation must
+   be even (no refill in flight) before any field is trusted — an odd
+   or changed generation means the fields may mix incarnations, so the
+   read retries from a fresh locator load.  Under a stable generation
+   the ownership test cannot be spurious: only this domain ever stores
+   this attempt's descriptor into an owner field.  A re-check that
+   fails on the owned path means our locator was displaced — possible
+   only after an enemy aborted us — so the attempt restarts. *)
 
 let rec read_visible : 'a. tx -> 'a Tvar.t -> int -> 'a =
   fun tx tvar attempts ->
    check_self tx;
    let loc = Atomic.get tvar.Tvar.loc in
    let g = Tvar.locator_gen loc in
-   if loc.Tvar.owner == tx.txn then begin
+   if not (Tvar.gen_stable g) then read_visible tx tvar attempts
+   else if loc.Tvar.owner == tx.txn then begin
      let v = loc.Tvar.new_v in
      if Tvar.locator_gen loc = g then v
      else begin
@@ -640,32 +657,35 @@ let rec read_visible : 'a. tx -> 'a Tvar.t -> int -> 'a =
         observed right here. *)
      let loc = Atomic.get tvar.Tvar.loc in
      let g = Tvar.locator_gen loc in
-     let owner = loc.Tvar.owner in
-     if owner == tx.txn then begin
-       let v = loc.Tvar.new_v in
-       if Tvar.locator_gen loc = g then v
-       else begin
-         check_self tx;
-         raise Abort_attempt
-       end
-     end
+     if not (Tvar.gen_stable g) then read_visible tx tvar attempts
      else begin
-       let st = Txn.status owner in
-       let v =
-         match st with Status.Committed -> loc.Tvar.new_v | _ -> loc.Tvar.old_v
-       in
-       if Tvar.locator_gen loc <> g then
-         (* Recycled under us: fields (and [owner]) may mix
-            incarnations; retry from a fresh locator load. *)
-         read_visible tx tvar attempts
-       else
-         match st with
-         | Status.Active ->
-             resolve_conflict tx ~other:owner ~attempts;
-             read_visible tx tvar (attempts + 1)
-         | Status.Committed | Status.Aborted ->
-             cm_opened tx;
-             v
+       let owner = loc.Tvar.owner in
+       if owner == tx.txn then begin
+         let v = loc.Tvar.new_v in
+         if Tvar.locator_gen loc = g then v
+         else begin
+           check_self tx;
+           raise Abort_attempt
+         end
+       end
+       else begin
+         let st = Txn.status owner in
+         let v =
+           match st with Status.Committed -> loc.Tvar.new_v | _ -> loc.Tvar.old_v
+         in
+         if Tvar.locator_gen loc <> g then
+           (* Recycled under us: fields (and [owner]) may mix
+              incarnations; retry from a fresh locator load. *)
+           read_visible tx tvar attempts
+         else
+           match st with
+           | Status.Active ->
+               resolve_conflict tx ~other:owner ~attempts;
+               read_visible tx tvar (attempts + 1)
+           | Status.Committed | Status.Aborted ->
+               cm_opened tx;
+               v
+       end
      end
    end
 
@@ -674,7 +694,8 @@ let rec read_invisible : 'a. tx -> 'a Tvar.t -> 'a =
    check_self tx;
    let loc = Atomic.get tvar.Tvar.loc in
    let g = Tvar.locator_gen loc in
-   if loc.Tvar.owner == tx.txn then begin
+   if not (Tvar.gen_stable g) then read_invisible tx tvar
+   else if loc.Tvar.owner == tx.txn then begin
      let v = loc.Tvar.new_v in
      if Tvar.locator_gen loc = g then v
      else begin
@@ -803,6 +824,7 @@ let finish_abort dom tx m_t0 =
   (* An abort can be raised while the hazard slot covers a locator
      (validation inside [acquire], conflict resolution mid-drain). *)
   Tvar.unprotect dom.pool;
+  clear_logs tx;
   Tcm_trace.Sink.attempt_abort ~txid:(Txn.timestamp tx.txn)
     ~attempt:tx.txn.Txn.attempt_id ~tick:0;
   if m_t0 > 0. then Tcm_metrics.Conventions.attempt_abort dom.mx ~duration:(m_us m_t0);
@@ -838,8 +860,11 @@ let rec attempt_loop : 'a. t -> per_domain -> tx -> (tx -> 'a) -> Txn.shared -> 
        if commit tx then begin
          (* Opens leave the hazard slot published (one store per open,
             not a pair); release it now so the last locator we touched
-            does not linger un-recyclable. *)
+            does not linger un-recyclable.  Scrub the logs so the
+            committed read set's entries (and the values they close
+            over) do not stay pinned by the scratch descriptor. *)
          Tvar.unprotect dom.pool;
+         clear_logs tx;
          tick dom.shard ix_commits;
          Tcm_trace.Sink.attempt_commit ~txid:(Txn.timestamp txn)
            ~attempt:txn.Txn.attempt_id ~tick:0;

@@ -26,13 +26,18 @@
     - {e Seqlock generations.}  A pooled locator's fields are mutable,
       so a reader that loaded the locator pointer may observe fields
       from a {e later incarnation} if the locator is recycled
-      mid-read.  Every locator therefore carries a generation counter
-      [gen], bumped exactly once per reuse — {e before} any field of
-      the new incarnation is written.  Readers use the seqlock recipe:
-      load the locator, load [gen], read the fields, re-check [gen].
-      An unchanged generation proves the fields all belonged to the
-      incarnation that was linked at the initial load, so the read
-      linearizes there, exactly like the unpooled protocol.
+      mid-read.  Every locator therefore carries a two-phase
+      generation counter [gen]: a refill bumps it to an {e odd} value
+      before storing any field of the new incarnation and to the next
+      {e even} value once the stores are done, so an odd generation
+      means "refill in flight — fields unreliable".  Readers use the
+      seqlock recipe: load the locator, load [gen] and {e retry if it
+      is odd}, read the fields, re-check [gen].  An unchanged (hence
+      even) generation proves the fields all belonged to one completed
+      incarnation — a reader whose first [gen] load lands between the
+      odd bump and the field stores sees the odd value and retries,
+      which a single bump could not detect — so the read linearizes at
+      the initial load, exactly like the unpooled protocol.
 
     - {e Hazard slots (the reclamation rule).}  A locator may be
       recycled only after its owner's status is decided {e and} it has
@@ -82,9 +87,9 @@ type 'a locator = {
   mutable old_v : 'a;
   mutable new_v : 'a;
   gen : int Atomic.t;
-      (** Incarnation counter: bumped once per reuse, before any field
-          of the new incarnation is stored (see the seqlock rule
-          above).  Never reset. *)
+      (** Two-phase incarnation counter: odd while a refill's field
+          stores are in flight, even once the incarnation is complete
+          (see the seqlock rule above).  Never reset. *)
 }
 
 type 'a t = {
@@ -127,6 +132,10 @@ let bump_version t = advance_stamp t.version (next_stamp ())
 
 let locator_gen (loc : 'a locator) = Atomic.get loc.gen
 
+(* Even = the incarnation's refill stores are complete; odd = a refill
+   is in flight and the fields may mix incarnations. *)
+let gen_stable g = g land 1 = 0
+
 (* Pools hold locators type-erased to [Obj.t]: values of every ['a]
    share one uniform representation, and a refill overwrites both value
    fields before the locator is re-exposed, so the [Obj.magic] at
@@ -158,19 +167,30 @@ type pool = {
 
 let pool_cap = 64
 
-(* All hazard slots ever created, scanned by [take_locator].  One slot
-   per domain-with-a-pool; domains are few, so a list scan per pool pop
-   is cheap, and slots of dead domains scan as idle. *)
+(* All live hazard slots, scanned by [take_locator].  One slot per
+   domain-with-a-pool; domains are few, so a list scan per pool pop is
+   cheap.  A slot is removed when its domain exits (the domain runs no
+   transaction by then, so the slot is idle) — otherwise workloads that
+   churn short-lived domains would grow the list without bound and
+   every pop would scan the full history. *)
 let hazard_registry : Obj.t Atomic.t list Atomic.t = Atomic.make []
 
 let rec register_hazard h =
   let l = Atomic.get hazard_registry in
   if not (Atomic.compare_and_set hazard_registry l (h :: l)) then register_hazard h
 
+let rec unregister_hazard h =
+  let l = Atomic.get hazard_registry in
+  let l' = List.filter (fun x -> x != h) l in
+  if not (Atomic.compare_and_set hazard_registry l l') then unregister_hazard h
+
+let hazard_slot_count () = List.length (Atomic.get hazard_registry)
+
 let pool_key =
   Domain.DLS.new_key (fun () ->
       let hazard = Atomic.make no_hazard in
       register_hazard hazard;
+      Domain.at_exit (fun () -> unregister_hazard hazard);
       { items = Array.make pool_cap dummy_locator; len = 0; last_hit = false; hazard })
 
 let domain_pool () = Domain.DLS.get pool_key
@@ -207,10 +227,13 @@ let rec pop_free (p : pool) : erased =
     (the tentative value is preset {e before} publication, so the
     writer needs no store into the locator after its install CAS),
     refilled from the domain freelist when possible.  [last_take_hit]
-    reports whether this call was a refill.  The generation bump
-    precedes every field store — as an SC operation it also fences
-    them — so a seqlock reader of the previous incarnation can never
-    validate against fields of this one. *)
+    reports whether this call was a refill.  A refill is bracketed by
+    two generation bumps (even → odd → even): the first precedes every
+    field store — as an SC RMW it also fences them — and marks the
+    refill in flight, the second publishes the completed incarnation.
+    A seqlock reader racing the refill either sees a changed
+    generation or the odd in-flight value, and retries either way; it
+    can never validate fields that mix incarnations. *)
 let take_locator (type a) (p : pool) ~(owner : Txn.t) ~(old_v : a) ~(new_v : a) :
     a locator =
   let c = pop_free p in
@@ -220,11 +243,12 @@ let take_locator (type a) (p : pool) ~(owner : Txn.t) ~(old_v : a) ~(new_v : a) 
   end
   else begin
       p.last_hit <- true;
-      Atomic.incr c.gen;
+      Atomic.incr c.gen (* even -> odd: refill in flight *);
       let l : a locator = Obj.magic c in
       l.owner <- owner;
       l.old_v <- old_v;
       l.new_v <- new_v;
+      Atomic.incr c.gen (* odd -> even: incarnation complete *);
       l
   end
 
@@ -281,11 +305,13 @@ let value_of_locator (loc : 'a locator) : 'a =
 let rec peek t =
   let loc = Atomic.get t.loc in
   let g = Atomic.get loc.gen in
-  let owner = loc.owner in
-  let v =
-    match Txn.status owner with Status.Committed -> loc.new_v | _ -> loc.old_v
-  in
-  if Atomic.get loc.gen = g then v else peek t
+  if not (gen_stable g) then peek t
+  else
+    let owner = loc.owner in
+    let v =
+      match Txn.status owner with Status.Committed -> loc.new_v | _ -> loc.old_v
+    in
+    if Atomic.get loc.gen = g then v else peek t
 
 (* ------------------------------------------------------------------ *)
 (* Visible readers                                                     *)

@@ -13,10 +13,12 @@
     allocates nothing.  Pooling makes locator fields mutable, guarded
     by two mechanisms (see the implementation for the full argument):
 
-    - a {e seqlock generation} [gen], bumped once per reuse before any
-      refill store, which readers re-check after reading fields — an
-      unchanged generation proves the fields belong to the incarnation
-      linked at the initial load;
+    - a {e two-phase seqlock generation} [gen]: a refill bumps it to
+      an odd value before its field stores and to the next even value
+      after.  Readers retry on an odd generation and re-check the
+      generation after reading fields — unchanged (hence even) proves
+      the fields belong to one completed incarnation, the one linked
+      at the initial load;
     - one {e hazard slot} per domain: publish the locator you are
       about to dereference, re-check it is still linked, and it cannot
       be refilled until you clear the slot.  The freelist pop scans
@@ -44,7 +46,9 @@ type 'a locator = {
   mutable owner : Txn.t;
   mutable old_v : 'a;
   mutable new_v : 'a;
-  gen : int Atomic.t;  (** Incarnation counter; bumped once per reuse. *)
+  gen : int Atomic.t;
+      (** Two-phase incarnation counter; odd while a refill is in
+          flight, even once the incarnation is complete. *)
 }
 
 type 'a t = {
@@ -106,10 +110,20 @@ val unprotect : pool -> unit
 
 val locator_gen : 'a locator -> int
 (** Current incarnation of the locator (seqlock read protocol: load
-    locator, load generation, read fields, re-check generation). *)
+    locator, load generation — retry if {!gen_stable} says it is odd —
+    read fields, re-check generation). *)
+
+val gen_stable : int -> bool
+(** Whether a generation value is even, i.e. no refill was in flight
+    when it was read.  Fields read under an odd generation may mix
+    incarnations and must be discarded. *)
 
 val pool_size : pool -> int
 (** Number of locators currently on the freelist (tests). *)
+
+val hazard_slot_count : unit -> int
+(** Number of registered hazard slots — one per live domain that has
+    used a pool; slots are unregistered at domain exit (tests). *)
 
 (** {2 Version stamps (invisible-read validation)} *)
 

@@ -537,7 +537,11 @@ let t_pool_reuse_lifo () =
   let l2 = Tvar.take_locator p ~owner ~old_v:3 ~new_v:4 in
   check_bool "freelist is LIFO: same locator back" true (l2 == l1);
   check_bool "reported as a hit" true (Tvar.last_take_hit p);
-  check_int "generation bumped once per reuse" (g1 + 1) (Tvar.locator_gen l2);
+  (* Two-phase seqlock: odd while the refill stores are in flight,
+     back to even once the incarnation is complete. *)
+  check_int "generation bumped twice per reuse" (g1 + 2) (Tvar.locator_gen l2);
+  check_bool "generation even after refill" true
+    (Tvar.gen_stable (Tvar.locator_gen l2));
   check_int "fields refilled" 3 l2.Tvar.old_v;
   check_int "tentative value preset" 4 l2.Tvar.new_v
 
@@ -575,6 +579,18 @@ let t_pool_capacity_bounded () =
   done;
   check_bool "cap rejects the overflow push" true !rejected;
   check_bool "freelist stays bounded" true (!pushes <= 65 && Tvar.pool_size p <= 64)
+
+(* Hazard slots are unregistered when their domain exits: spawning and
+   joining short-lived domains must not grow the registry (which every
+   freelist pop scans) without bound. *)
+let t_pool_hazard_registry_compacts () =
+  (* Ensure this domain's slot exists before taking the baseline. *)
+  ignore (Tvar.domain_pool ());
+  let base = Tvar.hazard_slot_count () in
+  for _ = 1 to 16 do
+    Domain.join (Domain.spawn (fun () -> ignore (Tvar.domain_pool ())))
+  done;
+  check_int "dead domains' slots unregistered" base (Tvar.hazard_slot_count ())
 
 (* Read-only commits in invisible mode skip publication entirely — but
    must still abort on a stale read set (deterministic regression for
@@ -723,6 +739,8 @@ let () =
           Alcotest.test_case "reuse is LIFO with a generation bump" `Quick t_pool_reuse_lifo;
           Alcotest.test_case "hazard blocks reuse" `Quick t_pool_hazard_blocks_reuse;
           Alcotest.test_case "capacity bounded" `Quick t_pool_capacity_bounded;
+          Alcotest.test_case "hazard registry compacts on domain exit" `Quick
+            t_pool_hazard_registry_compacts;
           Alcotest.test_case "read-only fast path still validates" `Quick
             t_read_only_fast_path_still_validates;
           Alcotest.test_case "ABA hammer (visible)" `Quick t_pool_aba_hammer_visible;
