@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test bench-smoke metrics-smoke write-smoke bench ci clean
+.PHONY: all build test bench-smoke metrics-smoke write-smoke tl2-smoke bench ci clean
 
 # Perf-trajectory point number: `make bench N=2` writes BENCH_2.json.
 N ?= 1
@@ -30,11 +30,16 @@ metrics-smoke:
 write-smoke:
 	dune build @write-smoke
 
+# Same gate through the TL2 backend, plus the TL2-vs-locator relative
+# allocation check (the second backend must not allocate more).
+tl2-smoke:
+	dune build @tl2-smoke
+
 # Full bench, regenerating the committed perf trajectory point.
 bench:
 	dune exec bench/main.exe -- --quick --no-micro --json BENCH_$(N).json
 
-ci: build test bench-smoke metrics-smoke write-smoke
+ci: build test bench-smoke metrics-smoke write-smoke tl2-smoke
 
 clean:
 	dune clean

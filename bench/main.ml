@@ -28,7 +28,10 @@
     simulator sweep with tcm.metrics enabled, prints the contention
     health table and writes the snapshot + throughput windows to FILE
     (JSONL); [--seed N] seeds
-    every live-STM workload (default 42) so captures reproduce. *)
+    every live-STM workload (default 42) so captures reproduce;
+    [--backend locator|tl2|both] selects the runtime backend(s) for
+    the live-STM sections ("both" makes the JSON dump the
+    locator-vs-TL2 head-to-head). *)
 
 open Tcm_workload
 
@@ -65,6 +68,20 @@ let seed =
           Printf.eprintf "bench: --seed requires an integer, got %S\n" s;
           exit 2)
 
+(* Which runtime backend(s) the live-STM sections run on.  "both"
+   doubles the real-mode sweeps and gives the JSON dump one figure
+   entry per (figure, backend) pair — the locator-vs-TL2 head-to-head.
+   The simulator sections are unaffected (the sim models the locator
+   protocol). *)
+let backends =
+  match flag_value "--backend" with
+  | None | Some "locator" -> [ Tcm_stm.Stm.Locator ]
+  | Some "tl2" -> [ Tcm_stm.Stm.Tl2_backend ]
+  | Some "both" -> Tcm_stm.Stm.all_backends
+  | Some b ->
+      Printf.eprintf "bench: --backend must be locator, tl2 or both, got %S\n" b;
+      exit 2
+
 let fmt = Format.std_formatter
 
 let section title =
@@ -98,18 +115,23 @@ let real_threads = if quick then [ 1; 2 ] else [ 1; 2; 4; 8 ]
 let real_duration = if quick then 0.05 else 0.15
 
 let run_real_figures () =
-  section
-    (Printf.sprintf "Figures 1-4 (live STM on domains; single-core host, %d-thread sweep)"
-       (List.length real_threads));
   List.iter
-    (fun spec ->
-      let r =
-        Figures.run ~threads_list:real_threads ~seed
-          ~mode:(Figures.Real { duration_s = real_duration })
-          spec
-      in
-      Report.print_figure fmt r)
-    Figures.all
+    (fun backend ->
+      section
+        (Printf.sprintf
+           "Figures 1-4 (live STM on domains, %s backend; single-core host, %d-thread sweep)"
+           (Tcm_stm.Stm.backend_name backend)
+           (List.length real_threads));
+      List.iter
+        (fun spec ->
+          let r =
+            Figures.run ~threads_list:real_threads ~seed ~backend
+              ~mode:(Figures.Real { duration_s = real_duration })
+              spec
+          in
+          Report.print_figure fmt r)
+        Figures.all)
+    backends
 
 (* ------------------------------------------------------------------ *)
 (* Theory tables                                                       *)
@@ -394,12 +416,16 @@ let run_json_dump path =
      after minutes of measurement. *)
   let oc = open_out path in
   let figures =
-    List.map
-      (fun spec ->
-        ( spec,
-          Figures.run_real_detailed ~threads_list:real_threads ~seed
-            ~duration_s:real_duration spec ))
-      Figures.all
+    List.concat_map
+      (fun backend ->
+        List.map
+          (fun spec ->
+            ( spec,
+              Tcm_stm.Stm.backend_name backend,
+              Figures.run_real_detailed ~threads_list:real_threads ~seed ~backend
+                ~duration_s:real_duration spec ))
+          Figures.all)
+      backends
   in
   (* Visible-vs-invisible A/B on the read-heaviest structure, so the
      committed trajectory also tracks per-read validation cost. *)

@@ -7,12 +7,43 @@
     full revalidation costs O(k^2) per transaction, incremental
     validation O(k).
 
-    Usage: read_cost.exe [k] [iters] *)
+    Usage: read_cost.exe [k] [iters] [--backend locator|tl2]
+
+    On TL2 (clock-validated invisible reads only) a single row is
+    printed per workload. *)
 
 open Tcm_stm
 
-let k = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 64
-let iters = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 200_000
+(* Positional ints first, then flags — keep the historical CLI. *)
+let positionals =
+  let rec go i acc =
+    if i >= Array.length Sys.argv then List.rev acc
+    else if Sys.argv.(i) = "--backend" then go (i + 2) acc
+    else go (i + 1) (Sys.argv.(i) :: acc)
+  in
+  go 1 []
+
+let k = match positionals with x :: _ -> int_of_string x | [] -> 64
+let iters = match positionals with _ :: x :: _ -> int_of_string x | _ -> 200_000
+
+let backend =
+  let rec find i =
+    if i >= Array.length Sys.argv then Stm.Locator
+    else if Sys.argv.(i) = "--backend" then
+      if i + 1 >= Array.length Sys.argv then begin
+        Printf.eprintf "read_cost: --backend requires an argument\n";
+        exit 2
+      end
+      else
+        match Stm.backend_of_name Sys.argv.(i + 1) with
+        | Some b -> b
+        | None ->
+            Printf.eprintf "read_cost: unknown backend %S (locator or tl2)\n"
+              Sys.argv.(i + 1);
+            exit 2
+    else find (i + 1)
+  in
+  find 1
 
 let time_per_txn f =
   (* One warmup pass, then the measured pass. *)
@@ -25,7 +56,7 @@ let sink = ref 0
 
 let bench_reads read_mode =
   let config = { Runtime.default_config with read_mode } in
-  let rt = Stm.create ~config (module Tcm_core.Greedy) in
+  let rt = Stm.create ~config ~backend (module Tcm_core.Greedy) in
   let vars = Array.init k (fun i -> Tvar.make i) in
   time_per_txn (fun n ->
       for _ = 1 to n do
@@ -38,7 +69,7 @@ let bench_reads read_mode =
 
 let bench_list read_mode =
   let config = { Runtime.default_config with read_mode } in
-  let rt = Stm.create ~config (module Tcm_core.Greedy) in
+  let rt = Stm.create ~config ~backend (module Tcm_core.Greedy) in
   let l = Tcm_structures.Tlist.create () in
   for i = 0 to k - 1 do
     ignore (Stm.atomically rt (fun tx -> Tcm_structures.Tlist.insert tx l (i * 2)))
@@ -54,9 +85,15 @@ let bench_list read_mode =
       done)
 
 let () =
-  Printf.printf "read-cost probe: k=%d iters=%d (ns per txn)\n%!" k iters;
+  Printf.printf "read-cost probe: backend=%s k=%d iters=%d (ns per txn)\n%!"
+    (Stm.backend_name backend) k iters;
+  let modes =
+    match backend with
+    | Stm.Locator -> [ ("visible", `Visible); ("invisible", `Invisible) ]
+    | Stm.Tl2_backend -> [ ("tl2", `Visible) ]
+  in
   List.iter
     (fun (label, mode) ->
       Printf.printf "  %-10s %d-tvar read txn: %10.1f   list update (%d elems): %10.1f\n%!"
         label k (bench_reads mode) k (bench_list mode))
-    [ ("visible", `Visible); ("invisible", `Invisible) ]
+    modes

@@ -5,6 +5,7 @@
     {v
     tcm_figures fig1
     tcm_figures fig3 --mode real --threads 1,2,4 --duration 0.2
+    tcm_figures fig1 --mode real --backend tl2
     tcm_figures all --mode sim --horizon 8000
     tcm_figures --summary BENCH.json
     v} *)
@@ -36,11 +37,20 @@ let seed_arg =
   let doc = "Random seed." in
   Arg.(value & opt int 42 & info [ "seed" ] ~doc)
 
+let backend_arg =
+  let doc =
+    "Runtime backend for real mode: 'locator' (obstruction-free, default) or 'tl2' \
+     (lock-based).  Sim mode always models the locator protocol."
+  in
+  Arg.(value & opt string "locator" & info [ "backend" ] ~doc)
+
 let summary_arg =
   let doc =
     "Summarize a bench JSON dump (bench/main.exe --json) instead of running figures: \
-     per-figure throughput and, on schema tcm-bench/2, GC words per committed \
-     transaction.  Accepts schema tcm-bench/1 and tcm-bench/2."
+     per-figure throughput, GC words per committed transaction (schema tcm-bench/2+) \
+     and the runtime backend per sweep (schema tcm-bench/3).  Accepts schemas \
+     tcm-bench/1, tcm-bench/2 and tcm-bench/3; refuses dumps with a missing or \
+     unknown schema header."
   in
   Arg.(value & opt (some file) None & info [ "summary" ] ~docv:"FILE" ~doc)
 
@@ -48,10 +58,8 @@ let parse_threads s =
   String.split_on_char ',' s |> List.filter (fun x -> x <> "") |> List.map int_of_string
 
 (* ------------------------------------------------------------------ *)
-(* --summary: re-read a bench dump (tcm-bench/1 or /2)                 *)
+(* --summary: re-read a bench dump (tcm-bench/1, /2 or /3)             *)
 (* ------------------------------------------------------------------ *)
-
-let known_schemas = [ "tcm-bench/1"; "tcm-bench/2" ]
 
 let num = function
   | Some (Report.Json.Int i) -> float_of_int i
@@ -81,18 +89,25 @@ let summarize path =
         exit 2
   in
   let open Report.Json in
-  let schema = jstr (member "schema" j) in
-  if not (List.mem schema known_schemas) then begin
-    Printf.eprintf "%s: unknown schema %S (expected %s)\n" path schema
-      (String.concat " or " known_schemas);
-    exit 2
-  end;
+  let schema =
+    match Report.bench_schema_of j with
+    | Ok s -> s
+    | Error msg ->
+        Printf.eprintf "%s: %s\n" path msg;
+        exit 2
+  in
   Printf.printf "bench dump %s (schema %s, mode %s, seed %.0f)\n" path schema
     (jstr (member "mode" j))
     (num (member "seed" j));
   List.iter
     (fun fig ->
-      Printf.printf "\n== %s: %s ==\n" (jstr (member "id" fig)) (jstr (member "title" fig));
+      (* Pre-/3 dumps have no backend field; those sweeps ran on the
+         (then only) locator runtime. *)
+      let backend =
+        match member "backend" fig with Some (Str b) -> b | _ -> "locator"
+      in
+      Printf.printf "\n== %s [%s]: %s ==\n" (jstr (member "id" fig)) backend
+        (jstr (member "title" fig));
       Printf.printf "%8s %-14s %12s %10s %12s %12s\n" "threads" "manager" "throughput"
         "commits" "minor-w/txn" "major-w/txn";
       List.iter
@@ -112,7 +127,14 @@ let summarize path =
         (jarr (member "rows" fig)))
     (jarr (member "figures" j))
 
-let run_figures figure mode threads duration horizon seed =
+let run_figures figure mode threads duration horizon seed backend =
+  let backend =
+    match Tcm_stm.Stm.backend_of_name backend with
+    | Some b -> b
+    | None ->
+        Printf.eprintf "unknown backend %S (locator or tl2)\n" backend;
+        exit 2
+  in
   let specs =
     match figure with
     | "all" -> Figures.all
@@ -134,14 +156,14 @@ let run_figures figure mode threads duration horizon seed =
   let threads_list = parse_threads threads in
   List.iter
     (fun spec ->
-      let r = Figures.run ~threads_list ~seed ~mode spec in
+      let r = Figures.run ~threads_list ~seed ~mode ~backend spec in
       Report.print_figure Format.std_formatter r)
     specs
 
-let run summary figure mode threads duration horizon seed =
+let run summary figure mode threads duration horizon seed backend =
   match summary with
   | Some path -> summarize path
-  | None -> run_figures figure mode threads duration horizon seed
+  | None -> run_figures figure mode threads duration horizon seed backend
 
 let cmd =
   let doc = "Reproduce the figures of 'Toward a Theory of Transactional Contention Managers'." in
@@ -149,6 +171,6 @@ let cmd =
     (Cmd.info "tcm-figures" ~doc)
     Term.(
       const run $ summary_arg $ figure_arg $ mode_arg $ threads_arg $ duration_arg
-      $ horizon_arg $ seed_arg)
+      $ horizon_arg $ seed_arg $ backend_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -46,8 +46,8 @@ let n_wait = "tcm_wait_duration"
 let n_attempt_d = "tcm_attempt_duration"
 let n_read_set = "tcm_read_set_size"
 
-let for_manager ~runtime manager =
-  let labels = [ ("manager", manager); ("runtime", runtime) ] in
+let for_manager ?(backend = "locator") ~runtime manager =
+  let labels = [ ("backend", backend); ("manager", manager); ("runtime", runtime) ] in
   {
     attempts = Core.Counter.create n_attempts ~labels ~help:"Transaction attempts started.";
     commits = Core.Counter.create n_commits ~labels ~help:"Attempts that committed.";

@@ -32,7 +32,11 @@ val n_wait : string
 val n_attempt_d : string
 val n_read_set : string
 
-val for_manager : runtime:string -> string -> t
+val for_manager : ?backend:string -> runtime:string -> string -> t
+(** Handles labelled [{backend; manager; runtime}].  [backend]
+    defaults to ["locator"]; the TL2 runtime passes ["tl2"], and the
+    simulator pins ["locator"] explicitly (it models the eager locator
+    protocol). *)
 
 val attempt_begin : t -> unit
 val attempt_commit : t -> duration:int -> read_set:int -> unit

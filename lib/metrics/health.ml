@@ -1,10 +1,12 @@
-(** The contention health report: one row per (manager, runtime) pair
-    found in a snapshot, summarizing commit/abort balance, wasted
-    work, latency percentiles and the resolve-verdict mix — the
-    at-a-glance answer to "which manager is healthy under this
-    contention regime". *)
+(** The contention health report: one row per (backend, manager,
+    runtime) triple found in a snapshot, summarizing commit/abort
+    balance, wasted work, latency percentiles and the resolve-verdict
+    mix — the at-a-glance answer to "which manager is healthy under
+    this contention regime", now split per runtime backend so the
+    locator and TL2 protocols can be compared manager by manager. *)
 
 type row = {
+  backend : string;  (** "locator" or "tl2". *)
   manager : string;
   runtime : string;  (** "live" (durations in us) or "sim" (ticks). *)
   attempts : int;
@@ -20,8 +22,8 @@ type row = {
   read_set_p50 : float;
   pool_eff : float;
       (** Locator-pool efficiency, [hits /. (hits + misses)]; [nan]
-          when the runtime never took a locator (read-only load, or a
-          sim run — the simulator has no locator pool). *)
+          when the runtime never took a locator (read-only load, a sim
+          run, or the TL2 backend — which has no locator pool). *)
   verdicts : (string * int) list;  (** Resolve breakdown, by verdict name. *)
 }
 
@@ -29,8 +31,14 @@ let ratio a b = if b = 0 then if a = 0 then 0. else infinity else float_of_int a
 
 let pcts h p = match h with None -> nan | Some h -> Snapshot.hist_percentile h p
 
-let row_of (s : Snapshot.t) ~manager ~runtime : row =
-  let labels = [ ("manager", manager); ("runtime", runtime) ] in
+(* [backend = None] keys a pre-backend-label snapshot (an old dump):
+   the lookup then omits the label and the row displays the only
+   runtime that existed when such dumps were written. *)
+let row_of (s : Snapshot.t) ~backend ~manager ~runtime : row =
+  let labels =
+    (match backend with None -> [] | Some b -> [ ("backend", b) ])
+    @ [ ("manager", manager); ("runtime", runtime) ]
+  in
   let c name = Snapshot.counter_value s ~name ~labels in
   let h name = Snapshot.hist_value s ~name ~labels in
   let attempts = c Conventions.n_attempts in
@@ -40,6 +48,7 @@ let row_of (s : Snapshot.t) ~manager ~runtime : row =
   let wait_d = h Conventions.n_wait in
   let read_set = h Conventions.n_read_set in
   {
+    backend = Option.value backend ~default:"locator";
     manager;
     runtime;
     attempts;
@@ -70,14 +79,15 @@ let row_of (s : Snapshot.t) ~manager ~runtime : row =
            Conventions.verdict_names);
   }
 
-(* (manager, runtime) pairs, in first-appearance order of the
-   attempts counter — i.e. instrument registration order. *)
-let managers (s : Snapshot.t) : (string * string) list =
+(* (backend, manager, runtime) triples, in first-appearance order of
+   the attempts counter — i.e. instrument registration order.  The
+   backend is [None] for entries written before the label existed. *)
+let managers (s : Snapshot.t) : (string option * string * string) list =
   List.filter_map
     (fun (e : Snapshot.entry) ->
       if e.Snapshot.name = Conventions.n_attempts then
         match (Snapshot.label e "manager", Snapshot.label e "runtime") with
-        | Some m, Some r -> Some (m, r)
+        | Some m, Some r -> Some (Snapshot.label e "backend", m, r)
         | _ -> None
       else None)
     s.Snapshot.entries
@@ -87,7 +97,9 @@ let managers (s : Snapshot.t) : (string * string) list =
 let rows (s : Snapshot.t) : row list =
   List.filter
     (fun r -> r.attempts > 0)
-    (List.map (fun (manager, runtime) -> row_of s ~manager ~runtime) (managers s))
+    (List.map
+       (fun (backend, manager, runtime) -> row_of s ~backend ~manager ~runtime)
+       (managers s))
 
 let fnum v =
   if Float.is_nan v then "-"
@@ -97,14 +109,14 @@ let fnum v =
 
 let pp fmt (rows : row list) =
   Format.fprintf fmt
-    "%-14s %-5s %9s %9s %8s %6s %7s %8s %8s %8s %8s %6s %6s  %s@." "manager" "rt"
-    "attempts" "commits" "aborts" "ab/cm" "wasted%" "p50-att" "p99-att" "p50-wait"
-    "p99-wait" "p50-rs" "pool%" "verdicts other/self/block/backoff";
+    "%-14s %-8s %-5s %9s %9s %8s %6s %7s %8s %8s %8s %8s %6s %6s  %s@." "manager"
+    "backend" "rt" "attempts" "commits" "aborts" "ab/cm" "wasted%" "p50-att" "p99-att"
+    "p50-wait" "p99-wait" "p50-rs" "pool%" "verdicts other/self/block/backoff";
   List.iter
     (fun r ->
       Format.fprintf fmt
-        "%-14s %-5s %9d %9d %8d %6s %6.1f%% %8s %8s %8s %8s %6s %6s  %s@." r.manager
-        r.runtime r.attempts r.commits r.aborts
+        "%-14s %-8s %-5s %9d %9d %8d %6s %6.1f%% %8s %8s %8s %8s %6s %6s  %s@." r.manager
+        r.backend r.runtime r.attempts r.commits r.aborts
         (fnum r.abort_commit_ratio)
         (100. *. r.wasted_frac)
         (fnum r.attempt_p50) (fnum r.attempt_p99) (fnum r.wait_p50) (fnum r.wait_p99)
@@ -114,4 +126,4 @@ let pp fmt (rows : row list) =
     rows;
   Format.fprintf fmt
     "(durations: us on runtime=live, ticks on runtime=sim; p50-rs = median read-set \
-     size at commit; pool%% = locator-pool hit rate)@."
+     size at commit; pool%% = locator-pool hit rate, \"-\" on tl2: no locator pool)@."

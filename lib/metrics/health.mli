@@ -1,8 +1,11 @@
-(** Contention health report: one row per (manager, runtime) pair in a
-    snapshot — abort/commit ratio, wasted-work fraction, latency and
-    wait percentiles, and the resolve-verdict breakdown. *)
+(** Contention health report: one row per (backend, manager, runtime)
+    triple in a snapshot — abort/commit ratio, wasted-work fraction,
+    latency and wait percentiles, and the resolve-verdict breakdown;
+    the backend split puts the locator and TL2 runtimes side by
+    side. *)
 
 type row = {
+  backend : string;  (** "locator" or "tl2". *)
   manager : string;
   runtime : string;  (** "live" (durations in us) or "sim" (ticks). *)
   attempts : int;
@@ -17,16 +20,19 @@ type row = {
   read_set_p50 : float;
   pool_eff : float;
       (** Locator-pool hit rate, [hits /. (hits + misses)]; [nan] when
-          the series never took a locator (read-only load or sim). *)
+          the series never took a locator (read-only load, sim, or the
+          TL2 backend — no locator pool). *)
   verdicts : (string * int) list;
 }
 
-val managers : Snapshot.t -> (string * string) list
-(** (manager, runtime) pairs found in the snapshot, in registration
-    order. *)
+val managers : Snapshot.t -> (string option * string * string) list
+(** (backend, manager, runtime) triples found in the snapshot, in
+    registration order.  The backend is [None] for snapshots written
+    before the backend label existed (such rows render as
+    "locator"). *)
 
 val rows : Snapshot.t -> row list
-(** One row per pair from {!managers} that recorded at least one
+(** One row per triple from {!managers} that recorded at least one
     attempt (idle registered series are dropped). *)
 
 val pp : Format.formatter -> row list -> unit

@@ -104,8 +104,13 @@ let run ?(horizon = default_horizon) ?(record_grid = false) ?ranks
     (streams : (int -> Spec.txn option) array) : result =
   let n = Array.length streams in
   (* Same instrument names as the live runtime; runtime="sim" keeps the
-     units (ticks vs us) apart in the registry. *)
-  let mx = Tcm_metrics.Conventions.for_manager ~runtime:"sim" policy.Policy.name in
+     units (ticks vs us) apart in the registry.  The simulator models
+     the eager locator protocol, so its series carry backend="locator"
+     explicitly. *)
+  let mx =
+    Tcm_metrics.Conventions.for_manager ~runtime:"sim" ~backend:"locator"
+      policy.Policy.name
+  in
   let ts_counter =
     (* Later transactions must be younger than any explicit rank. *)
     ref (match ranks with None -> 0 | Some r -> Array.fold_left max 0 r)

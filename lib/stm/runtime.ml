@@ -62,66 +62,44 @@
     decided, so a forever-Active reader descriptor would pin its slots
     and stall writers. *)
 
-exception Abort_attempt
-(** Internal control flow: the current attempt is (being) aborted and
-    must restart. *)
+let backend_name = "locator"
 
-exception Too_many_attempts of int
-(** Raised when [max_attempts] is exceeded. *)
+(* The control-flow exceptions, configuration and statistics layout
+   are shared with the TL2 backend through [Runtime_intf]; the
+   re-export equations below keep existing [Runtime.]-qualified
+   callers compiling unchanged. *)
 
-exception Retry_wait
-(** Internal control flow for [retry_wait]/[check]: abort the attempt
-    and re-run after a pause, i.e. block until the world changes. *)
+exception Abort_attempt = Runtime_intf.Abort_attempt
+exception Too_many_attempts = Runtime_intf.Too_many_attempts
+exception Retry_wait = Runtime_intf.Retry_wait
 
-type read_mode = [ `Visible | `Invisible ]
+type read_mode = Runtime_intf.read_mode
 
-type config = {
+type config = Runtime_intf.config = {
   read_mode : read_mode;
-  max_attempts : int option;  (** [None] = retry forever. *)
+  max_attempts : int option;
   block_poll_usec : int;
-      (** Cap on the sleeping period while blocked on an enemy (the
-          wait spins, then yields, then sleeps with geometrically
-          growing pauses up to this cap). *)
-  backoff_cap_usec : int;  (** Upper bound applied to [Backoff] verdicts. *)
+  backoff_cap_usec : int;
 }
 
-let default_config =
-  { read_mode = `Visible; max_attempts = None; block_poll_usec = 50; backoff_cap_usec = 100_000 }
+let default_config = Runtime_intf.default_config
 
 (* ------------------------------------------------------------------ *)
-(* Statistics: per-domain shards                                       *)
+(* Statistics: per-domain shards (layout shared via [Runtime_intf])    *)
 (* ------------------------------------------------------------------ *)
 
-(* Each domain increments only its own shard, so the per-commit /
-   per-conflict counters never ping-pong cache lines between cores.  A
-   shard is one flat (unboxed) [int array]: counters sit a cache line
-   (8 words) apart, with a line of slack at each end so no counter
-   shares a line with a neighbouring heap block — a layout the GC
-   cannot break, unlike a record of boxed [Atomic.t] cells, where each
-   counter is its own heap block and record padding pads nothing.
-   Only the owning domain ever writes a counter; [stats] reads them
-   from other domains, which is a benign race on monotone int cells
-   (OCaml plain-int reads cannot tear): a concurrent snapshot may lag
-   a few events, and a snapshot ordered after the counting domain's
-   work — joined domains, as in the harness and every test — is
-   exact. *)
-type shard = int array
+type shard = Runtime_intf.Shard.t
 
-let line_words = 8 (* ints per 64-byte cache line *)
-let n_counters = 7
-let counter_ix i = (i + 1) * line_words
-let make_shard () : shard = Array.make ((n_counters + 2) * line_words) 0
+let make_shard = Runtime_intf.Shard.make
+let ix_commits = Runtime_intf.Shard.ix_commits
+let ix_aborts = Runtime_intf.Shard.ix_aborts
+let ix_conflicts = Runtime_intf.Shard.ix_conflicts
+let ix_enemy_aborts = Runtime_intf.Shard.ix_enemy_aborts
+let ix_self_aborts = Runtime_intf.Shard.ix_self_aborts
+let ix_backoffs = Runtime_intf.Shard.ix_backoffs
+let tick = Runtime_intf.Shard.tick
 
-let ix_commits = counter_ix 0
-let ix_aborts = counter_ix 1
-let ix_conflicts = counter_ix 2
-let ix_enemy_aborts = counter_ix 3 (* times we aborted an enemy *)
-let ix_self_aborts = counter_ix 4
-let ix_blocks = counter_ix 5
-let ix_backoffs = counter_ix 6
-let tick (s : shard) ix = s.(ix) <- s.(ix) + 1
-
-type stats_snapshot = {
+type stats_snapshot = Runtime_intf.stats_snapshot = {
   n_commits : int;
   n_aborts : int;
   n_conflicts : int;
@@ -225,7 +203,9 @@ let create ?(config = default_config) cm =
           {
             cm_state = Cm_intf.instantiate cm;
             shard;
-            mx = Tcm_metrics.Conventions.for_manager ~runtime:"live" (Cm_intf.name cm);
+            mx =
+              Tcm_metrics.Conventions.for_manager ~runtime:"live" ~backend:backend_name
+                (Cm_intf.name cm);
             pool = Tvar.domain_pool ();
             scratch;
             running = false;
@@ -250,33 +230,8 @@ let create ?(config = default_config) cm =
   { config; cm; shards; dls }
 
 let manager_name t = Cm_intf.name t.cm
-
-let stats t =
-  List.fold_left
-    (fun acc (s : shard) ->
-      {
-        n_commits = acc.n_commits + s.(ix_commits);
-        n_aborts = acc.n_aborts + s.(ix_aborts);
-        n_conflicts = acc.n_conflicts + s.(ix_conflicts);
-        n_enemy_aborts = acc.n_enemy_aborts + s.(ix_enemy_aborts);
-        n_self_aborts = acc.n_self_aborts + s.(ix_self_aborts);
-        n_blocks = acc.n_blocks + s.(ix_blocks);
-        n_backoffs = acc.n_backoffs + s.(ix_backoffs);
-      })
-    {
-      n_commits = 0;
-      n_aborts = 0;
-      n_conflicts = 0;
-      n_enemy_aborts = 0;
-      n_self_aborts = 0;
-      n_blocks = 0;
-      n_backoffs = 0;
-    }
-    (Atomic.get t.shards)
-
-let pp_stats fmt s =
-  Format.fprintf fmt "commits=%d aborts=%d conflicts=%d enemy-aborts=%d blocks=%d backoffs=%d"
-    s.n_commits s.n_aborts s.n_conflicts s.n_enemy_aborts s.n_blocks s.n_backoffs
+let stats t = Runtime_intf.stats_of_shards (Atomic.get t.shards)
+let pp_stats = Runtime_intf.pp_stats
 
 (* ------------------------------------------------------------------ *)
 (* Attempt-local helpers                                               *)
@@ -284,78 +239,30 @@ let pp_stats fmt s =
 
 let check_self tx = if not (Txn.is_active tx.txn) then raise Abort_attempt
 
-let sleep_usec usec = if usec > 0 then Unix.sleepf (float_of_int usec *. 1e-6)
-
-(* Adaptive waiting: spin on the CPU hint first (an enemy on another
-   core often finishes within nanoseconds), then yield the timeslice,
-   then sleep with geometrically growing pauses capped at [cap_usec].
-   The wall clock is consulted only once a wait reaches the sleeping
-   phase — never in the spin loop. *)
-let spin_rounds = 32
-let yield_rounds = 16
-
-let wait_step ~round ~cap_usec =
-  if round < spin_rounds then Domain.cpu_relax ()
-  else if round < spin_rounds + yield_rounds then Unix.sleepf 0.
-  else
-    let r = round - spin_rounds - yield_rounds in
-    sleep_usec (min cap_usec (1 lsl min r 10))
+let sleep_usec = Runtime_intf.sleep_usec
 
 (* Block until [other] is no longer active, or starts waiting itself,
-   or the timeout expires.  Sets our public waiting flag for the
-   duration, so that greedy enemies may abort us (Rule 1). *)
+   or the timeout expires (the shared adaptive-wait ladder).  Sets our
+   public waiting flag for the duration, so that greedy enemies may
+   abort us (Rule 1). *)
 let block_on tx (other : Txn.t) timeout_usec =
-  tick tx.dom.shard ix_blocks;
-  Atomic.set tx.txn.Txn.waiting true;
-  Tcm_trace.Sink.wait_begin ~me:(Txn.timestamp tx.txn)
-    ~enemy:(Txn.timestamp other) ~tick:0;
-  (* Wall clock only when metrics are on; the spin loop itself never
-     consults it. *)
-  let m_t0 = if Tcm_metrics.enabled () then Unix.gettimeofday () else 0. in
-  let finish () =
-    Atomic.set tx.txn.Txn.waiting false;
-    Tcm_trace.Sink.wait_end ~me:(Txn.timestamp tx.txn)
-      ~enemy:(Txn.timestamp other) ~tick:0;
-    if m_t0 > 0. then
-      Tcm_metrics.Conventions.wait tx.dom.mx
-        ~duration:(int_of_float ((Unix.gettimeofday () -. m_t0) *. 1e6))
-  in
-  let cap_usec = tx.cfg.block_poll_usec in
-  let deadline =
-    match timeout_usec with
-    | None -> infinity
-    | Some us -> Unix.gettimeofday () +. (float_of_int us *. 1e-6)
-  in
-  let rec wait round =
-    if not (Txn.is_active tx.txn) then begin
-      finish ();
-      raise Abort_attempt
-    end;
-    if
-      Txn.is_active other
-      && (not (Txn.is_waiting other))
-      && (deadline = infinity || round < spin_rounds || Unix.gettimeofday () < deadline)
-    then begin
-      wait_step ~round ~cap_usec;
-      wait (round + 1)
-    end
-  in
-  wait 0;
-  finish ()
+  Runtime_intf.block_on ~me:tx.txn ~other ~shard:tx.dom.shard ~mx:tx.dom.mx
+    ~cap_usec:tx.cfg.block_poll_usec ~timeout_usec
 
-let decision_trace_code = function
-  | Decision.Abort_other -> Tcm_trace.Event.d_abort_other
-  | Decision.Abort_self -> Tcm_trace.Event.d_abort_self
-  | Decision.Block _ -> Tcm_trace.Event.d_block
-  | Decision.Backoff _ -> Tcm_trace.Event.d_backoff
+let decision_trace_code = Runtime_intf.decision_trace_code
+
+(* The conflict adapter: ask the manager for a verdict.  Kept as a
+   named function (and exported) so the registry duel test can drive
+   the same scripted conflict through both backends' adapters. *)
+let consult (Cm_intf.Packed ((module M), st)) ~me ~other ~attempts =
+  M.resolve st ~me ~other ~attempts
 
 (* Execute one contention-manager verdict for a conflict with [other].
    Returns when the caller should re-examine the object. *)
 let resolve_conflict tx ~(other : Txn.t) ~attempts =
   check_self tx;
   tick tx.dom.shard ix_conflicts;
-  let (Cm_intf.Packed ((module M), st)) = tx.dom.cm_state in
-  let verdict = M.resolve st ~me:tx.txn ~other ~attempts in
+  let verdict = consult tx.dom.cm_state ~me:tx.txn ~other ~attempts in
   (* The trace decision codes double as the metrics verdict codes. *)
   if Tcm_trace.Sink.enabled () then
     Tcm_trace.Sink.conflict ~me:(Txn.timestamp tx.txn)
@@ -634,14 +541,31 @@ let write tx tvar v = ignore (open_write tx tvar ~put:true v 0)
    the ownership test cannot be spurious: only this domain ever stores
    this attempt's descriptor into an owner field.  A re-check that
    fails on the owned path means our locator was displaced — possible
-   only after an enemy aborted us — so the attempt restarts. *)
+   only after an enemy aborted us — so the attempt restarts.
+
+   The linked re-check after the first generation sample ([Atomic.get
+   tvar.loc != loc]) is as load-bearing as the generation itself:
+   stability only proves the fields came from a single incarnation,
+   not that the incarnation belongs to {e this} variable.  A reader
+   preempted between the locator load and the generation sample can
+   find the record displaced, recycled and refilled for a {e
+   different} variable — readers hold no hazard, so the freelist pop
+   does not spare them — and the refill leaves a new {e even}
+   generation that validates perfectly.  The leaked value then
+   belongs to the other variable (observed in the wild as a skiplist
+   node surfacing in a taller level's slot and indexing past its
+   forward array).  Re-checking the link inside the stable-generation
+   window closes this: the record is linked to [tvar] at the
+   re-check, and the unchanged generation across the whole window
+   rules out any interleaved refill, so the fields are [tvar]'s. *)
 
 let rec read_visible : 'a. tx -> 'a Tvar.t -> int -> 'a =
   fun tx tvar attempts ->
    check_self tx;
    let loc = Atomic.get tvar.Tvar.loc in
    let g = Tvar.locator_gen loc in
-   if not (Tvar.gen_stable g) then read_visible tx tvar attempts
+   if (not (Tvar.gen_stable g)) || Atomic.get tvar.Tvar.loc != loc then
+     read_visible tx tvar attempts
    else if loc.Tvar.owner == tx.txn then begin
      let v = loc.Tvar.new_v in
      if Tvar.locator_gen loc = g then v
@@ -657,7 +581,8 @@ let rec read_visible : 'a. tx -> 'a Tvar.t -> int -> 'a =
         observed right here. *)
      let loc = Atomic.get tvar.Tvar.loc in
      let g = Tvar.locator_gen loc in
-     if not (Tvar.gen_stable g) then read_visible tx tvar attempts
+     if (not (Tvar.gen_stable g)) || Atomic.get tvar.Tvar.loc != loc then
+       read_visible tx tvar attempts
      else begin
        let owner = loc.Tvar.owner in
        if owner == tx.txn then begin
@@ -694,7 +619,8 @@ let rec read_invisible : 'a. tx -> 'a Tvar.t -> 'a =
    check_self tx;
    let loc = Atomic.get tvar.Tvar.loc in
    let g = Tvar.locator_gen loc in
-   if not (Tvar.gen_stable g) then read_invisible tx tvar
+   if (not (Tvar.gen_stable g)) || Atomic.get tvar.Tvar.loc != loc then
+     read_invisible tx tvar
    else if loc.Tvar.owner == tx.txn then begin
      let v = loc.Tvar.new_v in
      if Tvar.locator_gen loc = g then v

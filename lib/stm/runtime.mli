@@ -6,12 +6,18 @@
     as in DSTM/SXM: the acquirer consults its local manager and either
     aborts the enemy or stands back. *)
 
+val backend_name : string
+(** ["locator"]. *)
+
 exception Abort_attempt
 (** Internal control flow: the current attempt is aborted and must
-    restart.  User code inside [atomically] should let it propagate. *)
+    restart.  User code inside [atomically] should let it propagate.
+    (Equal to {!Runtime_intf.Abort_attempt}, shared with the TL2
+    backend.) *)
 
 exception Too_many_attempts of int
-(** Raised when [max_attempts] is exceeded. *)
+(** Raised when [max_attempts] is exceeded.  (Equal to
+    {!Runtime_intf.Too_many_attempts}.) *)
 
 type read_mode = [ `Visible | `Invisible ]
 (** [`Visible] (default): readers register on the variable; writers
@@ -23,7 +29,7 @@ type read_mode = [ `Visible | `Invisible ]
     only when a variable's stamp moved — provided for the ablation
     benchmarks (see DESIGN.md for the caveat). *)
 
-type config = {
+type config = Runtime_intf.config = {
   read_mode : read_mode;
   max_attempts : int option;  (** [None] = retry forever. *)
   block_poll_usec : int;
@@ -42,7 +48,7 @@ type t
 type tx
 (** Per-attempt context threaded through transactional operations. *)
 
-type stats_snapshot = {
+type stats_snapshot = Runtime_intf.stats_snapshot = {
   n_commits : int;
   n_aborts : int;
   n_conflicts : int;
@@ -86,3 +92,7 @@ val check : tx -> bool -> unit
 
 val current_txn : t -> Txn.t option
 (** Descriptor of the transaction currently running on this domain. *)
+
+val consult : Cm_intf.packed -> me:Txn.t -> other:Txn.t -> attempts:int -> Decision.t
+(** The backend's conflict adapter (see {!Runtime_intf.S.consult});
+    exposed for the cross-backend verdict-agreement test. *)

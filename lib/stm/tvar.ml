@@ -299,13 +299,24 @@ let value_of_locator (loc : 'a locator) : 'a =
   | Status.Active | Status.Aborted -> loc.old_v
 
 (** Latest committed value, for non-transactional inspection (tests,
-    debugging).  Linearizes at the atomic load of the locator; the
-    seqlock re-check guards against the locator being recycled
-    mid-read. *)
+    debugging).  Linearizes at the linked re-check below; the seqlock
+    re-check guards against the locator being recycled mid-read.
+
+    The linked re-check after the first generation sample is load-
+    bearing: generation stability alone only proves the fields came
+    from a {e single} incarnation, not that the incarnation belongs to
+    {e this} variable.  Without it, a reader preempted between the
+    locator load and the generation sample can find the record
+    displaced, recycled and refilled for a different variable — with a
+    new {e even} generation — and the seqlock happily validates the
+    other variable's value.  Re-checking the link inside the stable-
+    generation window pins the incarnation to this variable: the
+    record is linked here at the re-check, and the unchanged
+    generation across the window rules out any refill in between. *)
 let rec peek t =
   let loc = Atomic.get t.loc in
   let g = Atomic.get loc.gen in
-  if not (gen_stable g) then peek t
+  if (not (gen_stable g)) || Atomic.get t.loc != loc then peek t
   else
     let owner = loc.owner in
     let v =

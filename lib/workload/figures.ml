@@ -73,9 +73,12 @@ let sim_policies ~seed () = Tcm_sim.Policy.paper_figures ~seed ()
 
 (* Full per-manager outcomes (latency percentiles, abort breakdown);
    the throughput-only [run] below and the bench's JSON dump are both
-   views of this sweep. *)
-let run_real_detailed ?(threads_list = default_threads) ?(seed = 42) ~duration_s (spec : spec) :
-    detailed_row list =
+   views of this sweep.  [backend] selects the runtime executing the
+   workload (locator or TL2) — the managers, structures and access
+   patterns are identical, so the sweep doubles as the head-to-head
+   comparison of the two protocols. *)
+let run_real_detailed ?(threads_list = default_threads) ?(seed = 42)
+    ?(backend = Stm.Locator) ~duration_s (spec : spec) : detailed_row list =
   List.map
     (fun threads ->
       let outcomes =
@@ -90,6 +93,7 @@ let run_real_detailed ?(threads_list = default_threads) ?(seed = 42) ~duration_s
                 duration_s;
                 post_work = spec.post_work;
                 seed;
+                backend;
               }
             in
             (Cm_intf.name manager, Harness.run cfg))
@@ -98,7 +102,8 @@ let run_real_detailed ?(threads_list = default_threads) ?(seed = 42) ~duration_s
       { d_threads = threads; outcomes })
     threads_list
 
-let run ?(threads_list = default_threads) ?(seed = 42) ~mode (spec : spec) : result =
+let run ?(threads_list = default_threads) ?(seed = 42) ?(backend = Stm.Locator)
+    ~mode (spec : spec) : result =
   match mode with
   | Real { duration_s } ->
       let rows =
@@ -108,7 +113,7 @@ let run ?(threads_list = default_threads) ?(seed = 42) ~mode (spec : spec) : res
               threads = d_threads;
               cells = List.map (fun (name, o) -> (name, o.Harness.throughput)) outcomes;
             })
-          (run_real_detailed ~threads_list ~seed ~duration_s spec)
+          (run_real_detailed ~threads_list ~seed ~backend ~duration_s spec)
       in
       { spec; mode; unit_label = "committed txns/sec"; rows }
   | Sim { horizon } ->

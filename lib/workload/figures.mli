@@ -45,6 +45,23 @@ type detailed_row = { d_threads : int; outcomes : (string * Harness.outcome) lis
     JSON dump. *)
 
 val run_real_detailed :
-  ?threads_list:int list -> ?seed:int -> duration_s:float -> spec -> detailed_row list
+  ?threads_list:int list ->
+  ?seed:int ->
+  ?backend:Tcm_stm.Stm.backend ->
+  duration_s:float ->
+  spec ->
+  detailed_row list
+(** [backend] (default locator) selects the runtime executing the
+    sweep; managers and access patterns are identical either way, so
+    the same sweep run under both backends is the locator-vs-TL2
+    head-to-head. *)
 
-val run : ?threads_list:int list -> ?seed:int -> mode:mode -> spec -> result
+val run :
+  ?threads_list:int list ->
+  ?seed:int ->
+  ?backend:Tcm_stm.Stm.backend ->
+  mode:mode ->
+  spec ->
+  result
+(** [backend] applies to [Real] mode only; the simulator models the
+    locator protocol. *)

@@ -38,6 +38,11 @@ type config = {
   prefill : int;  (** Keys inserted before measuring (half-full set). *)
   seed : int;
   read_mode : Runtime.read_mode;
+  backend : Stm.backend;
+      (** Which runtime executes the workload: the obstruction-free
+          locator STM or the lock-based TL2-style STM.  Structures are
+          created fresh per run, so the single-backend-per-variable
+          rule holds by construction. *)
 }
 
 let default =
@@ -52,6 +57,7 @@ let default =
     prefill = 128;
     seed = 42;
     read_mode = `Visible;
+    backend = Stm.Locator;
   }
 
 type outcome = {
@@ -102,7 +108,7 @@ let poll_step_s = 0.01
 
 let run ?poll (cfg : config) : outcome =
   let config = { Runtime.default_config with read_mode = cfg.read_mode } in
-  let rt = Stm.create ~config cfg.manager in
+  let rt = Stm.create ~config ~backend:cfg.backend cfg.manager in
   let ops = make_ops cfg.structure in
   (* Prefill with every other key so inserts and removes both hit. *)
   let prefill_rng = Splitmix.create cfg.seed in

@@ -24,6 +24,10 @@ type config = {
   prefill : int;
   seed : int;
   read_mode : Runtime.read_mode;
+  backend : Stm.backend;
+      (** Which runtime executes the workload (defaults to the
+          locator STM); structures are created fresh per run, so the
+          single-backend-per-variable rule holds by construction. *)
 }
 
 val default : config

@@ -305,11 +305,16 @@ let json_of_outcome (o : Harness.outcome) : Json.t =
       ("elapsed_s", Json.Float o.Harness.elapsed_s);
     ]
 
-let json_of_detailed_figure (spec : Figures.spec) (rows : Figures.detailed_row list) : Json.t =
+let json_of_detailed_figure ~backend (spec : Figures.spec)
+    (rows : Figures.detailed_row list) : Json.t =
   Json.Obj
     [
       ("id", Json.Str spec.Figures.id);
       ("title", Json.Str spec.Figures.title);
+      (* tcm-bench/3: the runtime backend that executed this sweep
+         ("locator" | "tl2").  One figure entry per (figure, backend)
+         pair, so a dump can carry the head-to-head comparison. *)
+      ("backend", Json.Str backend);
       ("structure", Json.Str (Harness.structure_name spec.Figures.structure));
       ("post_work", Json.Int spec.Figures.post_work);
       ( "rows",
@@ -331,20 +336,41 @@ let json_of_detailed_figure (spec : Figures.spec) (rows : Figures.detailed_row l
              rows) );
     ]
 
+(* Schema lineage of the bench dump:
+   - tcm-bench/1: throughput + latency + abort breakdown;
+   - tcm-bench/2: adds per-window GC words (minor/major);
+   - tcm-bench/3: adds the per-figure "backend" field (locator | tl2).
+   Readers accept all three; the writer always emits the newest. *)
+let bench_schema = "tcm-bench/3"
+let bench_schemas = [ "tcm-bench/1"; "tcm-bench/2"; bench_schema ]
+
+let bench_schema_of (j : Json.t) : (string, string) result =
+  match Json.member "schema" j with
+  | None -> Error "missing \"schema\" field (not a bench dump?)"
+  | Some (Json.Str s) when List.mem s bench_schemas -> Ok s
+  | Some (Json.Str s) ->
+      Error
+        (Printf.sprintf "unknown schema %S (expected %s)" s
+           (String.concat " or " bench_schemas))
+  | Some _ -> Error "\"schema\" field is not a string"
+
 (** The bench's machine-readable dump: per-figure live-STM sweeps with
-    throughput, p50/p99 latency and the abort breakdown per manager.
-    [extra] lets the caller attach more top-level sections. *)
+    throughput, p50/p99 latency and the abort breakdown per manager,
+    one figure entry per (figure, backend) pair.  [extra] lets the
+    caller attach more top-level sections. *)
 let bench_json ?(extra = []) ~mode ~duration_s ~seed
-    (figures : (Figures.spec * Figures.detailed_row list) list) : string =
+    (figures : (Figures.spec * string * Figures.detailed_row list) list) : string =
   Json.to_string
     (Json.Obj
        ([
-          ("schema", Json.Str "tcm-bench/2");
+          ("schema", Json.Str bench_schema);
           ("mode", Json.Str mode);
           ("duration_s_per_point", Json.Float duration_s);
           ("seed", Json.Int seed);
           ( "figures",
-            Json.Arr (List.map (fun (spec, rows) -> json_of_detailed_figure spec rows) figures)
-          );
+            Json.Arr
+              (List.map
+                 (fun (spec, backend, rows) -> json_of_detailed_figure ~backend spec rows)
+                 figures) );
         ]
        @ extra))

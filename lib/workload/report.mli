@@ -41,13 +41,26 @@ val json_of_outcome : Harness.outcome -> Json.t
 (** Throughput, p50/p99 latency and the full abort breakdown of one
     harness run. *)
 
+val bench_schema : string
+(** The schema the writer emits: ["tcm-bench/3"]. *)
+
+val bench_schemas : string list
+(** Every schema a reader must accept: tcm-bench/1 (original),
+    /2 (adds GC words), /3 (adds the per-figure backend field). *)
+
+val bench_schema_of : Json.t -> (string, string) result
+(** Validate a parsed bench dump's schema header.  [Error _] when the
+    [schema] field is missing, not a string, or names a version not in
+    {!bench_schemas} — readers must refuse such documents rather than
+    misrender half-recognized fields. *)
+
 val bench_json :
   ?extra:(string * Json.t) list ->
   mode:string ->
   duration_s:float ->
   seed:int ->
-  (Figures.spec * Figures.detailed_row list) list ->
+  (Figures.spec * string * Figures.detailed_row list) list ->
   string
 (** The bench's machine-readable dump ([--json FILE]): schema header
-    plus one entry per figure with per-thread-count, per-manager
-    outcomes. *)
+    plus one entry per (figure, backend-name) pair with
+    per-thread-count, per-manager outcomes. *)

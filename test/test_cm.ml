@@ -327,6 +327,104 @@ let t_paper_lineup () =
     [ "greedy"; "karma"; "eruption"; "aggressive"; "backoff" ]
     (List.map Cm_intf.name Registry.paper_figures)
 
+(* ------------------------------------------------------------------ *)
+(* Cross-backend verdict agreement                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Both runtime backends expose the same conflict adapter
+   ([Runtime.consult] and [Tl2.consult]): unpack the per-domain
+   manager instance and ask it to resolve.  The manager zoo is the
+   experiment under test in this repo, so the two backends must agree
+   verdict-for-verdict on an identical conflict history — otherwise a
+   locator-vs-TL2 benchmark difference could be a contention-policy
+   difference in disguise.  The duel below scripts both priority
+   directions, escalating attempt counts, and the waiting flag (the
+   input Greedy-family rule 1 keys on); each backend replays it against
+   its own fresh manager instance (stateful managers — Karma, Polite,
+   Kindergarten — advance their state identically when fed identical
+   inputs). *)
+
+type duel_step = { me_older : bool; attempts : int; other_waiting : bool }
+
+let duel_script =
+  [
+    { me_older = true; attempts = 0; other_waiting = false };
+    { me_older = false; attempts = 0; other_waiting = false };
+    { me_older = false; attempts = 1; other_waiting = false };
+    { me_older = false; attempts = 2; other_waiting = true };
+    { me_older = true; attempts = 1; other_waiting = true };
+    { me_older = false; attempts = 5; other_waiting = false };
+    { me_older = true; attempts = 0; other_waiting = false };
+    { me_older = false; attempts = 9; other_waiting = false };
+  ]
+
+let replay consult ~older ~younger =
+  List.map
+    (fun { me_older; attempts; other_waiting } ->
+      let me, other = if me_older then (older, younger) else (younger, older) in
+      set_waiting other other_waiting;
+      let d = consult ~me ~other ~attempts in
+      set_waiting other false;
+      d)
+    duel_script
+
+let t_backends_agree () =
+  List.iter
+    (fun factory ->
+      let name = Cm_intf.name factory in
+      (* One txn pair shared by both replays: timestamps, priorities
+         and ids must be identical inputs, only the manager instance
+         (and the adapter under test) differs. *)
+      let older, younger = fresh_pair () in
+      let via_locator =
+        replay (Runtime.consult (Cm_intf.instantiate factory)) ~older ~younger
+      in
+      let via_tl2 = replay (Tl2.consult (Cm_intf.instantiate factory)) ~older ~younger in
+      if String.equal name "randomized" then
+        (* Coin-flipping manager: exact agreement is not required (nor
+           meaningful); both backends must stay inside its published
+           verdict range. *)
+        List.iter
+          (fun d ->
+            match d with
+            | Decision.Abort_other | Decision.Backoff _ -> ()
+            | d -> Alcotest.failf "randomized out of range: %a" Decision.pp d)
+          (via_locator @ via_tl2)
+      else
+        (* Backoff durations are jittered per manager instance (Polite
+           and Polka draw from a private PRNG), so agreement there is
+           up to the duration; every other verdict — including block
+           timeouts, which Greedy-FT doubles deterministically — must
+           match exactly. *)
+        let agree a b =
+          match (a, b) with
+          | Decision.Backoff _, Decision.Backoff _ -> true
+          | a, b -> a = b
+        in
+        List.iteri
+          (fun i (dl, dt) ->
+            if not (agree dl dt) then
+              Alcotest.failf "%s: step %d disagrees: locator %a, tl2 %a" name i
+                Decision.pp dl Decision.pp dt)
+          (List.combine via_locator via_tl2))
+    Registry.all
+
+(* The TL2 backend executes verdicts at commit-time lock acquisition;
+   pin the verdict -> lock-action mapping so a refactor cannot quietly
+   turn "abort the enemy" into "wait for the enemy". *)
+let t_tl2_action_mapping () =
+  let open Tl2 in
+  Alcotest.(check bool) "Abort_other steals the lock" true
+    (action_of_decision Decision.Abort_other = Steal_lock);
+  Alcotest.(check bool) "Abort_self releases and aborts" true
+    (action_of_decision Decision.Abort_self = Release_and_abort);
+  Alcotest.(check bool) "bounded Block spins" true
+    (action_of_decision (Decision.Block { timeout_usec = Some 100 }) = Spin_then_retry);
+  Alcotest.(check bool) "unbounded Block spins" true
+    (action_of_decision (Decision.Block { timeout_usec = None }) = Spin_then_retry);
+  Alcotest.(check bool) "Backoff sleeps then retries" true
+    (action_of_decision (Decision.Backoff { usec = 50 }) = Backoff_then_retry)
+
 let () =
   Alcotest.run "cm"
     [
@@ -376,5 +474,10 @@ let () =
           Alcotest.test_case "every module registered" `Quick t_registry_complete;
           Alcotest.test_case "names unique" `Quick t_registry_names_unique;
           Alcotest.test_case "paper line-up" `Quick t_paper_lineup;
+        ] );
+      ( "cross-backend",
+        [
+          Alcotest.test_case "verdicts agree locator vs tl2" `Quick t_backends_agree;
+          Alcotest.test_case "tl2 verdict-action mapping" `Quick t_tl2_action_mapping;
         ] );
     ]

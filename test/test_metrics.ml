@@ -230,7 +230,8 @@ let t_jsonl_roundtrip () =
       check_int "no windows written, none read" 0 (List.length windows);
       check_int "entry count survives" (List.length s.M.Snapshot.entries)
         (List.length s'.M.Snapshot.entries);
-      let labels = [ ("manager", "testmgr"); ("runtime", "live") ] in
+      (* [for_manager] stamps the backend label (default "locator"). *)
+      let labels = [ ("backend", "locator"); ("manager", "testmgr"); ("runtime", "live") ] in
       check_int "counter survives" 2
         (M.Snapshot.counter_value s' ~name:M.Conventions.n_attempts ~labels);
       let h = Option.get (M.Snapshot.hist_value s' ~name:M.Conventions.n_wait ~labels) in
@@ -241,7 +242,10 @@ let t_prometheus_roundtrip () =
   let s = populated () in
   let text = M.Export.to_prometheus s in
   let samples = M.Export.parse_prometheus text in
-  let labels = M.Snapshot.canon_labels [ ("manager", "testmgr"); ("runtime", "live") ] in
+  let labels =
+    M.Snapshot.canon_labels
+      [ ("backend", "locator"); ("manager", "testmgr"); ("runtime", "live") ]
+  in
   let value name extra =
     match
       (* The parser keeps emission order; compare canonicalized. *)
@@ -312,6 +316,35 @@ let t_health_pool_idle () =
   | [ r ] -> check_bool "pool_eff is nan" true (Float.is_nan r.M.Health.pool_eff)
   | rows -> Alcotest.fail (Printf.sprintf "expected one row, got %d" (List.length rows))
 
+(* The same manager under both runtime backends lands in distinct
+   series and distinct health rows — the locator-vs-TL2 split the
+   backend label exists for. *)
+let t_health_backend_split () =
+  fresh ();
+  M.enable ();
+  let loc = M.Conventions.for_manager ~runtime:"live" "duelmgr" in
+  let tl2 = M.Conventions.for_manager ~backend:"tl2" ~runtime:"live" "duelmgr" in
+  M.Conventions.attempt_begin loc;
+  M.Conventions.attempt_commit loc ~duration:10 ~read_set:1;
+  M.Conventions.attempt_begin tl2;
+  M.Conventions.attempt_begin tl2;
+  M.Conventions.attempt_commit tl2 ~duration:20 ~read_set:2;
+  M.Conventions.attempt_abort tl2 ~duration:30;
+  M.disable ();
+  match M.Health.rows (M.snapshot ()) with
+  | [ a; b ] ->
+      let find backend =
+        if a.M.Health.backend = backend then a
+        else if b.M.Health.backend = backend then b
+        else Alcotest.fail (Printf.sprintf "no %s row" backend)
+      in
+      let rl = find "locator" and rt = find "tl2" in
+      check_int "locator attempts" 1 rl.M.Health.attempts;
+      check_int "tl2 attempts" 2 rt.M.Health.attempts;
+      check_int "tl2 aborts" 1 rt.M.Health.aborts;
+      Alcotest.(check string) "same manager" rl.M.Health.manager rt.M.Health.manager
+  | rows -> Alcotest.fail (Printf.sprintf "expected two rows, got %d" (List.length rows))
+
 let t_sampler_windows () =
   fresh ();
   M.enable ();
@@ -360,6 +393,7 @@ let () =
         [
           Alcotest.test_case "health rows" `Quick t_health_rows;
           Alcotest.test_case "health pool idle" `Quick t_health_pool_idle;
+          Alcotest.test_case "health backend split" `Quick t_health_backend_split;
           Alcotest.test_case "sampler windows" `Quick t_sampler_windows;
         ] );
     ]

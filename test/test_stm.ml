@@ -669,6 +669,157 @@ let pool_aba_hammer read_mode () =
 let t_pool_aba_hammer_visible () = pool_aba_hammer `Visible ()
 let t_pool_aba_hammer_invisible () = pool_aba_hammer `Invisible ()
 
+(* ------------------------------------------------------------------ *)
+(* TL2 backend                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The same facade operations through the second runtime backend.  A
+   tvar is bound to one backend for its lifetime, so every test below
+   creates its variables fresh under a TL2 runtime. *)
+let tl2_rt ?config name =
+  Stm.create ?config ~backend:Stm.Tl2_backend (Tcm_core.Registry.find_exn name)
+
+let t_tl2_read_write () =
+  let rt = tl2_rt "greedy" in
+  let v = Tvar.make 1 in
+  let r =
+    Stm.atomically rt (fun tx ->
+        let x = Stm.read tx v in
+        Stm.write tx v (x + 10);
+        Stm.read tx v)
+  in
+  check_int "read-your-writes through the write buffer" 11 r;
+  check_int "writeback visible to peek" 11 (Tvar.peek v)
+
+let t_tl2_modify_and_read_for_write () =
+  let rt = tl2_rt "greedy" in
+  let v = Tvar.make 5 in
+  Stm.atomically rt (fun tx -> Stm.modify tx v (fun x -> x * 3));
+  check_int "modify" 15 (Tvar.peek v);
+  let r = Stm.atomically rt (fun tx -> Stm.read_for_write tx v) in
+  check_int "read_for_write" 15 r
+
+let t_tl2_user_exception_aborts () =
+  let rt = tl2_rt "greedy" in
+  let v = Tvar.make 1 in
+  (try
+     Stm.atomically rt (fun tx ->
+         Stm.write tx v 99;
+         failwith "boom")
+   with Failure _ -> ());
+  check_int "buffered write discarded" 1 (Tvar.peek v);
+  let s = Stm.stats rt in
+  check_int "no commit" 0 s.Runtime.n_commits;
+  check_int "one abort" 1 s.Runtime.n_aborts
+
+let t_tl2_retry_now () =
+  let rt = tl2_rt "greedy" in
+  let v = Tvar.make 0 in
+  let attempts = ref 0 in
+  let r =
+    Stm.atomically rt (fun tx ->
+        incr attempts;
+        Stm.write tx v !attempts;
+        if !attempts < 3 then Stm.retry_now tx else !attempts)
+  in
+  check_int "ran three times" 3 r;
+  check_int "only final attempt committed" 3 (Tvar.peek v)
+
+let t_tl2_version_clock () =
+  let rt = tl2_rt "greedy" in
+  let v = Tvar.make 0 in
+  let v0 = Tl2.Internal.orec_version v in
+  (* Read-only commit is the zero-CAS fast path: no version movement. *)
+  ignore (Stm.atomically rt (fun tx -> Stm.read tx v));
+  check_int "read-only commit leaves the stripe version" v0
+    (Tl2.Internal.orec_version v);
+  Stm.atomically rt (fun tx -> Stm.write tx v 1);
+  check_bool "writing commit advances the stripe version" true
+    (Tl2.Internal.orec_version v > v0)
+
+let t_tl2_counter_exact () =
+  let rt = tl2_rt "greedy" in
+  let c = Tvar.make 0 in
+  let doms =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 500 do
+              Stm.atomically rt (fun tx -> Stm.modify tx c succ)
+            done))
+  in
+  List.iter Domain.join doms;
+  check_int "no lost updates under commit-time locking" 2000 (Tvar.peek c)
+
+let t_tl2_snapshot_isolation () =
+  (* Same invariant as the locator test: clock-validated reads must
+     never observe x + y off its conserved total, even though TL2
+     readers take no locks and register nowhere. *)
+  let rt = tl2_rt "greedy" in
+  let x = Tvar.make 500 and y = Tvar.make 500 in
+  let violations = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let writer d =
+    Domain.spawn (fun () ->
+        let rng = Splitmix.create (d + 3) in
+        for _ = 1 to 400 do
+          let amt = 1 + Splitmix.int rng 20 in
+          Stm.atomically rt (fun tx ->
+              let vx = Stm.read tx x in
+              Stm.write tx x (vx - amt);
+              Stm.write tx y (Stm.read tx y + amt))
+        done)
+  in
+  let reader =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          let sum = Stm.atomically rt (fun tx -> Stm.read tx x + Stm.read tx y) in
+          if sum <> 1000 then Atomic.incr violations
+        done)
+  in
+  let ws = [ writer 1; writer 2 ] in
+  List.iter Domain.join ws;
+  Atomic.set stop true;
+  Domain.join reader;
+  check_int "no isolation violations" 0 (Atomic.get violations);
+  check_int "final sum conserved" 1000 (Tvar.peek x + Tvar.peek y)
+
+let t_tl2_lock_steal () =
+  (* A fabricated enemy holds the stripe for [v]; an aggressive-managed
+     transaction must execute the Abort_other verdict as a lock steal:
+     the enemy ends up aborted and the commit goes through. *)
+  let rt = tl2_rt "aggressive" in
+  let v = Tvar.make 0 in
+  let enemy = Txn.new_attempt (Txn.new_shared ()) in
+  Tl2.Internal.lock_for_test v enemy;
+  Stm.atomically rt (fun tx -> Stm.write tx v 7);
+  check_int "commit went through over the held lock" 7 (Tvar.peek v);
+  check_bool "enemy was aborted by the steal" true (Txn.is_aborted enemy);
+  Tl2.Internal.unlock_for_test v enemy
+
+let t_tl2_dead_owner_lock_is_free () =
+  (* A lock whose owner already aborted is free for the taking without
+     consulting the manager — the timid manager (always Abort_self)
+     would otherwise livelock here. *)
+  let rt = tl2_rt "timid" in
+  let v = Tvar.make 0 in
+  let enemy = Txn.new_attempt (Txn.new_shared ()) in
+  Tl2.Internal.lock_for_test v enemy;
+  check_bool "enemy marked dead" true (Txn.try_abort enemy);
+  Stm.atomically rt (fun tx -> Stm.write tx v 3);
+  check_int "dead-owner lock reclaimed" 3 (Tvar.peek v);
+  Tl2.Internal.unlock_for_test v enemy
+
+let t_tl2_max_attempts () =
+  let config = { Runtime.default_config with max_attempts = Some 4 } in
+  let rt = tl2_rt ~config "greedy" in
+  let hits = ref 0 in
+  (try
+     Stm.atomically rt (fun tx ->
+         incr hits;
+         Stm.retry_now tx)
+   with Runtime.Too_many_attempts _ -> ());
+  check_int "gave up after the configured attempts" 4 !hits
+
 (* qcheck: arbitrary interleavings of single-threaded transactions on a
    register behave like plain assignments. *)
 let prop_register_semantics =
@@ -758,5 +909,20 @@ let () =
           Alcotest.test_case "counter has no lost updates" `Quick t_counter_exact;
           Alcotest.test_case "disjoint domains never conflict" `Quick t_disjoint_domains;
           Alcotest.test_case "invisible mode write-path counter" `Quick t_concurrent_invisible;
+        ] );
+      ( "tl2",
+        [
+          Alcotest.test_case "read / write / read-your-writes" `Quick t_tl2_read_write;
+          Alcotest.test_case "modify and read_for_write" `Quick
+            t_tl2_modify_and_read_for_write;
+          Alcotest.test_case "user exception aborts" `Quick t_tl2_user_exception_aborts;
+          Alcotest.test_case "retry_now reruns" `Quick t_tl2_retry_now;
+          Alcotest.test_case "version clock movement" `Quick t_tl2_version_clock;
+          Alcotest.test_case "counter has no lost updates" `Quick t_tl2_counter_exact;
+          Alcotest.test_case "snapshot isolation under writers" `Quick
+            t_tl2_snapshot_isolation;
+          Alcotest.test_case "lock steal executes Abort_other" `Quick t_tl2_lock_steal;
+          Alcotest.test_case "dead-owner lock is free" `Quick t_tl2_dead_owner_lock_is_free;
+          Alcotest.test_case "max_attempts enforced" `Quick t_tl2_max_attempts;
         ] );
     ]

@@ -197,6 +197,62 @@ let t_stm_trace_sanity () =
   let pc = Analysis.pending_commit tr in
   check_int "no conflicts" 0 pc.Analysis.conflicts
 
+(* The TL2 backend must speak the same event schema through the same
+   sink: uncontended increments produce the begin/open/commit shape the
+   analyses expect, with no backend-specific event kinds. *)
+let t_tl2_trace_sanity () =
+  let open Tcm_stm in
+  let rt =
+    Stm.create ~backend:Stm.Tl2_backend (Tcm_core.Registry.find_exn "greedy")
+  in
+  let v = Stm.Tvar.make 0 in
+  Sink.start ();
+  for _ = 1 to 50 do
+    Stm.atomically rt (fun tx -> Stm.write tx v (Stm.read tx v + 1))
+  done;
+  Sink.stop ();
+  let tr = Sink.collect () in
+  check_int "final value" 50 (Stm.atomically rt (fun tx -> Stm.read tx v));
+  let count k =
+    Array.fold_left (fun n (e : Event.t) -> if e.kind = k then n + 1 else n) 0 tr
+  in
+  check_int "one begin per attempt" 50 (count Event.Begin);
+  check_int "uncontended: all commit" 50 (count Event.Commit);
+  check_int "uncontended: no aborts" 0 (count Event.Abort);
+  check_int "one buffered-write open per txn" 50 (count Event.Open);
+  let pc = Analysis.pending_commit tr in
+  check_int "no conflicts" 0 pc.Analysis.conflicts
+
+(* Deterministic TL2 conflict: a fabricated enemy holds the stripe for
+   [v], so the committing transaction's lock acquisition consults the
+   manager exactly once; Aggressive says abort_other and the steal
+   succeeds on the first try.  The capture must carry the resolve event
+   (same d_* code namespace as the locator backend) and pending-commit
+   must hold — the stealer commits. *)
+let t_tl2_trace_forced_conflict () =
+  let open Tcm_stm in
+  let rt =
+    Stm.create ~backend:Stm.Tl2_backend (Tcm_core.Registry.find_exn "aggressive")
+  in
+  let v = Stm.Tvar.make 0 in
+  let enemy = Txn.new_attempt (Txn.new_shared ()) in
+  Tl2.Internal.lock_for_test v enemy;
+  Sink.start ();
+  Stm.atomically rt (fun tx -> Stm.write tx v 7);
+  Sink.stop ();
+  let tr = Sink.collect () in
+  Tl2.Internal.unlock_for_test v enemy;
+  check_int "committed over the held lock" 7 (Stm.Tvar.peek v);
+  let count p = Array.fold_left (fun n e -> if p e then n + 1 else n) 0 tr in
+  check_int "one begin" 1 (count (fun (e : Event.t) -> e.kind = Event.Begin));
+  check_int "one commit" 1 (count (fun (e : Event.t) -> e.kind = Event.Commit));
+  check_int "no aborts" 0 (count (fun (e : Event.t) -> e.kind = Event.Abort));
+  check_int "exactly one abort_other resolve" 1
+    (count (fun (e : Event.t) -> e.kind = Event.Resolve && e.c = Event.d_abort_other));
+  let pc = Analysis.pending_commit tr in
+  check_int "the conflict was captured" 1 pc.Analysis.conflicts;
+  check_int "pending-commit holds: the stealer commits" 0 pc.Analysis.violations
+
 (* ------------------------------------------------------------------ *)
 (* Analysis on hand-built traces                                       *)
 (* ------------------------------------------------------------------ *)
@@ -416,7 +472,12 @@ let () =
           Alcotest.test_case "generations isolate captures" `Quick
             t_sink_generation_isolation;
         ] );
-      ("stm", [ Alcotest.test_case "emit sites" `Quick t_stm_trace_sanity ]);
+      ( "stm",
+        [
+          Alcotest.test_case "emit sites" `Quick t_stm_trace_sanity;
+          Alcotest.test_case "tl2 emit sites" `Quick t_tl2_trace_sanity;
+          Alcotest.test_case "tl2 forced conflict" `Quick t_tl2_trace_forced_conflict;
+        ] );
       ( "analysis",
         [
           Alcotest.test_case "violation detected" `Quick t_analysis_violation;

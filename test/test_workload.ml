@@ -265,6 +265,60 @@ let t_float_to_string () =
   Alcotest.(check string) "medium" "123.5" (Report.float_to_string 123.45);
   Alcotest.(check string) "small" "1.23" (Report.float_to_string 1.234)
 
+(* ------------------------------------------------------------------ *)
+(* Bench dump schema validation                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* One regression case per shipped schema version: a reader must keep
+   accepting every dump this repo has ever written (tcm-bench/1 from
+   before the GC columns, /2 before the backend split, /3 current). *)
+let t_bench_schema_accepts_all_versions () =
+  List.iter
+    (fun v ->
+      match Report.bench_schema_of (Report.Json.Obj [ ("schema", Report.Json.Str v) ]) with
+      | Ok got -> Alcotest.(check string) ("accepts " ^ v) v got
+      | Error e -> Alcotest.failf "%s rejected: %s" v e)
+    [ "tcm-bench/1"; "tcm-bench/2"; "tcm-bench/3" ];
+  Alcotest.(check (list string)) "the accept list is exactly the lineage"
+    [ "tcm-bench/1"; "tcm-bench/2"; "tcm-bench/3" ]
+    Report.bench_schemas;
+  Alcotest.(check string) "writer emits the newest" "tcm-bench/3" Report.bench_schema
+
+let t_bench_schema_rejects () =
+  let open Report.Json in
+  let reject name j =
+    match Report.bench_schema_of j with
+    | Ok v -> Alcotest.failf "%s accepted as %s" name v
+    | Error _ -> ()
+  in
+  reject "missing schema field" (Obj [ ("figures", Arr []) ]);
+  reject "unknown version" (Obj [ ("schema", Str "tcm-bench/99") ]);
+  reject "wrong family" (Obj [ ("schema", Str "tcm-trace/1") ]);
+  reject "non-string schema" (Obj [ ("schema", Int 3) ])
+
+(* The writer side: a real (tiny) detailed run serialized through
+   [bench_json] must carry the current schema header and a backend
+   field on every figure entry — and reparse as valid. *)
+let t_bench_json_emits_current_schema () =
+  let open Report.Json in
+  let rows =
+    Figures.run_real_detailed ~threads_list:[ 1 ] ~duration_s:0.02
+      ~backend:Tcm_stm.Stm.Tl2_backend Figures.fig1
+  in
+  let doc =
+    of_string
+      (Report.bench_json ~mode:"real" ~duration_s:0.02 ~seed:42
+         [ (Figures.fig1, "tl2", rows) ])
+  in
+  (match Report.bench_schema_of doc with
+  | Ok v -> Alcotest.(check string) "emitted schema validates" Report.bench_schema v
+  | Error e -> Alcotest.failf "fresh dump rejected: %s" e);
+  match member "figures" doc with
+  | Some (Arr (fig :: _)) ->
+      check_bool "figure entry carries the backend" true
+        (member "backend" fig = Some (Str "tl2"))
+  | _ -> Alcotest.fail "dump has no figures array"
+
 let () =
   Alcotest.run "workload"
     [
@@ -304,5 +358,13 @@ let () =
           Alcotest.test_case "winners" `Quick t_winners;
           Alcotest.test_case "report prints" `Quick t_report_prints;
           Alcotest.test_case "float formatting" `Quick t_float_to_string;
+        ] );
+      ( "bench-schema",
+        [
+          Alcotest.test_case "accepts every shipped version" `Quick
+            t_bench_schema_accepts_all_versions;
+          Alcotest.test_case "rejects missing and unknown" `Quick t_bench_schema_rejects;
+          Alcotest.test_case "writer emits current schema" `Quick
+            t_bench_json_emits_current_schema;
         ] );
     ]
