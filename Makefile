@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test bench-smoke metrics-smoke write-smoke tl2-smoke bench ci clean
+.PHONY: all build test bench-smoke metrics-smoke write-smoke tl2-smoke service-smoke bench ci clean
 
 # Perf-trajectory point number: `make bench N=2` writes BENCH_2.json.
 N ?= 1
@@ -35,11 +35,19 @@ write-smoke:
 tl2-smoke:
 	dune build @tl2-smoke
 
-# Full bench, regenerating the committed perf trajectory point.
-bench:
-	dune exec bench/main.exe -- --quick --no-micro --json BENCH_$(N).json
+# Open-loop service sweep on both backends across the full manager
+# registry, with the JSON dump pushed through the tcm-bench/4 schema
+# validator (bin/tcm_service.exe validate).
+service-smoke:
+	dune build @service-smoke
 
-ci: build test bench-smoke metrics-smoke write-smoke tl2-smoke
+# Full bench, regenerating the committed perf trajectory point
+# (closed-loop sweeps plus the open-loop service figures on both
+# backends).
+bench:
+	dune exec bench/main.exe -- --quick --no-micro --service --backend both --json BENCH_$(N).json
+
+ci: build test bench-smoke metrics-smoke write-smoke tl2-smoke service-smoke
 
 clean:
 	dune clean

@@ -31,13 +31,20 @@
     every live-STM workload (default 42) so captures reproduce;
     [--backend locator|tl2|both] selects the runtime backend(s) for
     the live-STM sections ("both" makes the JSON dump the
-    locator-vs-TL2 head-to-head). *)
+    locator-vs-TL2 head-to-head); [--service] runs the open-loop
+    tcm.service KV sweep (bursty arrivals, Zipf keys, mixed classes)
+    across the full manager registry on the selected backend(s),
+    prints the per-class SLO table and adds [kind = "service"] figure
+    entries to the JSON dump.  [--service] runs even under
+    [--no-real]; combined with [--no-real], the JSON dump carries only
+    the service figures — the smoke-test configuration. *)
 
 open Tcm_workload
 
 let quick = Array.exists (( = ) "--quick") Sys.argv
 let no_real = Array.exists (( = ) "--no-real") Sys.argv
 let no_micro = Array.exists (( = ) "--no-micro") Sys.argv
+let with_service = Array.exists (( = ) "--service") Sys.argv
 
 (* Fail fast on a flag with a missing argument: silently dropping
    --json or --trace would cost a full run and write nothing. *)
@@ -407,6 +414,67 @@ let run_open_problems () =
   Format.fprintf fmt "@."
 
 (* ------------------------------------------------------------------ *)
+(* Open-loop service sweep (--service)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Bursty on/off arrivals: the base rate is comfortably sustainable on
+   this single-core host, the burst overdrives the admission queue so
+   overload shows up as queueing delay and sheds, not as a slower
+   generator. *)
+let service_process =
+  Tcm_service.Arrival.Bursty
+    {
+      base_rate = 1_200.;
+      burst_rate = 4_000.;
+      period_s = (if quick then 0.06 else 0.2);
+      burst_frac = 0.25;
+    }
+
+let service_config ~backend ~manager =
+  {
+    Tcm_service.Service.default with
+    backend;
+    manager;
+    duration_s = (if quick then 0.12 else 0.4);
+    process = service_process;
+    queue_cap = 256;
+    n_keys = (if quick then 2_048 else 8_192);
+    seed;
+  }
+
+let service_summaries : Tcm_service.Service.summary list ref = ref []
+
+let run_service_sweep () =
+  section
+    (Printf.sprintf
+       "tcm.service: open-loop KV sweep (%s; Zipf theta=%.2f; %s)"
+       (Tcm_service.Arrival.describe service_process)
+       Tcm_service.Service.default.Tcm_service.Service.theta
+       (String.concat "+" (List.map Tcm_stm.Stm.backend_name backends)));
+  (* Metrics on for the whole sweep so the per-class SLO table below
+     covers every (backend, manager, class) triple from one snapshot. *)
+  Tcm_metrics.reset ();
+  Tcm_metrics.enable ();
+  let summaries =
+    List.concat_map
+      (fun backend ->
+        List.map
+          (fun manager ->
+            let s =
+              Tcm_service.Service.run (service_config ~backend ~manager)
+            in
+            Format.fprintf fmt "%a@." Tcm_service.Service.pp_summary s;
+            s)
+          Tcm_core.Registry.all)
+      backends
+  in
+  Tcm_metrics.disable ();
+  let snap = Tcm_metrics.snapshot () in
+  Tcm_metrics.Health.pp_slo fmt (Tcm_metrics.Health.slo_rows snap);
+  Format.fprintf fmt "@.";
+  service_summaries := summaries
+
+(* ------------------------------------------------------------------ *)
 (* JSON dump (--json FILE)                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -415,40 +483,49 @@ let run_json_dump path =
   (* Open the output before the sweeps so a bad path fails fast, not
      after minutes of measurement. *)
   let oc = open_out path in
+  (* Under --no-real the closed-loop sweeps and the read-mode A/B are
+     skipped: the dump then carries only the service figures — the
+     fast @service-smoke configuration. *)
   let figures =
-    List.concat_map
-      (fun backend ->
-        List.map
-          (fun spec ->
-            ( spec,
-              Tcm_stm.Stm.backend_name backend,
-              Figures.run_real_detailed ~threads_list:real_threads ~seed ~backend
-                ~duration_s:real_duration spec ))
-          Figures.all)
-      backends
+    if no_real then []
+    else
+      List.concat_map
+        (fun backend ->
+          List.map
+            (fun spec ->
+              ( spec,
+                Tcm_stm.Stm.backend_name backend,
+                Figures.run_real_detailed ~threads_list:real_threads ~seed ~backend
+                  ~duration_s:real_duration spec ))
+            Figures.all)
+        backends
   in
   (* Visible-vs-invisible A/B on the read-heaviest structure, so the
      committed trajectory also tracks per-read validation cost. *)
-  let read_modes =
-    Report.Json.Obj
-      (List.map
-         (fun (label, read_mode) ->
-           let cfg =
-             {
-               Harness.default with
-               structure = Harness.Rbtree_s;
-               threads = 2;
-               duration_s = real_duration;
-               seed;
-               read_mode;
-             }
-           in
-           (label, Report.json_of_outcome (Harness.run cfg)))
-         [ ("visible", `Visible); ("invisible", `Invisible) ])
+  let extra =
+    if no_real then []
+    else
+      [
+        ( "read_modes_rbtree_2t",
+          Report.Json.Obj
+            (List.map
+               (fun (label, read_mode) ->
+                 let cfg =
+                   {
+                     Harness.default with
+                     structure = Harness.Rbtree_s;
+                     threads = 2;
+                     duration_s = real_duration;
+                     seed;
+                     read_mode;
+                   }
+                 in
+                 (label, Report.json_of_outcome (Harness.run cfg)))
+               [ ("visible", `Visible); ("invisible", `Invisible) ]) );
+      ]
   in
   let doc =
-    Report.bench_json
-      ~extra:[ ("read_modes_rbtree_2t", read_modes) ]
+    Report.bench_json ~extra ~service_figures:!service_summaries
       ~mode:(if quick then "quick" else "full")
       ~duration_s:real_duration ~seed figures
   in
@@ -664,6 +741,7 @@ let () =
     run_update_rate_sweep ();
     run_latency_table ()
   end;
+  if with_service then run_service_sweep ();
   Option.iter run_trace_capture trace_path;
   Option.iter run_metrics_capture metrics_path;
   if not no_micro then run_micro ();

@@ -1,0 +1,219 @@
+(** Drive the tcm.service open-loop KV engine from the command line,
+    and validate bench JSON dumps that carry service figures.
+
+    [run] executes one service instance (backend x manager x arrival
+    process) and prints the per-class SLO summary; [validate] checks a
+    [bench/main.exe --json] dump: schema tcm-bench/4 with at least one
+    [kind = "service"] figure whose per-class entries carry the SLO and
+    latency fields. *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let backend_of_string = function
+  | "locator" -> Tcm_stm.Stm.Locator
+  | "tl2" -> Tcm_stm.Stm.Tl2_backend
+  | b ->
+      Printf.eprintf "error: --backend must be locator or tl2, got %S\n" b;
+      exit 2
+
+let manager_of_string name =
+  match Tcm_core.Registry.find name with
+  | Some m -> m
+  | None ->
+      Printf.eprintf "error: unknown manager %S (known: %s)\n" name
+        (String.concat ", "
+           (List.map Tcm_stm.Cm_intf.name Tcm_core.Registry.all));
+      exit 2
+
+let run backend manager duration rate burst_rate burst_period burst_frac
+    workers queue_cap n_keys theta seed =
+  let process =
+    match burst_rate with
+    | None -> Tcm_service.Arrival.Poisson { rate }
+    | Some burst_rate ->
+        Tcm_service.Arrival.Bursty
+          { base_rate = rate; burst_rate; period_s = burst_period; burst_frac }
+  in
+  let cfg =
+    {
+      Tcm_service.Service.default with
+      backend = backend_of_string backend;
+      manager = manager_of_string manager;
+      duration_s = duration;
+      process;
+      workers;
+      queue_cap;
+      n_keys;
+      theta;
+      seed;
+    }
+  in
+  Tcm_metrics.reset ();
+  Tcm_metrics.enable ();
+  let s = Tcm_service.Service.run cfg in
+  Tcm_metrics.disable ();
+  Format.printf "%a@." Tcm_service.Service.pp_summary s;
+  Tcm_metrics.Health.pp_slo Format.std_formatter
+    (Tcm_metrics.Health.slo_rows (Tcm_metrics.snapshot ()))
+
+let backend_arg =
+  Arg.(
+    value & opt string "locator"
+    & info [ "backend" ] ~docv:"BACKEND" ~doc:"Runtime backend (locator or tl2).")
+
+let manager_arg =
+  Arg.(
+    value & opt string "greedy"
+    & info [ "manager" ] ~docv:"CM" ~doc:"Contention manager (registry name).")
+
+let duration_arg =
+  Arg.(
+    value & opt float 0.5
+    & info [ "duration" ] ~docv:"S" ~doc:"Traffic duration in seconds.")
+
+let rate_arg =
+  Arg.(
+    value & opt float 2_000.
+    & info [ "rate" ] ~docv:"RPS"
+        ~doc:"Arrival rate (Poisson; the base rate when bursty).")
+
+let burst_rate_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "burst-rate" ] ~docv:"RPS"
+        ~doc:"Enable bursty on/off arrivals with this peak rate.")
+
+let burst_period_arg =
+  Arg.(
+    value & opt float 0.2
+    & info [ "burst-period" ] ~docv:"S" ~doc:"Bursty on/off cycle length.")
+
+let burst_frac_arg =
+  Arg.(
+    value & opt float 0.25
+    & info [ "burst-frac" ] ~docv:"F"
+        ~doc:"Fraction of each cycle spent at the burst rate.")
+
+let workers_arg =
+  Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc:"Worker domains.")
+
+let queue_cap_arg =
+  Arg.(
+    value & opt int 512
+    & info [ "queue-cap" ] ~docv:"N" ~doc:"Admission-queue capacity (sheds beyond).")
+
+let n_keys_arg =
+  Arg.(value & opt int 8_192 & info [ "keys" ] ~docv:"N" ~doc:"Keyspace size.")
+
+let theta_arg =
+  Arg.(
+    value & opt float 0.9
+    & info [ "theta" ] ~docv:"T" ~doc:"Zipf skew, 0 <= T < 1 (0 = uniform).")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
+
+(* ------------------------------------------------------------------ *)
+(* validate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Json = Tcm_workload.Report.Json
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with Sys_error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 2
+
+let fail fmt = Printf.ksprintf (fun msg -> Printf.eprintf "error: %s\n" msg; exit 1) fmt
+
+(* The per-class fields a tcm-bench/4 service figure must carry. *)
+let class_fields =
+  [
+    "class"; "submitted"; "completed"; "dropped"; "slo_us"; "slo_ok";
+    "slo_attainment"; "latency_p50_us"; "latency_p99_us";
+  ]
+
+let check_service_figure j =
+  let str k = match Json.member k j with Some (Json.Str s) -> s | _ -> fail "service figure missing %S" k in
+  let backend = str "backend" in
+  let manager = str "manager" in
+  let classes =
+    match Json.member "classes" j with
+    | Some (Json.Arr cs) when cs <> [] -> cs
+    | _ -> fail "service figure %s/%s has no classes" backend manager
+  in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun k ->
+          if Json.member k c = None then
+            fail "service figure %s/%s: class entry missing %S" backend manager k)
+        class_fields)
+    classes;
+  (backend, manager)
+
+let validate path =
+  let j =
+    try Json.of_string (String.trim (read_file path))
+    with Json.Parse_error msg -> fail "%s: %s" path msg
+  in
+  (match Tcm_workload.Report.bench_schema_of j with
+  | Error msg -> fail "%s: %s" path msg
+  | Ok s when s <> Tcm_workload.Report.bench_schema ->
+      fail "%s: schema %s carries no service figures (need %s)" path s
+        Tcm_workload.Report.bench_schema
+  | Ok _ -> ());
+  let figures =
+    match Json.member "figures" j with
+    | Some (Json.Arr fs) -> fs
+    | _ -> fail "%s: missing figures array" path
+  in
+  let kind_of f =
+    match Json.member "kind" f with Some (Json.Str k) -> k | _ -> fail "figure entry missing \"kind\""
+  in
+  let services = List.filter (fun f -> kind_of f = "service") figures in
+  if services = [] then fail "%s: no kind=\"service\" figure entries" path;
+  let pairs = List.map check_service_figure services in
+  let uniq l = List.sort_uniq compare l in
+  Printf.printf
+    "%s: OK (%s; %d figure entries, %d service: %d backend(s) x %d manager(s))\n"
+    path Tcm_workload.Report.bench_schema (List.length figures)
+    (List.length services)
+    (List.length (uniq (List.map fst pairs)))
+    (List.length (uniq (List.map snd pairs)))
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"BENCH_JSON" ~doc:"Bench dump to validate.")
+
+let cmds =
+  [
+    Cmd.v
+      (Cmd.info "run"
+         ~doc:"Run one open-loop service instance and print the per-class SLO summary.")
+      Term.(
+        const run $ backend_arg $ manager_arg $ duration_arg $ rate_arg
+        $ burst_rate_arg $ burst_period_arg $ burst_frac_arg $ workers_arg
+        $ queue_cap_arg $ n_keys_arg $ theta_arg $ seed_arg);
+    Cmd.v
+      (Cmd.info "validate"
+         ~doc:"Check a bench JSON dump: schema tcm-bench/4 with well-formed service figures.")
+      Term.(const validate $ file_arg);
+  ]
+
+let () =
+  let doc = "Drive and validate the tcm.service open-loop KV engine." in
+  exit (Cmd.eval (Cmd.group (Cmd.info "tcm-service" ~doc) cmds))

@@ -1,0 +1,100 @@
+(** Shared workload distribution samplers.
+
+    One implementation of each skew/arrival distribution, drawn from a
+    deterministic {!Tcm_stm.Splitmix} stream, shared by the simulator's
+    scenario generators and the service-layer load generator — so "sim
+    under Zipf(θ)" and "live service under Zipf(θ)" mean the same
+    distribution, and every experiment reproduces from its seed. *)
+
+module Rng = Tcm_stm.Splitmix
+
+module Zipf = struct
+  (* The Gray et al. generator ("Quickly generating billion-record
+     synthetic databases", SIGMOD '94), as popularized by YCSB:
+     constant-time draws after an O(n) harmonic-sum precomputation,
+     item 0 the hottest.  θ = 0 degenerates to uniform; θ → 1
+     approaches the classic 1/rank law. *)
+  type t = {
+    n : int;
+    theta : float;
+    zetan : float;
+    alpha : float;
+    eta : float;
+    half_pow_theta : float;
+  }
+
+  let zeta ~n ~theta =
+    let s = ref 0. in
+    for i = 1 to n do
+      s := !s +. (1. /. (float_of_int i ** theta))
+    done;
+    !s
+
+  let create ~n ~theta =
+    if n < 1 then invalid_arg "Samplers.Zipf.create: n >= 1";
+    if theta < 0. || theta >= 1. then
+      invalid_arg "Samplers.Zipf.create: theta in [0, 1)";
+    if theta = 0. then
+      { n; theta; zetan = 0.; alpha = 0.; eta = 0.; half_pow_theta = 0. }
+    else begin
+      let zetan = zeta ~n ~theta in
+      let zeta2 = zeta ~n:(min n 2) ~theta in
+      let alpha = 1. /. (1. -. theta) in
+      let eta =
+        (1. -. ((2. /. float_of_int n) ** (1. -. theta)))
+        /. (1. -. (zeta2 /. zetan))
+      in
+      { n; theta; zetan; alpha; eta; half_pow_theta = 0.5 ** theta }
+    end
+
+  let n t = t.n
+  let theta t = t.theta
+
+  let draw t rng =
+    if t.theta = 0. then Rng.int rng t.n
+    else begin
+      let u = Rng.float rng in
+      let uz = u *. t.zetan in
+      if uz < 1. then 0
+      else if uz < 1. +. t.half_pow_theta then min 1 (t.n - 1)
+      else
+        let k =
+          int_of_float
+            (float_of_int t.n *. (((t.eta *. u) -. t.eta +. 1.) ** t.alpha))
+        in
+        min (t.n - 1) (max 0 k)
+    end
+end
+
+(** Exponential inter-arrival gap of a Poisson process with the given
+    rate (events per unit time); the gap is in the same time unit. *)
+let exp_draw rng ~rate =
+  if rate <= 0. then invalid_arg "Samplers.exp_draw: rate > 0";
+  -.log (1. -. Rng.float rng) /. rate
+
+(** Index drawn proportionally to [weights] (non-negative, at least one
+    positive); a zero-weight index is never returned. *)
+let pick_weighted rng ~weights =
+  let total = Array.fold_left ( +. ) 0. weights in
+  if not (total > 0.) then invalid_arg "Samplers.pick_weighted: total weight > 0";
+  let u = Rng.float rng *. total in
+  let n = Array.length weights in
+  let acc = ref 0. in
+  let chosen = ref (-1) in
+  (try
+     for i = 0 to n - 1 do
+       if weights.(i) > 0. then begin
+         acc := !acc +. weights.(i);
+         if u < !acc then begin
+           chosen := i;
+           raise Exit
+         end
+       end
+     done
+   with Exit -> ());
+  if !chosen >= 0 then !chosen
+  else
+    (* Floating-point slack pushed [u] past the cumulative sum: take
+       the last positive-weight index. *)
+    let rec back i = if weights.(i) > 0. then i else back (i - 1) in
+    back (n - 1)

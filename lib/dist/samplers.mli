@@ -1,0 +1,30 @@
+(** Shared workload distribution samplers: the one Zipf(θ) and Poisson
+    implementation drawn on by both the simulator scenarios and the
+    service-layer load generator, deterministic in the
+    {!Tcm_stm.Splitmix} stream passed to each draw. *)
+
+module Rng = Tcm_stm.Splitmix
+
+module Zipf : sig
+  type t
+  (** Precomputed Zipf(θ) sampler over items [0 .. n-1]; item 0 is the
+      hottest (frequency ∝ 1/(rank+1)^θ).  Gray et al. / YCSB
+      generator: O(n) setup, O(1) per draw. *)
+
+  val create : n:int -> theta:float -> t
+  (** θ in [0, 1): 0 is uniform, 0.99 extremely skewed.
+      @raise Invalid_argument on [n < 1] or θ outside [0, 1). *)
+
+  val draw : t -> Rng.t -> int
+  val n : t -> int
+  val theta : t -> float
+end
+
+val exp_draw : Rng.t -> rate:float -> float
+(** Exponential inter-arrival gap of a Poisson process with [rate]
+    events per unit time.  @raise Invalid_argument on [rate <= 0]. *)
+
+val pick_weighted : Rng.t -> weights:float array -> int
+(** Index drawn proportionally to [weights]; zero-weight indices are
+    never returned.  @raise Invalid_argument when no weight is
+    positive. *)

@@ -129,3 +129,48 @@ let workload_outcome w ~commits ~aborts ~conflicts ~elapsed_us =
   Core.Counter.add w.w_aborts aborts;
   Core.Counter.add w.w_conflicts conflicts;
   Core.Counter.add w.w_elapsed_us elapsed_us
+
+(* ------------------------------------------------------------------ *)
+(* Per-class service labels (tcm.service)                              *)
+(* ------------------------------------------------------------------ *)
+
+type service = {
+  s_requests : Core.Counter.t;
+  s_dropped : Core.Counter.t;
+  s_slo_ok : Core.Counter.t;
+  s_latency : Core.Histogram.t;
+}
+
+let n_service_requests = "tcm_service_requests_total"
+let n_service_dropped = "tcm_service_dropped_total"
+let n_service_slo_ok = "tcm_service_slo_ok_total"
+let n_service_latency = "tcm_service_latency"
+
+(* The [class] label carries the transaction class ("read" / "scan" /
+   "rmw").  Latency is arrival-to-commit in microseconds — it includes
+   admission-queue time, which is where open-loop overload shows up. *)
+let for_service ?(backend = "locator") ~manager ~cls () =
+  let labels =
+    [ ("backend", backend); ("class", cls); ("manager", manager); ("runtime", "live") ]
+  in
+  {
+    s_requests =
+      Core.Counter.create n_service_requests ~labels
+        ~help:"Service requests generated (admitted or dropped).";
+    s_dropped =
+      Core.Counter.create n_service_dropped ~labels
+        ~help:"Requests shed by the bounded admission queue.";
+    s_slo_ok =
+      Core.Counter.create n_service_slo_ok ~labels
+        ~help:"Requests completed within their class SLO.";
+    s_latency =
+      Core.Histogram.create n_service_latency ~labels
+        ~help:"Arrival-to-commit latency, queue time included (us).";
+  }
+
+let[@inline] service_request h = Core.Counter.incr h.s_requests
+let[@inline] service_drop h = Core.Counter.incr h.s_dropped
+
+let[@inline] service_complete h ~latency_us ~within_slo =
+  Core.Histogram.observe h.s_latency latency_us;
+  if within_slo then Core.Counter.incr h.s_slo_ok

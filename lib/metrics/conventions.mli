@@ -59,3 +59,27 @@ val for_workload : workload:string -> manager:string -> workload
 
 val workload_outcome :
   workload -> commits:int -> aborts:int -> conflicts:int -> elapsed_us:int -> unit
+
+(** Per-(backend, manager, class) service instruments recorded by the
+    [tcm.service] engine.  The [class] label carries the transaction
+    class ("read" / "scan" / "rmw"); latency is arrival-to-commit in
+    microseconds, admission-queue time included. *)
+
+type service
+
+val n_service_requests : string
+val n_service_dropped : string
+val n_service_slo_ok : string
+val n_service_latency : string
+
+val for_service : ?backend:string -> manager:string -> cls:string -> unit -> service
+
+val service_request : service -> unit
+(** One request generated (whether admitted or shed). *)
+
+val service_drop : service -> unit
+(** One request shed by the bounded admission queue. *)
+
+val service_complete : service -> latency_us:int -> within_slo:bool -> unit
+(** One request completed: observe its arrival-to-commit latency and
+    count it against the class SLO. *)

@@ -127,3 +127,73 @@ let pp fmt (rows : row list) =
   Format.fprintf fmt
     "(durations: us on runtime=live, ticks on runtime=sim; p50-rs = median read-set \
      size at commit; pool%% = locator-pool hit rate, \"-\" on tl2: no locator pool)@."
+
+(* ------------------------------------------------------------------ *)
+(* Service SLO table (tcm.service per-class series)                    *)
+(* ------------------------------------------------------------------ *)
+
+type slo_row = {
+  s_backend : string;
+  s_manager : string;
+  s_class : string;
+  requests : int;  (** Generated, admitted or shed. *)
+  completed : int;  (** Samples in the latency histogram. *)
+  dropped : int;
+  slo_ok : int;
+  attainment : float;
+      (** [slo_ok /. requests] — drops and over-SLO completions both
+          count against the class. *)
+  latency_p50 : float;  (** Arrival-to-commit, queue time included (us). *)
+  latency_p99 : float;
+}
+
+let slo_row_of (s : Snapshot.t) ~backend ~manager ~cls : slo_row =
+  let labels =
+    [ ("backend", backend); ("class", cls); ("manager", manager); ("runtime", "live") ]
+  in
+  let c name = Snapshot.counter_value s ~name ~labels in
+  let lat = Snapshot.hist_value s ~name:Conventions.n_service_latency ~labels in
+  let requests = c Conventions.n_service_requests in
+  let slo_ok = c Conventions.n_service_slo_ok in
+  {
+    s_backend = backend;
+    s_manager = manager;
+    s_class = cls;
+    requests;
+    completed = (match lat with None -> 0 | Some h -> Snapshot.hist_count h);
+    dropped = c Conventions.n_service_dropped;
+    slo_ok;
+    attainment = (if requests = 0 then nan else ratio slo_ok requests);
+    latency_p50 = pcts lat 50.;
+    latency_p99 = pcts lat 99.;
+  }
+
+(** One row per (backend, manager, class) triple that generated at
+    least one request, in instrument registration order. *)
+let slo_rows (s : Snapshot.t) : slo_row list =
+  List.filter_map
+    (fun (e : Snapshot.entry) ->
+      if e.Snapshot.name = Conventions.n_service_requests then
+        match
+          (Snapshot.label e "backend", Snapshot.label e "manager", Snapshot.label e "class")
+        with
+        | Some backend, Some manager, Some cls ->
+            let r = slo_row_of s ~backend ~manager ~cls in
+            if r.requests > 0 then Some r else None
+        | _ -> None
+      else None)
+    s.Snapshot.entries
+
+let pp_slo fmt (rows : slo_row list) =
+  Format.fprintf fmt "%-14s %-8s %-5s %9s %9s %8s %8s %9s %9s %7s@." "manager" "backend"
+    "class" "requests" "complete" "dropped" "slo-ok" "p50-lat" "p99-lat" "attain";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%-14s %-8s %-5s %9d %9d %8d %8d %9s %9s %6.1f%%@." r.s_manager
+        r.s_backend r.s_class r.requests r.completed r.dropped r.slo_ok
+        (fnum r.latency_p50) (fnum r.latency_p99)
+        (100. *. r.attainment))
+    rows;
+  Format.fprintf fmt
+    "(latency = arrival-to-commit us, queue time included; attain = slo-ok/requests, \
+     so shed requests count against the class)@."

@@ -36,3 +36,27 @@ val rows : Snapshot.t -> row list
     attempt (idle registered series are dropped). *)
 
 val pp : Format.formatter -> row list -> unit
+
+(** Service SLO table: one row per (backend, manager, class) triple
+    recorded by the [tcm.service] engine. *)
+
+type slo_row = {
+  s_backend : string;
+  s_manager : string;
+  s_class : string;
+  requests : int;  (** Generated, admitted or shed. *)
+  completed : int;  (** Samples in the latency histogram. *)
+  dropped : int;
+  slo_ok : int;
+  attainment : float;
+      (** [slo_ok /. requests]; drops and over-SLO completions both
+          count against the class.  [nan] with no requests. *)
+  latency_p50 : float;  (** Arrival-to-commit, queue time included (us). *)
+  latency_p99 : float;
+}
+
+val slo_rows : Snapshot.t -> slo_row list
+(** Rows for every triple that generated at least one request, in
+    registration order. *)
+
+val pp_slo : Format.formatter -> slo_row list -> unit

@@ -1,0 +1,27 @@
+(** Open-loop arrival processes: Poisson and on/off-modulated (bursty)
+    Poisson, sampled by thinning — deterministic in the rng stream. *)
+
+module Rng = Tcm_stm.Splitmix
+
+type process =
+  | Poisson of { rate : float }  (** Requests per second. *)
+  | Bursty of {
+      base_rate : float;
+      burst_rate : float;
+      period_s : float;  (** One on+off cycle. *)
+      burst_frac : float;  (** Fraction of the period spent bursting. *)
+    }
+
+val validate : process -> unit
+(** @raise Invalid_argument on non-positive rates/period or
+    [burst_frac] outside [0, 1]. *)
+
+val rate_at : process -> t:float -> float
+(** Instantaneous rate at time [t] (seconds from run start). *)
+
+val peak_rate : process -> float
+
+val next : process -> Rng.t -> t:float -> float
+(** Next arrival strictly after [t]. *)
+
+val describe : process -> string

@@ -1,0 +1,29 @@
+(** Transaction classes of the service workload: point reads, ordered
+    range scans and read-modify-writes, each with its own latency SLO
+    and mix weight. *)
+
+type t = Read | Scan | Rmw
+
+val all : t array
+val count : int
+val index : t -> int
+val name : t -> string
+val of_name : string -> t option
+
+(** Offered mix, by weight (need not sum to 1). *)
+type mix = { read_w : float; scan_w : float; rmw_w : float }
+
+val default_mix : mix
+(** 80% point reads, 5% scans, 15% RMW. *)
+
+val weights : mix -> float array
+(** Indexed like {!all}. *)
+
+val pick : mix -> Tcm_stm.Splitmix.t -> t
+(** Weighted class draw (zero-weight classes never picked). *)
+
+val default_slo_us : t -> float
+(** Arrival-to-commit SLO target in microseconds. *)
+
+val default_slos : float array
+(** {!default_slo_us} indexed like {!all}. *)

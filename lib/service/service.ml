@@ -1,0 +1,341 @@
+(** The service engine: a user-scale transactional KV service driven
+    by open-loop traffic.
+
+    One generator domain schedules arrivals from an {!Arrival} process
+    (Poisson or bursty), draws each request's class from the
+    {!Sclass.mix} and its keys from the shared Zipf(θ) sampler, and
+    pushes into a bounded {!Squeue}; [workers] domains pop and execute
+    each request as one STM transaction against the {!Store}, on
+    either runtime backend under any registered contention manager.
+
+    Latency is measured arrival-to-commit — from the *scheduled*
+    arrival time, not the dequeue time — so admission-queue delay is
+    charged to the service and overload cannot hide behind a slowing
+    generator (no coordinated omission).  A full queue sheds the
+    request and counts it against the class's SLO attainment. *)
+
+open Tcm_stm
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type request = {
+  cls : Sclass.t;
+  arrival_s : float;  (** Scheduled arrival, seconds from run start. *)
+  keys : int array;  (** Pre-drawn Zipf keys (scan: the start key). *)
+}
+
+(** Arrival-to-commit latency in microseconds, [now_s] in seconds from
+    run start.  Clamped at 0 against clock slop. *)
+let request_latency_us ~arrival_s ~now_s = Float.max 0. ((now_s -. arrival_s) *. 1e6)
+
+(* ------------------------------------------------------------------ *)
+(* Per-class accounting                                                *)
+(* ------------------------------------------------------------------ *)
+
+type class_stats = {
+  cls : Sclass.t;
+  submitted : int;  (** Generated: admitted + dropped. *)
+  completed : int;
+  dropped : int;
+  slo_us : float;
+  slo_ok : int;  (** Completed within the class SLO. *)
+  attainment : float;
+      (** [slo_ok /. submitted]: drops and over-SLO completions both
+          miss.  [nan] when nothing was submitted. *)
+  p50_us : float;
+  p99_us : float;
+  mean_us : float;
+}
+
+(** Pure per-class aggregation, separated from the engine so the SLO
+    arithmetic (queue time included, drops count as misses) is
+    testable deterministically.  Each domain owns a private [t];
+    results are merged after join. *)
+module Agg = struct
+  type t = {
+    slo_us : float array;
+    submitted : int array;
+    dropped : int array;
+    slo_ok : int array;
+    lats : float list array;  (** Per-class completion latencies, us. *)
+  }
+
+  let create ~slo_us =
+    if Array.length slo_us <> Sclass.count then
+      invalid_arg "Service.Agg.create: one SLO per class";
+    {
+      slo_us = Array.copy slo_us;
+      submitted = Array.make Sclass.count 0;
+      dropped = Array.make Sclass.count 0;
+      slo_ok = Array.make Sclass.count 0;
+      lats = Array.make Sclass.count [];
+    }
+
+  let submit t c =
+    let i = Sclass.index c in
+    t.submitted.(i) <- t.submitted.(i) + 1
+
+  let drop t c =
+    let i = Sclass.index c in
+    t.dropped.(i) <- t.dropped.(i) + 1
+
+  let complete t c ~latency_us =
+    let i = Sclass.index c in
+    t.lats.(i) <- latency_us :: t.lats.(i);
+    if latency_us <= t.slo_us.(i) then t.slo_ok.(i) <- t.slo_ok.(i) + 1
+
+  let within_slo t c ~latency_us = latency_us <= t.slo_us.(Sclass.index c)
+
+  let merge_into ~into src =
+    for i = 0 to Sclass.count - 1 do
+      into.submitted.(i) <- into.submitted.(i) + src.submitted.(i);
+      into.dropped.(i) <- into.dropped.(i) + src.dropped.(i);
+      into.slo_ok.(i) <- into.slo_ok.(i) + src.slo_ok.(i);
+      into.lats.(i) <- List.rev_append src.lats.(i) into.lats.(i)
+    done
+
+  let class_stats t : class_stats list =
+    Array.to_list
+      (Array.map
+         (fun c ->
+           let i = Sclass.index c in
+           let lats = t.lats.(i) in
+           {
+             cls = c;
+             submitted = t.submitted.(i);
+             completed = List.length lats;
+             dropped = t.dropped.(i);
+             slo_us = t.slo_us.(i);
+             slo_ok = t.slo_ok.(i);
+             attainment =
+               (if t.submitted.(i) = 0 then nan
+                else float_of_int t.slo_ok.(i) /. float_of_int t.submitted.(i));
+             p50_us = Tcm_dist.Stats.percentile 50. lats;
+             p99_us = Tcm_dist.Stats.percentile 99. lats;
+             mean_us = Tcm_dist.Stats.mean lats;
+           })
+         Sclass.all)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  backend : Stm.backend;
+  manager : Cm_intf.factory;
+  workers : int;
+  duration_s : float;
+  process : Arrival.process;
+  queue_cap : int;
+  n_keys : int;
+  buckets : int option;  (** Hashmap sizing override (see Store). *)
+  theta : float;  (** Zipf key skew, [0, 1). *)
+  mix : Sclass.mix;
+  reads_per_txn : int;  (** Point gets in one Read transaction. *)
+  rmws_per_txn : int;  (** Increments in one Rmw transaction. *)
+  scan_len : int;  (** Bindings per Scan transaction. *)
+  slo_us : float array;  (** Per-class SLO, indexed like {!Sclass.all}. *)
+  seed : int;
+}
+
+let default =
+  {
+    backend = Stm.Locator;
+    manager = (module Tcm_core.Greedy : Cm_intf.S);
+    workers = 2;
+    duration_s = 0.5;
+    process = Arrival.Poisson { rate = 2_000. };
+    queue_cap = 512;
+    n_keys = 8_192;
+    buckets = None;
+    theta = 0.9;
+    mix = Sclass.default_mix;
+    reads_per_txn = 8;
+    rmws_per_txn = 2;
+    scan_len = 32;
+    slo_us = Sclass.default_slos;
+    seed = 42;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Results                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type summary = {
+  backend : string;
+  manager : string;
+  process : string;
+  classes : class_stats list;
+  submitted : int;
+  completed : int;
+  dropped : int;
+  aborts : int;  (** STM aborts during the measurement (prefill excluded). *)
+  conflicts : int;
+  elapsed_s : float;
+  throughput : float;  (** Completed requests per second. *)
+  offered : float;  (** Generated requests per second. *)
+  queue_high_water : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Transaction bodies                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let execute rt store ~scan_len (req : request) =
+  match req.cls with
+  | Sclass.Read ->
+      ignore
+        (Stm.atomically rt (fun tx ->
+             let acc = ref 0 in
+             Array.iter
+               (fun k ->
+                 match Store.get tx store k with
+                 | Some v -> acc := !acc + v
+                 | None -> ())
+               req.keys;
+             !acc))
+  | Sclass.Scan ->
+      ignore
+        (Stm.atomically rt (fun tx -> Store.scan tx store ~lo:req.keys.(0) ~len:scan_len))
+  | Sclass.Rmw ->
+      ignore
+        (Stm.atomically rt (fun tx ->
+             Array.iter
+               (fun k ->
+                 Store.rmw tx store k (function None -> Some 1 | Some v -> Some (v + 1)))
+               req.keys;
+             0))
+
+let keys_for cfg cls zipf rng =
+  let draw () = Tcm_dist.Samplers.Zipf.draw zipf rng in
+  let n =
+    match cls with
+    | Sclass.Read -> max 1 cfg.reads_per_txn
+    | Sclass.Scan -> 1
+    | Sclass.Rmw -> max 1 cfg.rmws_per_txn
+  in
+  Array.init n (fun _ -> draw ())
+
+(* ------------------------------------------------------------------ *)
+(* The engine                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let run (cfg : config) : summary =
+  Arrival.validate cfg.process;
+  if cfg.workers < 1 then invalid_arg "Service.run: workers >= 1";
+  if cfg.duration_s <= 0. then invalid_arg "Service.run: duration_s > 0";
+  let rt = Stm.create ~backend:cfg.backend cfg.manager in
+  let store = Store.create ?buckets:cfg.buckets ~n_keys:cfg.n_keys () in
+  Store.prefill rt store;
+  let s0 = Stm.stats rt in
+  let mname = Cm_intf.name cfg.manager in
+  let bname = Stm.backend_name cfg.backend in
+  let mx =
+    Array.map
+      (fun c ->
+        Tcm_metrics.Conventions.for_service ~backend:bname ~manager:mname
+          ~cls:(Sclass.name c) ())
+      Sclass.all
+  in
+  let q : request Squeue.t = Squeue.create cfg.queue_cap in
+  let gen_agg = Agg.create ~slo_us:cfg.slo_us in
+  let worker_aggs = Array.init cfg.workers (fun _ -> Agg.create ~slo_us:cfg.slo_us) in
+  let t0 = Unix.gettimeofday () in
+  let generator () =
+    let rng = Splitmix.create ((cfg.seed * 31) + 1) in
+    let zipf = Tcm_dist.Samplers.Zipf.create ~n:cfg.n_keys ~theta:cfg.theta in
+    let t = ref (Arrival.next cfg.process rng ~t:0.) in
+    while !t < cfg.duration_s do
+      (* Sleep until the scheduled arrival; when the generator itself
+         runs late it pushes immediately and the schedule does not
+         slip — the arrival clock is the process's, not ours. *)
+      let wait = t0 +. !t -. Unix.gettimeofday () in
+      if wait > 0. then Unix.sleepf wait;
+      let cls = Sclass.pick cfg.mix rng in
+      let keys = keys_for cfg cls zipf rng in
+      Agg.submit gen_agg cls;
+      Tcm_metrics.Conventions.service_request mx.(Sclass.index cls);
+      if not (Squeue.try_push q { cls; arrival_s = !t; keys }) then begin
+        Agg.drop gen_agg cls;
+        Tcm_metrics.Conventions.service_drop mx.(Sclass.index cls)
+      end;
+      t := Arrival.next cfg.process rng ~t:!t
+    done
+  in
+  let worker wid () =
+    let agg = worker_aggs.(wid) in
+    let rec loop () =
+      match Squeue.pop q with
+      | None -> ()
+      | Some req ->
+          execute rt store ~scan_len:cfg.scan_len req;
+          let now_s = Unix.gettimeofday () -. t0 in
+          let lat = request_latency_us ~arrival_s:req.arrival_s ~now_s in
+          Agg.complete agg req.cls ~latency_us:lat;
+          Tcm_metrics.Conventions.service_complete
+            mx.(Sclass.index req.cls)
+            ~latency_us:(int_of_float lat)
+            ~within_slo:(Agg.within_slo agg req.cls ~latency_us:lat);
+          loop ()
+    in
+    loop ()
+  in
+  let workers = List.init cfg.workers (fun wid -> Domain.spawn (worker wid)) in
+  let gen = Domain.spawn generator in
+  Domain.join gen;
+  (* Admissions stop at the deadline; queued requests drain (their
+     latency keeps accruing — late completions are still charged). *)
+  Squeue.close q;
+  List.iter Domain.join workers;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let s1 = Stm.stats rt in
+  let total = Agg.create ~slo_us:cfg.slo_us in
+  Agg.merge_into ~into:total gen_agg;
+  Array.iter (fun a -> Agg.merge_into ~into:total a) worker_aggs;
+  let classes = Agg.class_stats total in
+  let sum f = List.fold_left (fun acc c -> acc + f c) 0 classes in
+  let submitted = sum (fun c -> c.submitted) in
+  let completed = sum (fun c -> c.completed) in
+  let dropped = sum (fun c -> c.dropped) in
+  {
+    backend = bname;
+    manager = mname;
+    process = Arrival.describe cfg.process;
+    classes;
+    submitted;
+    completed;
+    dropped;
+    aborts = s1.Runtime.n_aborts - s0.Runtime.n_aborts;
+    conflicts = s1.Runtime.n_conflicts - s0.Runtime.n_conflicts;
+    elapsed_s = elapsed;
+    throughput = float_of_int completed /. elapsed;
+    offered = float_of_int submitted /. elapsed;
+    queue_high_water = Squeue.high_water q;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fnum v =
+  if Float.is_nan v then "-"
+  else if v >= 10_000. then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.1f" v
+
+let pp_summary fmt (s : summary) =
+  Format.fprintf fmt
+    "%s/%s  %s: offered %.0f rps, served %.0f rps, dropped %d, aborts %d, queue-hw %d@."
+    s.manager s.backend s.process s.offered s.throughput s.dropped s.aborts
+    s.queue_high_water;
+  List.iter
+    (fun c ->
+      Format.fprintf fmt
+        "    %-5s submitted %6d completed %6d dropped %5d p50 %8s us p99 %8s us \
+         slo %6.0f us attain %5.1f%%@."
+        (Sclass.name c.cls) c.submitted c.completed c.dropped (fnum c.p50_us)
+        (fnum c.p99_us) c.slo_us
+        (100. *. if Float.is_nan c.attainment then 0. else c.attainment))
+    s.classes

@@ -1,0 +1,97 @@
+(** The service engine: open-loop transactional KV traffic with
+    Zipf-skewed keys, mixed transaction classes and per-class SLO
+    accounting, on either runtime backend under any contention
+    manager.  Latency is arrival-to-commit (admission-queue time
+    included); a full queue sheds the request and the shed counts
+    against SLO attainment. *)
+
+open Tcm_stm
+
+type request = {
+  cls : Sclass.t;
+  arrival_s : float;  (** Scheduled arrival, seconds from run start. *)
+  keys : int array;  (** Pre-drawn Zipf keys (scan: the start key). *)
+}
+
+val request_latency_us : arrival_s:float -> now_s:float -> float
+(** Arrival-to-commit latency in us — measured from the scheduled
+    arrival, so time spent queued is included; clamped at 0. *)
+
+type class_stats = {
+  cls : Sclass.t;
+  submitted : int;  (** Generated: admitted + dropped. *)
+  completed : int;
+  dropped : int;
+  slo_us : float;
+  slo_ok : int;  (** Completed within the class SLO. *)
+  attainment : float;
+      (** [slo_ok /. submitted]: drops and over-SLO completions both
+          miss; [nan] when nothing was submitted. *)
+  p50_us : float;
+  p99_us : float;
+  mean_us : float;
+}
+
+(** Pure per-class aggregation (one instance per domain, merged after
+    join) — exposed so the SLO arithmetic is testable without running
+    the engine. *)
+module Agg : sig
+  type t
+
+  val create : slo_us:float array -> t
+  (** @raise Invalid_argument unless one SLO per class. *)
+
+  val submit : t -> Sclass.t -> unit
+  val drop : t -> Sclass.t -> unit
+  val complete : t -> Sclass.t -> latency_us:float -> unit
+  val within_slo : t -> Sclass.t -> latency_us:float -> bool
+  val merge_into : into:t -> t -> unit
+  val class_stats : t -> class_stats list
+end
+
+type config = {
+  backend : Stm.backend;
+  manager : Cm_intf.factory;
+  workers : int;
+  duration_s : float;
+  process : Arrival.process;
+  queue_cap : int;
+  n_keys : int;
+  buckets : int option;  (** Hashmap sizing override (see {!Store}). *)
+  theta : float;  (** Zipf key skew, [0, 1). *)
+  mix : Sclass.mix;
+  reads_per_txn : int;
+  rmws_per_txn : int;
+  scan_len : int;
+  slo_us : float array;  (** Per-class SLO, indexed like {!Sclass.all}. *)
+  seed : int;
+}
+
+val default : config
+(** Locator backend, greedy manager, 2 workers, Poisson 2k rps, 8192
+    keys at θ = 0.9, the default mix and SLOs. *)
+
+type summary = {
+  backend : string;
+  manager : string;
+  process : string;
+  classes : class_stats list;
+  submitted : int;
+  completed : int;
+  dropped : int;
+  aborts : int;  (** STM aborts during the run (prefill excluded). *)
+  conflicts : int;
+  elapsed_s : float;
+  throughput : float;  (** Completed requests per second. *)
+  offered : float;  (** Generated requests per second. *)
+  queue_high_water : int;
+}
+
+val run : config -> summary
+(** Prefill the store, then drive [duration_s] of open-loop traffic;
+    returns after the admission queue has drained.  At return,
+    [submitted = completed + dropped].
+    @raise Invalid_argument on a non-positive duration or worker
+    count, or an invalid arrival process. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,105 @@
+(** Bounded admission queue between the open-loop generator and the
+    worker pool.
+
+    A fixed-capacity ring under one mutex: [try_push] never blocks —
+    a full queue sheds the request and counts the drop, so overload
+    surfaces as queueing delay and load shedding rather than
+    generator slowdown.  Workers block in [pop] until a request or
+    [close]-plus-drained; [close] lets in-flight requests finish, so
+    at shutdown every admitted request is either completed or still
+    counted in the queue (never silently lost). *)
+
+type 'a t = {
+  buf : 'a option array;
+  mutable head : int;  (** Next pop slot. *)
+  mutable tail : int;  (** Next push slot. *)
+  mutable len : int;
+  mutable high_water : int;
+  mutable dropped : int;
+  mutable closed : bool;
+  m : Mutex.t;
+  nonempty : Condition.t;
+}
+
+let create cap =
+  if cap < 1 then invalid_arg "Squeue.create: capacity >= 1";
+  {
+    buf = Array.make cap None;
+    head = 0;
+    tail = 0;
+    len = 0;
+    high_water = 0;
+    dropped = 0;
+    closed = false;
+    m = Mutex.create ();
+    nonempty = Condition.create ();
+  }
+
+let capacity t = Array.length t.buf
+
+(** [false] when the queue was full (the request is shed and counted)
+    or already closed. *)
+let try_push t x =
+  Mutex.lock t.m;
+  let ok =
+    if t.closed || t.len = Array.length t.buf then begin
+      t.dropped <- t.dropped + 1;
+      false
+    end
+    else begin
+      t.buf.(t.tail) <- Some x;
+      t.tail <- (t.tail + 1) mod Array.length t.buf;
+      t.len <- t.len + 1;
+      if t.len > t.high_water then t.high_water <- t.len;
+      Condition.signal t.nonempty;
+      true
+    end
+  in
+  Mutex.unlock t.m;
+  ok
+
+(** Blocks until a request is available or the queue is closed and
+    drained ([None]). *)
+let pop t =
+  Mutex.lock t.m;
+  while t.len = 0 && not t.closed do
+    Condition.wait t.nonempty t.m
+  done;
+  let r =
+    if t.len = 0 then None
+    else begin
+      let x = t.buf.(t.head) in
+      t.buf.(t.head) <- None;
+      t.head <- (t.head + 1) mod Array.length t.buf;
+      t.len <- t.len - 1;
+      x
+    end
+  in
+  Mutex.unlock t.m;
+  r
+
+(** Stop admissions and wake every blocked popper; queued requests
+    still drain. *)
+let close t =
+  Mutex.lock t.m;
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.m
+
+let length t =
+  Mutex.lock t.m;
+  let n = t.len in
+  Mutex.unlock t.m;
+  n
+
+let dropped t =
+  Mutex.lock t.m;
+  let n = t.dropped in
+  Mutex.unlock t.m;
+  n
+
+let high_water t =
+  Mutex.lock t.m;
+  let n = t.high_water in
+  Mutex.unlock t.m;
+  n

@@ -1,0 +1,28 @@
+(** Bounded admission queue: non-blocking shed-on-full push (the
+    open-loop contract), blocking pop, close-then-drain shutdown. *)
+
+type 'a t
+
+val create : int -> 'a t
+(** @raise Invalid_argument on capacity < 1. *)
+
+val capacity : 'a t -> int
+
+val try_push : 'a t -> 'a -> bool
+(** [false] when full or closed; the request is shed and counted in
+    {!dropped}.  Never blocks. *)
+
+val pop : 'a t -> 'a option
+(** Blocks until a request arrives or the queue is closed and drained
+    ([None]). *)
+
+val close : 'a t -> unit
+(** Stop admissions, wake blocked poppers; queued requests still
+    drain. *)
+
+val length : 'a t -> int
+val dropped : 'a t -> int
+
+val high_water : 'a t -> int
+(** Maximum occupancy ever observed — the queueing-depth signature of
+    a traffic spike. *)

@@ -1,0 +1,66 @@
+(** The transactional key-value store behind the service: values in a
+    {!Tcm_structures.Thashmap} (point ops conflict only per bucket)
+    with a {!Tcm_structures.Tskiplist} key index for ordered range
+    scans.
+
+    The keyspace is fixed at prefill: the service draws every key from
+    [0 .. n_keys - 1], so [put]/[rmw] hit existing bindings and never
+    have to update the index — scans and point ops then conflict only
+    through the hashmap buckets and the skiplist nodes they actually
+    read. *)
+
+open Tcm_stm
+module H = Tcm_structures.Thashmap
+module S = Tcm_structures.Tskiplist
+
+type t = { map : int H.t; index : S.t; n_keys : int }
+
+(* Batch size for prefill transactions: big enough to amortize the
+   per-transaction cost over millions of keys, small enough to keep
+   each prefill write set trivial for either backend. *)
+let prefill_batch = 64
+
+let create ?buckets ~n_keys () =
+  if n_keys < 1 then invalid_arg "Store.create: n_keys >= 1";
+  (* Low single-digit occupancy by default (see Thashmap's sizing
+     note); callers with million-key stores can still override. *)
+  let buckets = match buckets with Some b -> b | None -> max 64 (n_keys / 4) in
+  { map = H.create ~buckets (); index = S.create (); n_keys }
+
+(** Populate keys [0 .. n_keys - 1] (value = key), batched. *)
+let prefill rt t =
+  let k = ref 0 in
+  while !k < t.n_keys do
+    let hi = min t.n_keys (!k + prefill_batch) in
+    let lo = !k in
+    ignore
+      (Stm.atomically rt (fun tx ->
+           for key = lo to hi - 1 do
+             H.add tx t.map key key;
+             ignore (S.insert tx t.index key)
+           done;
+           hi - lo));
+    k := hi
+  done
+
+let n_keys t = t.n_keys
+
+let get tx t k = H.find tx t.map k
+
+let put tx t k v = H.add tx t.map k v
+
+(** Read-modify-write one binding (insert-if-absent included). *)
+let rmw tx t k f = H.update tx t.map k f
+
+(** Ordered scan: up to [len] keys starting at the smallest key >=
+    [lo], each followed by a point lookup of its value; returns the
+    number of bindings read and the sum of their values (forcing the
+    reads). *)
+let scan tx t ~lo ~len =
+  let keys = S.range tx t.index ~lo ~len in
+  List.fold_left
+    (fun (n, sum) k ->
+      match H.find tx t.map k with
+      | Some v -> (n + 1, sum + v)
+      | None -> (n, sum))
+    (0, 0) keys

@@ -1,0 +1,26 @@
+(** Transactional KV store: values in a {!Tcm_structures.Thashmap},
+    ordered key index in a {!Tcm_structures.Tskiplist} for range
+    scans.  Keyspace fixed at prefill ([0 .. n_keys - 1]). *)
+
+open Tcm_stm
+
+type t
+
+val create : ?buckets:int -> n_keys:int -> unit -> t
+(** [buckets] defaults to [n_keys / 4] (min 64).
+    @raise Invalid_argument on [n_keys < 1]. *)
+
+val prefill : Stm.runtime -> t -> unit
+(** Insert keys [0 .. n_keys - 1] (value = key), batched into
+    small transactions. *)
+
+val n_keys : t -> int
+val get : Stm.tx -> t -> int -> int option
+val put : Stm.tx -> t -> int -> int -> unit
+
+val rmw : Stm.tx -> t -> int -> (int option -> int option) -> unit
+(** Atomic read-modify-write of one binding. *)
+
+val scan : Stm.tx -> t -> lo:int -> len:int -> int * int
+(** Up to [len] bindings from the smallest key >= [lo], in order;
+    returns (bindings read, sum of values). *)

@@ -83,11 +83,16 @@ let random_instance ~seed ~n ~s ?(max_dur = 6) ?(max_acc = 3) () : Spec.instance
   Spec.instance (List.init n txn_of)
 
 (** A contended hot-spot workload: every transaction updates one of
-    [s] objects chosen by a zipf-ish rule, for throughput shapes. *)
-let hotspot_instance ~seed ~n ~s ~dur () : Spec.instance =
+    [s] objects chosen Zipf([theta])-distributed (object 0 hottest),
+    for throughput shapes.  Draws come from the shared
+    {!Tcm_dist.Samplers.Zipf} sampler — the same distribution the
+    service layer skews its keys with — and stay deterministic in
+    [seed]. *)
+let hotspot_instance ~seed ~n ~s ?(theta = 0.9) ~dur () : Spec.instance =
   let prng = Prng.create seed in
+  let zipf = Tcm_dist.Samplers.Zipf.create ~n:s ~theta in
   let txn_of _ =
-    let o = if Prng.bool prng then 0 else Prng.int prng s in
+    let o = Tcm_dist.Samplers.Zipf.draw zipf prng in
     Spec.txn ~dur [ Spec.write ~at:(Prng.int prng dur) ~obj:o ]
   in
   Spec.instance (List.init n txn_of)

@@ -20,4 +20,8 @@ val halted_owner : ?n:int -> unit -> Spec.instance
 val random_instance :
   seed:int -> n:int -> s:int -> ?max_dur:int -> ?max_acc:int -> unit -> Spec.instance
 
-val hotspot_instance : seed:int -> n:int -> s:int -> dur:int -> unit -> Spec.instance
+val hotspot_instance :
+  seed:int -> n:int -> s:int -> ?theta:float -> dur:int -> unit -> Spec.instance
+(** [n] single-write transactions over [s] objects with Zipf([theta])
+    skew (default 0.9, object 0 hottest), via the shared
+    {!Tcm_dist.Samplers.Zipf} sampler; deterministic in [seed]. *)

@@ -28,14 +28,17 @@ let find tx t k = List.assoc_opt k (Stm.read tx (slot t k))
 
 let mem tx t k = find tx t k <> None
 
-(** Insert or replace. *)
+(** Insert or replace.  Inserting a fresh key conses onto the bucket
+    without rebuilding it; only a replace pays the [remove_assoc]
+    copy. *)
 let add tx t k v =
   let b = slot t k in
   let l = Stm.read_for_write tx b in
-  let l = List.remove_assoc k l in
+  let l = if List.mem_assoc k l then List.remove_assoc k l else l in
   Stm.write tx b ((k, v) :: l)
 
-(** [true] if the key was present. *)
+(** [true] if the key was present.  Removing a missing key neither
+    copies nor writes the bucket. *)
 let remove tx t k =
   let b = slot t k in
   let l = Stm.read_for_write tx b in
@@ -46,15 +49,18 @@ let remove tx t k =
   else false
 
 (** Atomically update one binding: [f None] inserts, [f (Some v)]
-    replaces; returning [None] deletes. *)
+    replaces; returning [None] deletes.  The bucket is only rebuilt
+    when the key was present, and a delete of an absent key writes
+    nothing at all. *)
 let update tx t k f =
   let b = slot t k in
   let l = Stm.read_for_write tx b in
   let old_v = List.assoc_opt k l in
-  let rest = List.remove_assoc k l in
-  match f old_v with
-  | Some v -> Stm.write tx b ((k, v) :: rest)
-  | None -> Stm.write tx b rest
+  let rest = match old_v with None -> l | Some _ -> List.remove_assoc k l in
+  match (f old_v, old_v) with
+  | Some v, _ -> Stm.write tx b ((k, v) :: rest)
+  | None, Some _ -> Stm.write tx b rest
+  | None, None -> ()
 
 let length tx t =
   Array.fold_left (fun acc b -> acc + List.length (Stm.read tx b)) 0 t.buckets

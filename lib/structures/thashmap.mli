@@ -7,7 +7,17 @@ type 'v t
 val default_buckets : int
 
 val create : ?buckets:int -> unit -> 'v t
-(** Bucket count is rounded up to a power of two. *)
+(** Bucket count is rounded up to a power of two.
+
+    Sizing: each bucket is one [Tvar] holding an association list, so
+    a transaction touching a bucket conflicts with every other
+    transaction on that bucket and pays O(occupancy) to replace or
+    remove a binding.  The default (64) suits the paper's 256-key
+    micro-workloads; service-scale stores should size [buckets] to
+    keep occupancy in the low single digits — e.g. [~buckets:(n / 4)]
+    for [n] keys, which for a million-key store means ~256k buckets
+    (~2 MB of [Tvar] array, amortized by the conflict and copy costs
+    saved on every access). *)
 
 val n_buckets : 'v t -> int
 val find : Tcm_stm.Stm.tx -> 'v t -> int -> 'v option

@@ -95,6 +95,23 @@ let remove tx t k =
       true
   | _ -> false
 
+(** Ascending keys >= [lo], at most [len] of them — the ordered range
+    scan backing the service layer's scan transactions.  Costs one
+    O(log n) descent plus [len] level-0 hops. *)
+let range tx t ~lo ~len =
+  if len <= 0 then []
+  else begin
+    let _, first = find_slots tx t lo in
+    let rec go link k acc =
+      if k = 0 then List.rev acc
+      else
+        match link with
+        | Nil -> List.rev acc
+        | N { key; forward } -> go (Stm.read tx forward.(0)) (k - 1) (key :: acc)
+    in
+    go first len []
+  end
+
 let to_list tx t =
   let rec go link acc =
     match link with

@@ -4,3 +4,7 @@
 include Intset.S
 
 val max_level : int
+
+val range : Tcm_stm.Stm.tx -> t -> lo:int -> len:int -> int list
+(** Ascending keys >= [lo], at most [len] of them: one O(log n)
+    descent plus [len] bottom-level hops. *)

@@ -311,6 +311,10 @@ let json_of_detailed_figure ~backend (spec : Figures.spec)
     [
       ("id", Json.Str spec.Figures.id);
       ("title", Json.Str spec.Figures.title);
+      (* tcm-bench/4: figure entries carry a "kind" discriminator so
+         readers can tell closed-loop sweeps from open-loop service
+         figures without sniffing fields. *)
+      ("kind", Json.Str "sweep");
       (* tcm-bench/3: the runtime backend that executed this sweep
          ("locator" | "tl2").  One figure entry per (figure, backend)
          pair, so a dump can carry the head-to-head comparison. *)
@@ -336,13 +340,57 @@ let json_of_detailed_figure ~backend (spec : Figures.spec)
              rows) );
     ]
 
+let json_of_class_stats (c : Tcm_service.Service.class_stats) : Json.t =
+  Json.Obj
+    [
+      ("class", Json.Str (Tcm_service.Sclass.name c.Tcm_service.Service.cls));
+      ("submitted", Json.Int c.Tcm_service.Service.submitted);
+      ("completed", Json.Int c.Tcm_service.Service.completed);
+      ("dropped", Json.Int c.Tcm_service.Service.dropped);
+      ("slo_us", Json.Float c.Tcm_service.Service.slo_us);
+      ("slo_ok", Json.Int c.Tcm_service.Service.slo_ok);
+      ("slo_attainment", Json.Float c.Tcm_service.Service.attainment);
+      ("latency_p50_us", Json.Float c.Tcm_service.Service.p50_us);
+      ("latency_p99_us", Json.Float c.Tcm_service.Service.p99_us);
+      ("latency_mean_us", Json.Float c.Tcm_service.Service.mean_us);
+    ]
+
+(* tcm-bench/4: open-loop service figures — one entry per (backend,
+   manager) pair, per-class latency measured arrival-to-commit with
+   queue time included, and SLO attainment charged for sheds. *)
+let json_of_service_figure (s : Tcm_service.Service.summary) : Json.t =
+  let open Tcm_service.Service in
+  Json.Obj
+    [
+      ("id", Json.Str "service-kv");
+      ("title", Json.Str "open-loop transactional KV service");
+      ("kind", Json.Str "service");
+      ("backend", Json.Str s.backend);
+      ("manager", Json.Str s.manager);
+      ("process", Json.Str s.process);
+      ("submitted", Json.Int s.submitted);
+      ("completed", Json.Int s.completed);
+      ("dropped", Json.Int s.dropped);
+      ("aborts", Json.Int s.aborts);
+      ("conflicts", Json.Int s.conflicts);
+      ("elapsed_s", Json.Float s.elapsed_s);
+      ("throughput", Json.Float s.throughput);
+      ("offered", Json.Float s.offered);
+      ("queue_high_water", Json.Int s.queue_high_water);
+      ("classes", Json.Arr (List.map json_of_class_stats s.classes));
+    ]
+
 (* Schema lineage of the bench dump:
    - tcm-bench/1: throughput + latency + abort breakdown;
    - tcm-bench/2: adds per-window GC words (minor/major);
-   - tcm-bench/3: adds the per-figure "backend" field (locator | tl2).
-   Readers accept all three; the writer always emits the newest. *)
-let bench_schema = "tcm-bench/3"
-let bench_schemas = [ "tcm-bench/1"; "tcm-bench/2"; bench_schema ]
+   - tcm-bench/3: adds the per-figure "backend" field (locator | tl2);
+   - tcm-bench/4: figure entries carry a "kind" discriminator
+     ("sweep" | "service") and service entries report per-class
+     arrival-to-commit latency and SLO attainment.
+   Readers accept every shipped version; the writer always emits the
+   newest. *)
+let bench_schema = "tcm-bench/4"
+let bench_schemas = [ "tcm-bench/1"; "tcm-bench/2"; "tcm-bench/3"; bench_schema ]
 
 let bench_schema_of (j : Json.t) : (string, string) result =
   match Json.member "schema" j with
@@ -356,9 +404,11 @@ let bench_schema_of (j : Json.t) : (string, string) result =
 
 (** The bench's machine-readable dump: per-figure live-STM sweeps with
     throughput, p50/p99 latency and the abort breakdown per manager,
-    one figure entry per (figure, backend) pair.  [extra] lets the
-    caller attach more top-level sections. *)
-let bench_json ?(extra = []) ~mode ~duration_s ~seed
+    one figure entry per (figure, backend) pair.  [service_figures]
+    are open-loop service summaries appended to the same "figures"
+    array with [kind = "service"].  [extra] lets the caller attach
+    more top-level sections. *)
+let bench_json ?(extra = []) ?(service_figures = []) ~mode ~duration_s ~seed
     (figures : (Figures.spec * string * Figures.detailed_row list) list) : string =
   Json.to_string
     (Json.Obj
@@ -371,6 +421,7 @@ let bench_json ?(extra = []) ~mode ~duration_s ~seed
             Json.Arr
               (List.map
                  (fun (spec, backend, rows) -> json_of_detailed_figure ~backend spec rows)
-                 figures) );
+                 figures
+              @ List.map json_of_service_figure service_figures) );
         ]
        @ extra))

@@ -41,12 +41,20 @@ val json_of_outcome : Harness.outcome -> Json.t
 (** Throughput, p50/p99 latency and the full abort breakdown of one
     harness run. *)
 
+val json_of_service_figure : Tcm_service.Service.summary -> Json.t
+(** One open-loop service run as a figure entry ([kind = "service"]):
+    per-class arrival-to-commit latency (queue time included), SLO
+    attainment with sheds charged against the class, and the abort /
+    conflict deltas of the run. *)
+
 val bench_schema : string
-(** The schema the writer emits: ["tcm-bench/3"]. *)
+(** The schema the writer emits: ["tcm-bench/4"]. *)
 
 val bench_schemas : string list
 (** Every schema a reader must accept: tcm-bench/1 (original),
-    /2 (adds GC words), /3 (adds the per-figure backend field). *)
+    /2 (adds GC words), /3 (adds the per-figure backend field),
+    /4 (adds the per-figure "kind" discriminator and open-loop
+    service figures). *)
 
 val bench_schema_of : Json.t -> (string, string) result
 (** Validate a parsed bench dump's schema header.  [Error _] when the
@@ -56,6 +64,7 @@ val bench_schema_of : Json.t -> (string, string) result
 
 val bench_json :
   ?extra:(string * Json.t) list ->
+  ?service_figures:Tcm_service.Service.summary list ->
   mode:string ->
   duration_s:float ->
   seed:int ->
@@ -63,4 +72,5 @@ val bench_json :
   string
 (** The bench's machine-readable dump ([--json FILE]): schema header
     plus one entry per (figure, backend-name) pair with
-    per-thread-count, per-manager outcomes. *)
+    per-thread-count, per-manager outcomes; [service_figures] append
+    open-loop service entries to the same figures array. *)

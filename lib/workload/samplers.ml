@@ -1,0 +1,7 @@
+(** Shared distribution samplers, re-exported from
+    {!Tcm_dist.Samplers}: the canonical [tcm.workload] Zipf(θ) and
+    Poisson samplers.  The implementation sits in [tcm_dist] so the
+    simulator (which this library depends on) can draw scenario skew
+    from the very same distribution. *)
+
+include Tcm_dist.Samplers

@@ -1,0 +1,6 @@
+(** Shared distribution samplers (re-export of
+    {!Tcm_dist.Samplers}). *)
+
+include module type of struct
+  include Tcm_dist.Samplers
+end

@@ -1,20 +1,5 @@
-(** Small statistics helpers for benchmark reporting. *)
+(** Statistics helpers (re-export of {!Tcm_dist.Stats}). *)
 
-val mean : float list -> float
-val stddev : float list -> float
-(** Sample standard deviation; 0 for fewer than two points. *)
-
-val percentile : float -> float list -> float
-(** Nearest-rank percentile, [p] in [0, 100]; [nan] on an empty
-    sample list. *)
-
-val median : float list -> float
-
-val cv : float list -> float
-(** Coefficient of variation (0 when the mean is 0); quantifies the
-    red-black forest's transaction-length variance. *)
-
-val histogram : buckets:int -> lo:float -> hi:float -> float list -> int array
-(** Equal-width buckets over the closed range [[lo, hi]]; a sample
-    exactly at [hi] counts in the last bucket.  Samples outside the
-    range are dropped. *)
+include module type of struct
+  include Tcm_dist.Stats
+end

@@ -1,0 +1,280 @@
+(* tcm.service: deterministic unit tests for the admission queue and
+   the per-class SLO accounting, store semantics on both backends, and
+   a small end-to-end engine run whose bookkeeping invariants
+   (submitted = completed + dropped, attainment in [0,1]) must hold
+   exactly. *)
+
+module Service = Tcm_service.Service
+module Sclass = Tcm_service.Sclass
+module Squeue = Tcm_service.Squeue
+module Store = Tcm_service.Store
+module Stm = Tcm_stm.Stm
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Admission queue                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let t_squeue_fifo () =
+  let q = Squeue.create 4 in
+  List.iter (fun x -> check_bool "push" true (Squeue.try_push q x)) [ 1; 2; 3 ];
+  check_int "length" 3 (Squeue.length q);
+  Squeue.close q;
+  Alcotest.(check (list int)) "drains in order" [ 1; 2; 3 ]
+    (List.filter_map (fun _ -> Squeue.pop q) [ (); (); () ]);
+  check_bool "closed and drained" true (Squeue.pop q = None)
+
+let t_squeue_overflow_counts () =
+  let q = Squeue.create 2 in
+  check_bool "fits" true (Squeue.try_push q 1);
+  check_bool "fits" true (Squeue.try_push q 2);
+  check_bool "full sheds" false (Squeue.try_push q 3);
+  check_bool "full sheds again" false (Squeue.try_push q 4);
+  check_int "dropped counted" 2 (Squeue.dropped q);
+  check_int "high water" 2 (Squeue.high_water q);
+  ignore (Squeue.pop q);
+  check_bool "room again" true (Squeue.try_push q 5);
+  check_int "drops don't reset" 2 (Squeue.dropped q)
+
+let t_squeue_closed_rejects () =
+  let q = Squeue.create 2 in
+  check_bool "pre-close admits" true (Squeue.try_push q 1);
+  Squeue.close q;
+  check_bool "post-close sheds" false (Squeue.try_push q 2);
+  check_bool "queued item drains" true (Squeue.pop q = Some 1);
+  check_bool "then None" true (Squeue.pop q = None);
+  check_int "post-close shed counted" 1 (Squeue.dropped q)
+
+(* ------------------------------------------------------------------ *)
+(* SLO accounting                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Deterministic accounting check with hand-computable numbers: 4 read
+   submissions (one dropped, one over-SLO), 1 scan, 1 rmw. *)
+let t_agg_slo_accounting () =
+  let slo_us = [| 1_000.; 10_000.; 2_000. |] in
+  let a = Service.Agg.create ~slo_us in
+  let submit_complete cls lat =
+    Service.Agg.submit a cls;
+    Service.Agg.complete a cls ~latency_us:lat
+  in
+  submit_complete Sclass.Read 100.;
+  submit_complete Sclass.Read 999.;
+  submit_complete Sclass.Read 5_000.;
+  (* over SLO *)
+  Service.Agg.submit a Sclass.Read;
+  Service.Agg.drop a Sclass.Read;
+  (* shed: counts against attainment *)
+  submit_complete Sclass.Scan 9_000.;
+  submit_complete Sclass.Rmw 2_000.;
+  (* boundary: <= is within *)
+  let stats = Service.Agg.class_stats a in
+  let find cls =
+    List.find (fun (c : Service.class_stats) -> c.cls = cls) stats
+  in
+  let r = find Sclass.Read in
+  check_int "read submitted" 4 r.submitted;
+  check_int "read completed" 3 r.completed;
+  check_int "read dropped" 1 r.dropped;
+  check_int "read slo_ok" 2 r.slo_ok;
+  Alcotest.(check (float 1e-9)) "read attainment (drop and miss charged)" 0.5
+    r.attainment;
+  let s = find Sclass.Scan in
+  Alcotest.(check (float 1e-9)) "scan attainment" 1.0 s.attainment;
+  let m = find Sclass.Rmw in
+  check_int "rmw boundary within SLO" 1 m.slo_ok;
+  (* Merge: a second (worker) accumulator folds in exactly. *)
+  let b = Service.Agg.create ~slo_us in
+  Service.Agg.submit b Sclass.Read;
+  Service.Agg.complete b Sclass.Read ~latency_us:50.;
+  Service.Agg.merge_into ~into:a b;
+  let r' =
+    List.find
+      (fun (c : Service.class_stats) -> c.cls = Sclass.Read)
+      (Service.Agg.class_stats a)
+  in
+  check_int "merged submitted" 5 r'.submitted;
+  check_int "merged slo_ok" 3 r'.slo_ok
+
+(* Queue time is part of the latency: a request that waited is charged
+   from its scheduled arrival, not from dequeue. *)
+let t_latency_includes_queue_time () =
+  let lat = Service.request_latency_us ~arrival_s:1.0 ~now_s:1.25 in
+  Alcotest.(check (float 1e-6)) "250ms arrival-to-commit" 250_000. lat;
+  (* A worker that starts the txn 200ms late cannot report only its
+     100ms of service time. *)
+  check_bool "queue wait dominates" true (lat > 100_000.);
+  Alcotest.(check (float 1e-9)) "clamped at 0" 0.
+    (Service.request_latency_us ~arrival_s:2.0 ~now_s:1.9)
+
+(* ------------------------------------------------------------------ *)
+(* Store                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let store_ops backend () =
+  let rt = Stm.create ~backend (module Tcm_core.Greedy : Tcm_stm.Cm_intf.S) in
+  let st = Store.create ~n_keys:128 () in
+  Store.prefill rt st;
+  check_int "n_keys" 128 (Store.n_keys st);
+  let got = Stm.atomically rt (fun tx -> Store.get tx st 7) in
+  check_bool "prefilled value = key" true (got = Some 7);
+  Stm.atomically rt (fun tx -> Store.put tx st 7 700);
+  check_bool "put visible" true
+    (Stm.atomically rt (fun tx -> Store.get tx st 7) = Some 700);
+  Stm.atomically rt (fun tx ->
+      Store.rmw tx st 9 (function None -> Some 1 | Some v -> Some (v + 1)));
+  check_bool "rmw incremented" true
+    (Stm.atomically rt (fun tx -> Store.get tx st 9) = Some 10);
+  (* Ordered scan over [5, ...): 5+6+..+9 with the updates above. *)
+  let n, sum = Stm.atomically rt (fun tx -> Store.scan tx st ~lo:5 ~len:5) in
+  check_int "scan reads len bindings" 5 n;
+  check_int "scan sums updated values" (700 + 5 + 6 + 8 + 10) sum;
+  (* Scan beyond the keyspace tail returns what exists. *)
+  let n, _ = Stm.atomically rt (fun tx -> Store.scan tx st ~lo:126 ~len:10) in
+  check_int "tail scan truncates" 2 n
+
+(* ------------------------------------------------------------------ *)
+(* Engine end-to-end                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let small_config backend process =
+  {
+    Service.default with
+    backend;
+    workers = 2;
+    duration_s = 0.08;
+    process;
+    queue_cap = 64;
+    n_keys = 512;
+    seed = 9;
+  }
+
+let t_run_invariants backend () =
+  let s =
+    Service.run
+      (small_config backend (Tcm_service.Arrival.Poisson { rate = 1_500. }))
+  in
+  check_bool "generated traffic" true (s.Service.submitted > 0);
+  check_int "submitted = completed + dropped" s.Service.submitted
+    (s.Service.completed + s.Service.dropped);
+  List.iter
+    (fun (c : Service.class_stats) ->
+      check_int
+        (Sclass.name c.cls ^ " class conservation")
+        c.submitted
+        (c.completed + c.dropped);
+      if c.submitted > 0 then
+        check_bool
+          (Sclass.name c.cls ^ " attainment in [0,1]")
+          true
+          (c.attainment >= 0. && c.attainment <= 1.);
+      if c.completed > 0 then
+        check_bool (Sclass.name c.cls ^ " p99 >= p50") true (c.p99_us >= c.p50_us))
+    s.Service.classes;
+  (* The class totals are the run totals. *)
+  check_int "class totals sum" s.Service.submitted
+    (List.fold_left
+       (fun acc (c : Service.class_stats) -> acc + c.submitted)
+       0 s.Service.classes)
+
+(* Overload: an all-scan mix (the slowest class) offered far beyond
+   what one worker with a tiny queue can serve must shed, and the
+   sheds must show up in the drop counters. *)
+let t_run_overload_sheds () =
+  let cfg =
+    {
+      (small_config Stm.Locator (Tcm_service.Arrival.Poisson { rate = 30_000. })) with
+      Service.workers = 1;
+      queue_cap = 8;
+      duration_s = 0.05;
+      mix = { Sclass.read_w = 0.; scan_w = 1.; rmw_w = 0. };
+      scan_len = 256;
+    }
+  in
+  let s = Service.run cfg in
+  check_bool "overload drops requests" true (s.Service.dropped > 0);
+  check_int "conservation under overload" s.Service.submitted
+    (s.Service.completed + s.Service.dropped);
+  check_int "queue hit its cap" 8 s.Service.queue_high_water
+
+(* A metrics-enabled run must surface per-class SLO rows through
+   tcm.metrics (the Health table the bench prints). *)
+let t_run_metrics_slo_rows () =
+  Tcm_metrics.reset ();
+  Tcm_metrics.enable ();
+  let s =
+    Service.run
+      (small_config Stm.Tl2_backend (Tcm_service.Arrival.Poisson { rate = 1_000. }))
+  in
+  Tcm_metrics.disable ();
+  let rows = Tcm_metrics.Health.slo_rows (Tcm_metrics.snapshot ()) in
+  Tcm_metrics.reset ();
+  check_bool "slo rows present" true (rows <> []);
+  List.iter
+    (fun (r : Tcm_metrics.Health.slo_row) ->
+      check_bool "backend label" true (r.Tcm_metrics.Health.s_backend = "tl2");
+      check_bool "manager label" true (r.Tcm_metrics.Health.s_manager = s.Service.manager);
+      check_bool "class label is a known class" true
+        (Sclass.of_name r.Tcm_metrics.Health.s_class <> None);
+      let cls =
+        List.find
+          (fun (c : Service.class_stats) ->
+            Sclass.name c.cls = r.Tcm_metrics.Health.s_class)
+          s.Service.classes
+      in
+      check_int "metrics requests = engine submitted" cls.Service.submitted
+        r.Tcm_metrics.Health.requests;
+      check_int "metrics slo_ok = engine slo_ok" cls.Service.slo_ok
+        r.Tcm_metrics.Health.slo_ok)
+    rows
+
+let t_run_rejects_bad_config () =
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  check_bool "zero workers rejected" true
+    (raises (fun () ->
+         Service.run { Service.default with Service.workers = 0 }));
+  check_bool "negative duration rejected" true
+    (raises (fun () ->
+         Service.run { Service.default with Service.duration_s = -1. }));
+  check_bool "bad burst_frac rejected" true
+    (raises (fun () ->
+         Service.run
+           {
+             Service.default with
+             Service.process =
+               Tcm_service.Arrival.Bursty
+                 { base_rate = 100.; burst_rate = 200.; period_s = 0.1; burst_frac = 1.5 };
+           }))
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "squeue",
+        [
+          Alcotest.test_case "fifo and close-drain" `Quick t_squeue_fifo;
+          Alcotest.test_case "overflow counts sheds" `Quick t_squeue_overflow_counts;
+          Alcotest.test_case "closed rejects, drains" `Quick t_squeue_closed_rejects;
+        ] );
+      ( "slo",
+        [
+          Alcotest.test_case "per-class accounting" `Quick t_agg_slo_accounting;
+          Alcotest.test_case "latency includes queue time" `Quick
+            t_latency_includes_queue_time;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "ops (locator)" `Quick (store_ops Stm.Locator);
+          Alcotest.test_case "ops (tl2)" `Quick (store_ops Stm.Tl2_backend);
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "invariants (locator)" `Quick (t_run_invariants Stm.Locator);
+          Alcotest.test_case "invariants (tl2)" `Quick
+            (t_run_invariants Stm.Tl2_backend);
+          Alcotest.test_case "overload sheds" `Quick t_run_overload_sheds;
+          Alcotest.test_case "metrics slo rows" `Quick t_run_metrics_slo_rows;
+          Alcotest.test_case "config validation" `Quick t_run_rejects_bad_config;
+        ] );
+    ]

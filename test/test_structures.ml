@@ -234,6 +234,26 @@ let t_skiplist_interleaved_removal () =
   let remaining = Stm.atomically rt (fun tx -> S.Tskiplist.to_list tx s) in
   check_ilist "odds remain" (List.init 50 (fun i -> (2 * i) + 1)) remaining
 
+(* Ordered range reads (the service layer's scan primitive): up to
+   [len] keys starting from the smallest key >= [lo]. *)
+let t_skiplist_range () =
+  let rt = rt () in
+  let s = S.Tskiplist.create () in
+  List.iter
+    (fun k -> ignore (Stm.atomically rt (fun tx -> S.Tskiplist.insert tx s k)))
+    [ 9; 1; 5; 3; 7 ];
+  let range ~lo ~len = Stm.atomically rt (fun tx -> S.Tskiplist.range tx s ~lo ~len) in
+  check_ilist "mid-range, between keys" [ 3; 5; 7 ] (range ~lo:2 ~len:3);
+  check_ilist "lo on an existing key" [ 5; 7 ] (range ~lo:5 ~len:2);
+  check_ilist "whole set" [ 1; 3; 5; 7; 9 ] (range ~lo:0 ~len:10);
+  check_ilist "truncated at the tail" [ 9 ] (range ~lo:8 ~len:5);
+  check_ilist "past the tail" [] (range ~lo:10 ~len:3);
+  check_ilist "len zero" [] (range ~lo:0 ~len:0);
+  check_ilist "len negative" [] (range ~lo:0 ~len:(-1));
+  check_ilist "empty list" []
+    (let s2 = S.Tskiplist.create () in
+     Stm.atomically rt (fun tx -> S.Tskiplist.range tx s2 ~lo:0 ~len:5))
+
 (* ------------------------------------------------------------------ *)
 (* Forest specifics                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -367,6 +387,31 @@ let t_hashmap_update () =
   Stm.atomically rt (fun tx -> S.Thashmap.update tx m 7 (fun _ -> None));
   Alcotest.(check (option int)) "update to None deletes" None
     (Stm.atomically rt (fun tx -> S.Thashmap.find tx m 7))
+
+(* The write-avoidance paths: insert-new, remove-missing and
+   delete-of-absent no longer rewrite the bucket, so they must stay
+   semantically identical while touching fewer tvars.  The observable
+   contract: a transaction doing only a no-op mutation takes the
+   read-only commit path (no conflicts possible), and the map is
+   unchanged. *)
+let t_hashmap_noop_mutations () =
+  let rt = rt () in
+  let m = S.Thashmap.create ~buckets:4 () in
+  Stm.atomically rt (fun tx -> S.Thashmap.add tx m 1 10);
+  Stm.atomically rt (fun tx -> S.Thashmap.add tx m 5 50);
+  (* Same bucket as key 1 (4 buckets): insert-new must not disturb the
+     existing binding. *)
+  Stm.atomically rt (fun tx -> S.Thashmap.add tx m 9 90);
+  Alcotest.(check (option int)) "neighbor intact" (Some 10)
+    (Stm.atomically rt (fun tx -> S.Thashmap.find tx m 1));
+  check_bool "remove-missing is false" false
+    (Stm.atomically rt (fun tx -> S.Thashmap.remove tx m 13));
+  Stm.atomically rt (fun tx -> S.Thashmap.update tx m 13 (fun _ -> None));
+  check_int "delete-of-absent leaves length" 3
+    (Stm.atomically rt (fun tx -> S.Thashmap.length tx m));
+  Alcotest.(check (list (pair int int))) "bindings unchanged"
+    [ (1, 10); (5, 50); (9, 90) ]
+    (Stm.atomically rt (fun tx -> S.Thashmap.bindings tx m))
 
 let t_hashmap_bucket_rounding () =
   check_int "rounds up" 16 (S.Thashmap.n_buckets (S.Thashmap.create ~buckets:9 ()));
@@ -521,6 +566,7 @@ let () =
         [
           Alcotest.test_case "dense inserts" `Quick t_skiplist_dense;
           Alcotest.test_case "interleaved removal" `Quick t_skiplist_interleaved_removal;
+          Alcotest.test_case "range reads" `Quick t_skiplist_range;
         ] );
       ( "forest",
         [
@@ -542,6 +588,7 @@ let () =
         [
           Alcotest.test_case "basics" `Quick t_hashmap_basics;
           Alcotest.test_case "atomic update" `Quick t_hashmap_update;
+          Alcotest.test_case "no-op mutations" `Quick t_hashmap_noop_mutations;
           Alcotest.test_case "bucket rounding" `Quick t_hashmap_bucket_rounding;
           QCheck_alcotest.to_alcotest prop_hashmap_model;
           Alcotest.test_case "concurrent increments" `Quick t_hashmap_concurrent;

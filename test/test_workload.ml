@@ -271,18 +271,19 @@ let t_float_to_string () =
 
 (* One regression case per shipped schema version: a reader must keep
    accepting every dump this repo has ever written (tcm-bench/1 from
-   before the GC columns, /2 before the backend split, /3 current). *)
+   before the GC columns, /2 before the backend split, /3 before the
+   figure-kind discriminator, /4 current). *)
 let t_bench_schema_accepts_all_versions () =
   List.iter
     (fun v ->
       match Report.bench_schema_of (Report.Json.Obj [ ("schema", Report.Json.Str v) ]) with
       | Ok got -> Alcotest.(check string) ("accepts " ^ v) v got
       | Error e -> Alcotest.failf "%s rejected: %s" v e)
-    [ "tcm-bench/1"; "tcm-bench/2"; "tcm-bench/3" ];
+    [ "tcm-bench/1"; "tcm-bench/2"; "tcm-bench/3"; "tcm-bench/4" ];
   Alcotest.(check (list string)) "the accept list is exactly the lineage"
-    [ "tcm-bench/1"; "tcm-bench/2"; "tcm-bench/3" ]
+    [ "tcm-bench/1"; "tcm-bench/2"; "tcm-bench/3"; "tcm-bench/4" ]
     Report.bench_schemas;
-  Alcotest.(check string) "writer emits the newest" "tcm-bench/3" Report.bench_schema
+  Alcotest.(check string) "writer emits the newest" "tcm-bench/4" Report.bench_schema
 
 let t_bench_schema_rejects () =
   let open Report.Json in
@@ -296,9 +297,49 @@ let t_bench_schema_rejects () =
   reject "wrong family" (Obj [ ("schema", Str "tcm-trace/1") ]);
   reject "non-string schema" (Obj [ ("schema", Int 3) ])
 
+(* A hand-built service summary, so the schema tests stay fast and
+   deterministic (no engine run). *)
+let fake_service_summary () : Tcm_service.Service.summary =
+  let open Tcm_service.Service in
+  let cls cls submitted completed dropped =
+    {
+      cls;
+      submitted;
+      completed;
+      dropped;
+      slo_us = 2_000.;
+      slo_ok = completed;
+      attainment = float_of_int completed /. float_of_int submitted;
+      p50_us = 120.;
+      p99_us = 900.;
+      mean_us = 180.;
+    }
+  in
+  {
+    backend = "tl2";
+    manager = "greedy";
+    process = "poisson(1000/s)";
+    classes =
+      [
+        cls Tcm_service.Sclass.Read 80 78 2;
+        cls Tcm_service.Sclass.Scan 5 5 0;
+        cls Tcm_service.Sclass.Rmw 15 15 0;
+      ];
+    submitted = 100;
+    completed = 98;
+    dropped = 2;
+    aborts = 3;
+    conflicts = 4;
+    elapsed_s = 0.1;
+    throughput = 980.;
+    offered = 1_000.;
+    queue_high_water = 7;
+  }
+
 (* The writer side: a real (tiny) detailed run serialized through
-   [bench_json] must carry the current schema header and a backend
-   field on every figure entry — and reparse as valid. *)
+   [bench_json] must carry the current schema header, a backend and
+   kind field on every figure entry, and service figures appended to
+   the same array — and reparse as valid. *)
 let t_bench_json_emits_current_schema () =
   let open Report.Json in
   let rows =
@@ -308,15 +349,35 @@ let t_bench_json_emits_current_schema () =
   let doc =
     of_string
       (Report.bench_json ~mode:"real" ~duration_s:0.02 ~seed:42
+         ~service_figures:[ fake_service_summary () ]
          [ (Figures.fig1, "tl2", rows) ])
   in
   (match Report.bench_schema_of doc with
   | Ok v -> Alcotest.(check string) "emitted schema validates" Report.bench_schema v
   | Error e -> Alcotest.failf "fresh dump rejected: %s" e);
   match member "figures" doc with
-  | Some (Arr (fig :: _)) ->
+  | Some (Arr ((fig :: _) as figs)) ->
       check_bool "figure entry carries the backend" true
-        (member "backend" fig = Some (Str "tl2"))
+        (member "backend" fig = Some (Str "tl2"));
+      check_bool "sweep entries carry kind=sweep" true
+        (member "kind" fig = Some (Str "sweep"));
+      let svc =
+        List.filter (fun f -> member "kind" f = Some (Str "service")) figs
+      in
+      (match svc with
+      | [ s ] ->
+          check_bool "service figure carries the manager" true
+            (member "manager" s = Some (Str "greedy"));
+          (match member "classes" s with
+          | Some (Arr (c :: _ as cs)) ->
+              Alcotest.(check int) "one entry per class" 3 (List.length cs);
+              List.iter
+                (fun k ->
+                  check_bool (k ^ " present on class entries") true
+                    (member k c <> None))
+                [ "class"; "slo_attainment"; "latency_p50_us"; "latency_p99_us" ]
+          | _ -> Alcotest.fail "service figure has no classes array")
+      | _ -> Alcotest.fail "expected exactly one kind=service figure")
   | _ -> Alcotest.fail "dump has no figures array"
 
 let () =
