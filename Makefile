@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test bench-smoke metrics-smoke write-smoke tl2-smoke service-smoke bench ci clean
+.PHONY: all build test bench-smoke metrics-smoke write-smoke tl2-smoke service-smoke obs-smoke bench ci clean
 
 # Perf-trajectory point number: `make bench N=2` writes BENCH_2.json.
 N ?= 1
@@ -41,13 +41,19 @@ tl2-smoke:
 service-smoke:
 	dune build @service-smoke
 
-# Full bench, regenerating the committed perf trajectory point
-# (closed-loop sweeps plus the open-loop service figures on both
-# backends).
-bench:
-	dune exec bench/main.exe -- --quick --no-micro --service --backend both --json BENCH_$(N).json
+# Forced-overload service run with the flight recorder armed: bundles
+# must land and round-trip through the tcm_obs.exe inspector, and the
+# allocation/read-cost gates must still pass with tcm.obs disabled.
+obs-smoke:
+	dune build @obs-smoke
 
-ci: build test bench-smoke metrics-smoke write-smoke tl2-smoke service-smoke
+# Full bench, regenerating the committed perf trajectory point
+# (closed-loop sweeps plus the open-loop service figures and the
+# conflict-attribution entries on both backends).
+bench:
+	dune exec bench/main.exe -- --quick --no-micro --service --obs --backend both --json BENCH_$(N).json
+
+ci: build test bench-smoke metrics-smoke write-smoke tl2-smoke service-smoke obs-smoke
 
 clean:
 	dune clean

@@ -22,8 +22,9 @@
     sweeps (throughput, p50/p99 latency, abort breakdown) as JSON —
     the perf-trajectory format committed as BENCH_*.json;
     [--trace FILE] captures tcm.trace event dumps of live-STM runs
-    (writes the greedy trace to FILE, JSONL) and prints empirical
-    pending-commit / cascade / wasted-work reports; [--metrics FILE]
+    (writes greedy/backoff/aggressive as named sections of FILE,
+    JSONL) and prints empirical pending-commit / cascade /
+    wasted-work reports; [--metrics FILE]
     runs every registered manager on the list workload plus a short
     simulator sweep with tcm.metrics enabled, prints the contention
     health table and writes the snapshot + throughput windows to FILE
@@ -37,14 +38,22 @@
     prints the per-class SLO table and adds [kind = "service"] figure
     entries to the JSON dump.  [--service] runs even under
     [--no-real]; combined with [--no-real], the JSON dump carries only
-    the service figures — the smoke-test configuration. *)
+    the service figures — the smoke-test configuration.  [--obs]
+    (implies [--service]) runs the sweep with tcm.obs enabled: prints
+    the priced wasted-work ranking of the manager zoo, the hot-key
+    tables and the ledger-vs-metrics reconciliation, and adds
+    [kind = "obs"] attribution entries to the JSON dump. *)
 
 open Tcm_workload
 
 let quick = Array.exists (( = ) "--quick") Sys.argv
 let no_real = Array.exists (( = ) "--no-real") Sys.argv
 let no_micro = Array.exists (( = ) "--no-micro") Sys.argv
-let with_service = Array.exists (( = ) "--service") Sys.argv
+let with_obs = Array.exists (( = ) "--obs") Sys.argv
+
+(* --obs rides on the service sweep (that is where transaction classes
+   exist), so asking for it implies the sweep. *)
+let with_service = with_obs || Array.exists (( = ) "--service") Sys.argv
 
 (* Fail fast on a flag with a missing argument: silently dropping
    --json or --trace would cost a full run and write nothing. *)
@@ -444,6 +453,45 @@ let service_config ~backend ~manager =
 
 let service_summaries : Tcm_service.Service.summary list ref = ref []
 
+let obs_figures : (Tcm_obs.Ledger.row * Tcm_obs.Sketch.entry list) list ref =
+  ref []
+
+(* Conflict attribution for the sweep that just ran: the priced
+   wasted-work ranking of the manager zoo, the hot-key tables, and the
+   ledger-vs-metrics reconciliation (both layers were enabled over
+   exactly the sweep, so counts and wait costs must agree). *)
+let report_obs snap =
+  let rows =
+    List.sort
+      (fun a b -> compare (Tcm_obs.Ledger.price b) (Tcm_obs.Ledger.price a))
+      (Tcm_obs.Ledger.rows ())
+  in
+  let hot = Tcm_obs.Hot.snapshot () in
+  let hot_for (r : Tcm_obs.Ledger.row) =
+    match
+      List.find_opt
+        (fun ((f : Tcm_obs.Hot.family), _) ->
+          f.backend = r.Tcm_obs.Ledger.backend
+          && f.manager = r.Tcm_obs.Ledger.manager
+          && f.runtime = r.Tcm_obs.Ledger.runtime)
+        hot
+    with
+    | Some (_, entries) -> entries
+    | None -> []
+  in
+  Format.fprintf fmt
+    "conflict attribution (rows ranked by price = wasted opens + wait ticks)@.";
+  Tcm_obs.Ledger.pp fmt rows;
+  Tcm_obs.Hot.pp fmt (Tcm_obs.Hot.top ());
+  let ok, msgs = Tcm_obs.Ledger.reconcile snap in
+  if ok then Format.fprintf fmt "ledger/metrics reconcile: OK@.@."
+  else begin
+    Format.fprintf fmt "ledger/metrics reconcile: MISMATCH@.";
+    List.iter (fun m -> Format.fprintf fmt "  %s@." m) msgs;
+    Format.fprintf fmt "@."
+  end;
+  obs_figures := List.map (fun r -> (r, hot_for r)) rows
+
 let run_service_sweep () =
   section
     (Printf.sprintf
@@ -455,6 +503,10 @@ let run_service_sweep () =
      covers every (backend, manager, class) triple from one snapshot. *)
   Tcm_metrics.reset ();
   Tcm_metrics.enable ();
+  if with_obs then begin
+    Tcm_obs.reset ();
+    Tcm_obs.enable ()
+  end;
   let summaries =
     List.concat_map
       (fun backend ->
@@ -472,6 +524,10 @@ let run_service_sweep () =
   let snap = Tcm_metrics.snapshot () in
   Tcm_metrics.Health.pp_slo fmt (Tcm_metrics.Health.slo_rows snap);
   Format.fprintf fmt "@.";
+  if with_obs then begin
+    report_obs snap;
+    Tcm_obs.disable ()
+  end;
   service_summaries := summaries
 
 (* ------------------------------------------------------------------ *)
@@ -526,6 +582,7 @@ let run_json_dump path =
   in
   let doc =
     Report.bench_json ~extra ~service_figures:!service_summaries
+      ~obs_figures:!obs_figures
       ~mode:(if quick then "quick" else "full")
       ~duration_s:real_duration ~seed figures
   in
@@ -561,6 +618,10 @@ let run_trace_capture path =
   in
   Format.fprintf fmt "%-12s %8s %6s %9s %10s %11s %11s %13s@." "manager" "events"
     "drops" "conflicts" "violations" "undecidable" "max-cascade" "wasted-opens";
+  (* All three managers land in one file as named sections, so the
+     analyzer's per-manager breakdown (tcm_trace.exe stats) has
+     something to chew on. *)
+  let oc = open_out path in
   List.iter
     (fun name ->
       let manager = Tcm_core.Registry.find_exn name in
@@ -573,9 +634,11 @@ let run_trace_capture path =
         pc.Tcm_trace.Analysis.violations pc.Tcm_trace.Analysis.undecidable
         ca.Tcm_trace.Analysis.max_cascade wa.Tcm_trace.Analysis.opens_wasted
         wa.Tcm_trace.Analysis.opens_total;
-      if name = "greedy" then Tcm_trace.Export.write_jsonl ~drops path trace)
+      Tcm_trace.Export.output_jsonl ~drops ~manager:name oc trace)
     [ "greedy"; "backoff"; "aggressive" ];
-  Format.fprintf fmt "(greedy trace -> %s; analyze with bin/tcm_trace.exe)@.@." path;
+  close_out oc;
+  Format.fprintf fmt
+    "(3 manager sections -> %s; analyze with bin/tcm_trace.exe)@.@." path;
 
   (* Deterministic simulator captures: greedy on the Section 4 chain
      holds pending-commit and the Theorem 9 bound; aggressive on a

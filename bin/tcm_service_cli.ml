@@ -2,10 +2,11 @@
     and validate bench JSON dumps that carry service figures.
 
     [run] executes one service instance (backend x manager x arrival
-    process) and prints the per-class SLO summary; [validate] checks a
-    [bench/main.exe --json] dump: schema tcm-bench/4 with at least one
-    [kind = "service"] figure whose per-class entries carry the SLO and
-    latency fields. *)
+    process) and prints the per-class SLO summary; with [--flight-dir]
+    it also arms the tcm.obs flight recorder and dumps breach bundles.
+    [validate] checks a [bench/main.exe --json] dump: schema
+    tcm-bench/4 or /5 with at least one [kind = "service"] figure
+    whose per-class entries carry the SLO and latency fields. *)
 
 open Cmdliner
 
@@ -30,13 +31,19 @@ let manager_of_string name =
       exit 2
 
 let run backend manager duration rate burst_rate burst_period burst_frac
-    workers queue_cap n_keys theta seed =
+    workers queue_cap n_keys theta seed flight_dir slo_scale =
   let process =
     match burst_rate with
     | None -> Tcm_service.Arrival.Poisson { rate }
     | Some burst_rate ->
         Tcm_service.Arrival.Bursty
           { base_rate = rate; burst_rate; period_s = burst_period; burst_frac }
+  in
+  let flight =
+    Option.map
+      (fun dir ->
+        Tcm_obs.Flight.create ~dir ~tag:(backend ^ "-" ^ manager) ())
+      flight_dir
   in
   let cfg =
     {
@@ -50,15 +57,34 @@ let run backend manager duration rate burst_rate burst_period burst_frac
       n_keys;
       theta;
       seed;
+      slo_us =
+        Array.map
+          (fun s -> s *. slo_scale)
+          Tcm_service.Service.default.slo_us;
+      flight;
     }
   in
   Tcm_metrics.reset ();
   Tcm_metrics.enable ();
+  if flight <> None then (
+    Tcm_obs.reset ();
+    Tcm_obs.enable ());
   let s = Tcm_service.Service.run cfg in
-  Tcm_metrics.disable ();
   Format.printf "%a@." Tcm_service.Service.pp_summary s;
   Tcm_metrics.Health.pp_slo Format.std_formatter
-    (Tcm_metrics.Health.slo_rows (Tcm_metrics.snapshot ()))
+    (Tcm_metrics.Health.slo_rows (Tcm_metrics.snapshot ()));
+  (match flight with
+  | None -> ()
+  | Some f ->
+      (* Flush the final window so a breach-free run still leaves one
+         bundle to inspect, then show what the ledger saw. *)
+      Tcm_obs.Flight.force f ~trigger:"run_end";
+      Format.printf "%a" Tcm_obs.Ledger.pp (Tcm_obs.Ledger.rows ());
+      Format.printf "%a" (Tcm_obs.Hot.pp ?n:None) (Tcm_obs.Hot.top ());
+      Printf.printf "flight: %d bundle(s) in %s\n" (Tcm_obs.Flight.count f)
+        (Tcm_obs.Flight.dir f);
+      Tcm_obs.disable ());
+  Tcm_metrics.disable ()
 
 let backend_arg =
   Arg.(
@@ -118,6 +144,24 @@ let theta_arg =
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
 
+let flight_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight-dir" ] ~docv:"DIR"
+        ~doc:
+          "Arm the SLO-breach flight recorder: enable tcm.obs for the run \
+           and write breach bundles (plus a final run_end bundle) to $(docv); \
+           inspect them with tcm_obs.exe report.")
+
+let slo_scale_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "slo-scale" ] ~docv:"F"
+        ~doc:
+          "Scale every class SLO by $(docv) (e.g. 0.01 tightens them 100x to \
+           force breaches — the smoke test's trick).")
+
 (* ------------------------------------------------------------------ *)
 (* validate                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -168,11 +212,13 @@ let validate path =
     try Json.of_string (String.trim (read_file path))
     with Json.Parse_error msg -> fail "%s: %s" path msg
   in
+  (* Service figures exist from tcm-bench/4 on; /5 only adds fields. *)
+  let service_schemas = [ "tcm-bench/4"; Tcm_workload.Report.bench_schema ] in
   (match Tcm_workload.Report.bench_schema_of j with
   | Error msg -> fail "%s: %s" path msg
-  | Ok s when s <> Tcm_workload.Report.bench_schema ->
-      fail "%s: schema %s carries no service figures (need %s)" path s
-        Tcm_workload.Report.bench_schema
+  | Ok s when not (List.mem s service_schemas) ->
+      fail "%s: schema %s carries no service figures (need one of %s)" path s
+        (String.concat ", " service_schemas)
   | Ok _ -> ());
   let figures =
     match Json.member "figures" j with
@@ -186,9 +232,12 @@ let validate path =
   if services = [] then fail "%s: no kind=\"service\" figure entries" path;
   let pairs = List.map check_service_figure services in
   let uniq l = List.sort_uniq compare l in
+  let schema =
+    match Tcm_workload.Report.bench_schema_of j with Ok s -> s | Error _ -> "?"
+  in
   Printf.printf
     "%s: OK (%s; %d figure entries, %d service: %d backend(s) x %d manager(s))\n"
-    path Tcm_workload.Report.bench_schema (List.length figures)
+    path schema (List.length figures)
     (List.length services)
     (List.length (uniq (List.map fst pairs)))
     (List.length (uniq (List.map snd pairs)))
@@ -207,10 +256,13 @@ let cmds =
       Term.(
         const run $ backend_arg $ manager_arg $ duration_arg $ rate_arg
         $ burst_rate_arg $ burst_period_arg $ burst_frac_arg $ workers_arg
-        $ queue_cap_arg $ n_keys_arg $ theta_arg $ seed_arg);
+        $ queue_cap_arg $ n_keys_arg $ theta_arg $ seed_arg $ flight_dir_arg
+        $ slo_scale_arg);
     Cmd.v
       (Cmd.info "validate"
-         ~doc:"Check a bench JSON dump: schema tcm-bench/4 with well-formed service figures.")
+         ~doc:
+           "Check a bench JSON dump: schema tcm-bench/4 or /5 with \
+            well-formed service figures.")
       Term.(const validate $ file_arg);
   ]
 

@@ -48,11 +48,42 @@ let strict_arg =
     value & flag
     & info [ "strict" ] ~doc:"Exit 1 when violations or dropped events are found.")
 
+(* stats: whole-trace summary, then a per-manager x per-event-kind
+   breakdown when the dump carries named sections (one per manager, as
+   bench --trace writes them). *)
+let all_kinds =
+  Tcm_trace.Event.
+    [ Begin; Commit; Abort; Resolve; Wait_begin; Wait_end; Open ]
+
+let pp_sections sections =
+  let count events k =
+    Array.fold_left
+      (fun n (e : Tcm_trace.Event.t) -> if e.kind = k then n + 1 else n)
+      0 events
+  in
+  Printf.printf "\nper-manager event kinds\n";
+  Printf.printf "  %-16s" "manager";
+  List.iter
+    (fun k -> Printf.printf " %10s" (Tcm_trace.Event.kind_name k))
+    all_kinds;
+  Printf.printf " %10s\n" "drops";
+  List.iter
+    (fun (manager, events, drops) ->
+      Printf.printf "  %-16s" (Option.value manager ~default:"-");
+      List.iter (fun k -> Printf.printf " %10d" (count events k)) all_kinds;
+      Printf.printf " %10d\n" drops)
+    sections
+
 let stats path =
   let trace, drops = load path in
   Printf.printf "drops: %d%s\n" drops
     (if drops > 0 then " (trace is incomplete)" else "");
-  Tcm_trace.Analysis.pp_summary Format.std_formatter trace
+  Tcm_trace.Analysis.pp_summary Format.std_formatter trace;
+  Format.printf "%a@." Tcm_trace.Analysis.pp_price
+    (Tcm_trace.Analysis.price trace);
+  match Tcm_trace.Export.read_jsonl_sections path with
+  | [] | [ (None, _, _) ] -> ()
+  | sections -> pp_sections sections
 
 let chrome path out =
   let trace, _ = load path in
@@ -90,11 +121,24 @@ let s_arg =
 let cmds =
   [
     Cmd.v
-      (Cmd.info "check" ~doc:"Empirical pending-commit check (Theorem 1) over a trace.")
+      (Cmd.info "check"
+         ~doc:"Empirical pending-commit check (Theorem 1) over a trace."
+         ~man:
+           [
+             `S Manpage.s_exit_status;
+             `P
+               "$(b,0) on success — including found violations or dropped \
+                events unless $(b,--strict) is given; $(b,1) when \
+                $(b,--strict) is set and the trace has violations or drops; \
+                $(b,2) when the trace cannot be read or parsed.";
+           ])
       Term.(const check $ strict_arg $ file_arg);
     Cmd.v
       (Cmd.info "stats"
-         ~doc:"Event counts, pending-commit, abort cascades, wasted work, makespan.")
+         ~doc:
+           "Event counts, pending-commit, abort cascades, wasted work, \
+            makespan, priced conflict score, and a per-manager x event-kind \
+            breakdown for multi-section dumps.")
       Term.(const stats $ file_arg);
     Cmd.v
       (Cmd.info "chrome" ~doc:"Convert a trace to Chrome trace-event JSON.")

@@ -42,6 +42,7 @@ let hist_value t ~name ~labels =
   | _ -> None
 
 let hist_count (h : hist) = Array.fold_left ( + ) 0 h.counts
+let hist_sum (h : hist) = h.sum
 let hist_percentile (h : hist) p = Buckets.percentile ~counts:h.counts p
 
 let hist_mean (h : hist) =

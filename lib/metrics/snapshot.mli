@@ -30,6 +30,10 @@ val counter_value : t -> name:string -> labels:(string * string) list -> int
 
 val hist_value : t -> name:string -> labels:(string * string) list -> hist option
 val hist_count : hist -> int
+
+val hist_sum : hist -> int
+(** Exact total of the raw samples (what [tcm.obs] reconciles wait cost against). *)
+
 val hist_percentile : hist -> float -> float
 (** See {!Buckets.percentile}; [nan] when empty. *)
 

@@ -1,0 +1,303 @@
+let schema = "tcm-flight/1"
+
+type cls_window = { mutable seen : int; mutable missed : int }
+
+type t = {
+  f_dir : string;
+  tag : string;
+  window : int;
+  miss_frac : float;
+  shed_spike : int;
+  min_interval_s : float;
+  max_bundles : int;
+  mu : Mutex.t;
+  per_class : (string, cls_window) Hashtbl.t;
+  mutable drops_pending : int;
+  mutable last_dump : float;
+  mutable written : int;
+}
+
+let rec mkdir_p d =
+  if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+    mkdir_p (Filename.dirname d);
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ?(window = 64) ?(miss_frac = 0.5) ?(shed_spike = 64)
+    ?(min_interval_s = 0.25) ?(max_bundles = 16) ~dir ~tag () =
+  mkdir_p dir;
+  {
+    f_dir = dir;
+    tag;
+    window = max 1 window;
+    miss_frac;
+    shed_spike = max 1 shed_spike;
+    min_interval_s;
+    max_bundles;
+    mu = Mutex.create ();
+    per_class = Hashtbl.create 8;
+    drops_pending = 0;
+    last_dump = 0.;
+    written = 0;
+  }
+
+let dir t = t.f_dir
+let count t = Mutex.lock t.mu; let n = t.written in Mutex.unlock t.mu; n
+
+(* ------------------------------------------------------------------ *)
+(* Bundle writer                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let output_bundle oc t ~trigger ~unix_ms (events : Tcm_trace.Event.t array)
+    ~drops =
+  Printf.fprintf oc
+    "{\"schema\":\"%s\",\"tag\":%S,\"trigger\":%S,\"unix_ms\":%d,\"events\":%d,\"drops\":%d}\n"
+    schema t.tag trigger unix_ms (Array.length events) drops;
+  List.iter
+    (fun (r : Ledger.row) ->
+      Printf.fprintf oc
+        "{\"rec\":\"ledger\",\"backend\":%S,\"manager\":%S,\"runtime\":%S,\"class\":%S,\"aborts\":%d,\"wasted_work\":%d,\"waits\":%d,\"wait_cost\":%d,\"wait_ticks\":%d,\"commits\":%d,\"useful_work\":%d}\n"
+        r.backend r.manager r.runtime r.cls r.aborts r.wasted_work r.waits
+        r.wait_cost r.wait_ticks r.commits r.useful_work)
+    (Ledger.rows ());
+  List.iter
+    (fun ((f : Hot.family), es) ->
+      List.iter
+        (fun (e : Sketch.entry) ->
+          Printf.fprintf oc
+            "{\"rec\":\"hot\",\"backend\":%S,\"manager\":%S,\"runtime\":%S,\"key\":%d,\"count\":%d,\"err\":%d}\n"
+            f.backend f.manager f.runtime e.key e.count e.err)
+        es)
+    (Hot.snapshot ());
+  Array.iter
+    (fun (e : Tcm_trace.Event.t) ->
+      Printf.fprintf oc
+        "{\"rec\":\"event\",\"seq\":%d,\"dom\":%d,\"tick\":%d,\"kind\":\"%s\",\"a\":%d,\"b\":%d,\"c\":%d}\n"
+        e.seq e.dom e.tick
+        (Tcm_trace.Event.kind_name e.kind)
+        e.a e.b e.c)
+    events
+
+(* Caller holds t.mu. *)
+let dump_locked t ~trigger =
+  let now = Unix.gettimeofday () in
+  let unix_ms = int_of_float (now *. 1e3) in
+  (* Drain the rings: each bundle carries the window since the
+     previous one (Sink.collect only returns new events). *)
+  let events = Tcm_trace.Sink.collect () in
+  let drops = Tcm_trace.Sink.drops () in
+  let name = Printf.sprintf "flight-%013d-%02d-%s.jsonl" unix_ms t.written trigger in
+  let path = Filename.concat t.f_dir name in
+  let tmp = Filename.concat t.f_dir ("." ^ name ^ ".tmp") in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_bundle oc t ~trigger ~unix_ms events ~drops);
+  Sys.rename tmp path;
+  t.written <- t.written + 1;
+  t.last_dump <- now
+
+let maybe_dump_locked t ~trigger =
+  if
+    t.written < t.max_bundles
+    && Unix.gettimeofday () -. t.last_dump >= t.min_interval_s
+  then dump_locked t ~trigger
+
+let force t ~trigger =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) (fun () ->
+      dump_locked t ~trigger)
+
+let note_completion t ~cls ~within_slo =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) (fun () ->
+      let w =
+        match Hashtbl.find_opt t.per_class cls with
+        | Some w -> w
+        | None ->
+            let w = { seen = 0; missed = 0 } in
+            Hashtbl.replace t.per_class cls w;
+            w
+      in
+      w.seen <- w.seen + 1;
+      if not within_slo then w.missed <- w.missed + 1;
+      if w.seen >= t.window then begin
+        let breach =
+          float_of_int w.missed >= t.miss_frac *. float_of_int w.seen
+        in
+        w.seen <- 0;
+        w.missed <- 0;
+        if breach then maybe_dump_locked t ~trigger:"slo_breach"
+      end)
+
+let note_drop t =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) (fun () ->
+      t.drops_pending <- t.drops_pending + 1;
+      if t.drops_pending >= t.shed_spike then begin
+        t.drops_pending <- 0;
+        maybe_dump_locked t ~trigger:"shed_spike"
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Bundle reader                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Same minimal scanners as Tcm_trace.Export — fixed shapes, tolerant
+   of key order. *)
+let find_sub line pat =
+  let n = String.length line and m = String.length pat in
+  let rec go i =
+    if i + m > n then -1
+    else if String.sub line i m = pat then i
+    else go (i + 1)
+  in
+  go 0
+
+let int_field line key =
+  let pat = "\"" ^ key ^ "\":" in
+  let i = find_sub line pat in
+  if i < 0 then failwith (Printf.sprintf "flight line missing %S: %s" key line)
+  else begin
+    let j = ref (i + String.length pat) in
+    let n = String.length line in
+    let neg = !j < n && line.[!j] = '-' in
+    if neg then incr j;
+    let start = !j in
+    while !j < n && line.[!j] >= '0' && line.[!j] <= '9' do incr j done;
+    if !j = start then failwith ("flight line bad int for " ^ key ^ ": " ^ line);
+    let v = int_of_string (String.sub line start (!j - start)) in
+    if neg then -v else v
+  end
+
+let str_field line key =
+  let pat = "\"" ^ key ^ "\":\"" in
+  let i = find_sub line pat in
+  if i < 0 then failwith (Printf.sprintf "flight line missing %S: %s" key line)
+  else begin
+    let start = i + String.length pat in
+    match String.index_from_opt line start '"' with
+    | None -> failwith ("flight line unterminated string for " ^ key ^ ": " ^ line)
+    | Some stop -> String.sub line start (stop - start)
+  end
+
+type bundle = {
+  b_tag : string;
+  b_trigger : string;
+  b_unix_ms : int;
+  b_events : Tcm_trace.Event.t array;
+  b_drops : int;
+  b_ledger : Ledger.row list;
+  b_hot : (Hot.family * Sketch.entry list) list;
+}
+
+let read_bundle path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let tag = ref "" and trigger = ref "" and unix_ms = ref 0 in
+      let drops = ref 0 in
+      let seen_header = ref false in
+      let events = ref [] in
+      let ledger = ref [] in
+      let hot : (Hot.family, Sketch.entry list ref) Hashtbl.t =
+        Hashtbl.create 8
+      in
+      (try
+         while true do
+           let line = String.trim (input_line ic) in
+           if line = "" then ()
+           else if find_sub line "\"schema\"" >= 0 then begin
+             let s = str_field line "schema" in
+             if s <> schema then failwith ("unknown flight schema: " ^ s);
+             seen_header := true;
+             tag := str_field line "tag";
+             trigger := str_field line "trigger";
+             unix_ms := int_field line "unix_ms";
+             drops := int_field line "drops"
+           end
+           else
+             match str_field line "rec" with
+             | "event" ->
+                 events :=
+                   {
+                     Tcm_trace.Event.seq = int_field line "seq";
+                     dom = int_field line "dom";
+                     tick = int_field line "tick";
+                     kind =
+                       Tcm_trace.Event.kind_of_name (str_field line "kind");
+                     a = int_field line "a";
+                     b = int_field line "b";
+                     c = int_field line "c";
+                   }
+                   :: !events
+             | "ledger" ->
+                 ledger :=
+                   {
+                     Ledger.backend = str_field line "backend";
+                     manager = str_field line "manager";
+                     runtime = str_field line "runtime";
+                     cls = str_field line "class";
+                     aborts = int_field line "aborts";
+                     wasted_work = int_field line "wasted_work";
+                     waits = int_field line "waits";
+                     wait_cost = int_field line "wait_cost";
+                     wait_ticks = int_field line "wait_ticks";
+                     commits = int_field line "commits";
+                     useful_work = int_field line "useful_work";
+                   }
+                   :: !ledger
+             | "hot" ->
+                 let f =
+                   {
+                     Hot.backend = str_field line "backend";
+                     manager = str_field line "manager";
+                     runtime = str_field line "runtime";
+                   }
+                 in
+                 let e =
+                   {
+                     Sketch.key = int_field line "key";
+                     count = int_field line "count";
+                     err = int_field line "err";
+                   }
+                 in
+                 let cell =
+                   match Hashtbl.find_opt hot f with
+                   | Some c -> c
+                   | None ->
+                       let c = ref [] in
+                       Hashtbl.replace hot f c;
+                       c
+                 in
+                 cell := e :: !cell
+             | other -> failwith ("unknown flight record kind: " ^ other)
+         done
+       with End_of_file -> ());
+      if not !seen_header then failwith ("flight bundle missing header: " ^ path);
+      let ev = Array.of_list (List.rev !events) in
+      Array.sort (fun a b -> compare a.Tcm_trace.Event.seq b.Tcm_trace.Event.seq) ev;
+      let hot_list =
+        Hashtbl.fold (fun f es acc -> (f, List.rev !es) :: acc) hot []
+      in
+      {
+        b_tag = !tag;
+        b_trigger = !trigger;
+        b_unix_ms = !unix_ms;
+        b_events = ev;
+        b_drops = !drops;
+        b_ledger = List.rev !ledger;
+        b_hot = List.sort compare hot_list;
+      })
+
+let bundles dirname =
+  if not (Sys.file_exists dirname) then []
+  else
+    Sys.readdir dirname |> Array.to_list
+    |> List.filter (fun f ->
+           String.length f > 7
+           && String.sub f 0 7 = "flight-"
+           && Filename.check_suffix f ".jsonl")
+    |> List.sort compare
+    |> List.map (Filename.concat dirname)

@@ -1,0 +1,85 @@
+type t = { sk : Sketch.t }
+type family = { backend : string; manager : string; runtime : string }
+
+let mu = Mutex.create ()
+
+(* All sketches ever created, tagged by family; one per (family,
+   domain).  The per-domain table makes creation idempotent on a
+   domain, so the sim can re-create handles per run without leaking
+   sketches. *)
+let all : (family * Sketch.t) list ref = ref []
+
+let dls : (string * string * string, Sketch.t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+let for_manager ?(k = 32) ?(backend = "locator") ~runtime manager =
+  let tbl = Domain.DLS.get dls in
+  let key = (backend, manager, runtime) in
+  match Hashtbl.find_opt tbl key with
+  | Some sk -> { sk }
+  | None ->
+      let sk = Sketch.create k in
+      Hashtbl.replace tbl key sk;
+      Mutex.lock mu;
+      all := ({ backend; manager; runtime }, sk) :: !all;
+      Mutex.unlock mu;
+      { sk }
+
+let record t key = if Ledger.enabled () then Sketch.record t.sk key
+
+let snapshot () =
+  Mutex.lock mu;
+  let entries = !all in
+  Mutex.unlock mu;
+  let fams =
+    List.sort_uniq compare (List.map (fun (f, _) -> f) entries)
+  in
+  List.filter_map
+    (fun f ->
+      let sks =
+        List.filter_map
+          (fun (f', sk) -> if f' = f then Some sk else None)
+          entries
+      in
+      match Sketch.merged sks with [] -> None | es -> Some (f, es))
+    fams
+
+let truncate n es = List.filteri (fun i _ -> i < n) es
+
+let top ?(n = 10) () =
+  List.map (fun (f, es) -> (f, truncate n es)) (snapshot ())
+
+let pp ?(n = 10) fmt snap =
+  Format.fprintf fmt "%-14s %-8s %-5s %10s  %s@." "manager" "backend" "rt"
+    "conflicts" "hot keys (key:count, +-err when estimated)";
+  List.iter
+    (fun (f, es) ->
+      let total = List.fold_left (fun a (e : Sketch.entry) -> a + e.count) 0 es in
+      let keys =
+        String.concat " "
+          (List.map
+             (fun (e : Sketch.entry) ->
+               if e.err = 0 then Printf.sprintf "%d:%d" e.key e.count
+               else Printf.sprintf "%d:%d(+-%d)" e.key e.count e.err)
+             (truncate n es))
+      in
+      Format.fprintf fmt "%-14s %-8s %-5s %10d  %s@." f.manager f.backend
+        f.runtime total keys)
+    snap
+
+let prom_lines ?(n = 10) () =
+  List.concat_map
+    (fun (f, es) ->
+      List.map
+        (fun (e : Sketch.entry) ->
+          Printf.sprintf
+            "tcm_hot_key_conflicts_total{backend=%S,manager=%S,runtime=%S,key=\"%d\"} %d"
+            f.backend f.manager f.runtime e.key e.count)
+        (truncate n es))
+    (snapshot ())
+
+let reset () =
+  Mutex.lock mu;
+  let entries = !all in
+  Mutex.unlock mu;
+  List.iter (fun (_, sk) -> Sketch.clear sk) entries

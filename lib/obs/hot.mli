@@ -1,0 +1,41 @@
+(** Hot-key tracking: one {!Sketch} per (family, domain), fed from the
+    conflict-resolution sites of both runtime backends (tvar ids on
+    the locator runtime, orec stripe indices on TL2) and the
+    simulator's access-conflict check (object ids).  Only the owning
+    domain records into a sketch — the record path is the shared
+    one-branch enabled gate plus one O(k) scan — and {!snapshot}
+    merges across domains with {!Sketch.merged}. *)
+
+type t
+(** Per-domain handle; create alongside the per-domain metric handle. *)
+
+val for_manager : ?k:int -> ?backend:string -> runtime:string -> string -> t
+(** Deduplicated per (family, calling domain), so repeated runs on the
+    same domain keep accumulating into one sketch.  [k] (default 32)
+    applies on first creation. *)
+
+val record : t -> int -> unit
+(** Count one conflict on a key.  Gated on [Ledger.enabled]. *)
+
+type family = { backend : string; manager : string; runtime : string }
+
+val snapshot : unit -> (family * Sketch.entry list) list
+(** Per-family cross-domain merge, families sorted by
+    (backend, manager, runtime); families whose merge is empty are
+    dropped.  Concurrent recording makes the read benignly racy, as
+    with metric snapshots. *)
+
+val top : ?n:int -> unit -> (family * Sketch.entry list) list
+(** {!snapshot} truncated to the [n] (default 10) hottest keys per
+    family. *)
+
+val pp : ?n:int -> Format.formatter -> (family * Sketch.entry list) list -> unit
+(** The "hot keys" table (Health-report style): one line per family,
+    keys as [key:count(±err)]. *)
+
+val prom_lines : ?n:int -> unit -> string list
+(** Prometheus text series
+    [tcm_hot_key_conflicts_total{backend,manager,runtime,key}] for the
+    top [n] (default 10) keys per family. *)
+
+val reset : unit -> unit

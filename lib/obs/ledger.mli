@@ -1,0 +1,107 @@
+(** The wasted-work ledger: every abort and every CM-induced wait,
+    priced in the cost model of Alistarh et al.'s "The Transactional
+    Conflict Problem" and charged to a [{backend; manager; runtime}]
+    family crossed with the service transaction class.
+
+    Storage follows the PR-3/PR-4 shard discipline: one flat int array
+    per domain, each (family, class) cell owning a full cache line of
+    {!line_words} words, so the record path is a handful of plain int
+    stores by the owning domain — no allocation, no atomics — behind
+    the one-branch {!enabled} gate shared with {!Hot}.
+
+    Cost model:
+    - an abort wastes the dead attempt's work, measured in opens
+      (reads + writes + upgrades — the same unit
+      {!Tcm_trace.Analysis.wasted_work} and [Analysis.price] use, so
+      ledger totals and trace pricing agree);
+    - a CM-induced wait costs its duration in the runtime's native
+      unit (microseconds live, ticks in the simulator — the exact
+      value also observed into [tcm_wait_duration], which is what
+      makes {!reconcile} exact), plus the spin/yield ladder rounds
+      spent, recorded separately as [wait_ticks]. *)
+
+val enable : unit -> unit
+(** Arm the ledger and the {!Hot} sketches (shared flag). *)
+
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Zero every domain's accumulators.  Families and class slots
+    survive, as in [Tcm_metrics.reset]. *)
+
+val line_words : int
+val class_slots : int
+(** Fixed class capacity per family (8).  Slot 0 is the unclassified
+    ["-"] bucket; classes past the capacity fold into it. *)
+
+val class_slot : string -> int
+(** Register (idempotently) a transaction class, returning its slot. *)
+
+val class_name : int -> string
+
+val set_class : int -> unit
+(** Set the calling domain's current class slot; subsequent charges on
+    this domain land there.  The service sets this around [execute];
+    everything else runs in slot 0. *)
+
+val current_class : unit -> int
+
+type t
+(** A family handle — cheap to create, deduplicated per
+    (backend, manager, runtime) under a mutex like metric series. *)
+
+val for_manager : ?backend:string -> runtime:string -> string -> t
+(** Mirrors [Tcm_metrics.Conventions.for_manager]. *)
+
+val charge_abort : t -> work:int -> unit
+(** One dead attempt: [work] = opens it had performed. *)
+
+val charge_wait : t -> cost:int -> ticks:int -> unit
+(** One CM-induced wait: [cost] in the runtime's duration unit (the
+    same value given to [Conventions.wait]), [ticks] the spin/yield
+    ladder rounds spent. *)
+
+val note_commit : t -> work:int -> unit
+(** One committed attempt and its useful work, so wasted work can be
+    reported as a fraction. *)
+
+type row = {
+  backend : string;
+  manager : string;
+  runtime : string;
+  cls : string;
+  aborts : int;
+  wasted_work : int;  (** Opens discarded by aborts. *)
+  waits : int;
+  wait_cost : int;  (** Wait durations (us live / ticks sim). *)
+  wait_ticks : int;  (** Spin/yield ladder rounds. *)
+  commits : int;
+  useful_work : int;  (** Opens retired by commits. *)
+}
+
+val price : row -> int
+(** The row's total price: [wasted_work + wait_ticks] — work thrown
+    away plus time spent not making progress, in comparable attempt
+    units. *)
+
+val rows : unit -> row list
+(** Merge every domain's accumulators; all-zero (family, class) cells
+    are dropped.  Like metric snapshots, a read concurrent with
+    recording domains may lag a few events; one ordered after the
+    recording domains joined is exact. *)
+
+val pp : Format.formatter -> row list -> unit
+
+val reconcile :
+  ?wait_cost_tol:float -> Tcm_metrics.Snapshot.t -> bool * string list
+(** Check that per-family ledger totals match the [tcm.metrics]
+    counters: aborts and commits against [tcm_aborts_total] /
+    [tcm_commits_total], wait count against the [tcm_wait_duration]
+    sample count, and wait cost against that histogram's sample sum.
+    Counts must match exactly; the cost comparison tolerates a
+    relative error of [wait_cost_tol] (default 0 — both paths observe
+    the same integer, so equality is exact when metrics and obs were
+    enabled over the same span; pass a tolerance when they were not).
+    Families with no activity on either side are skipped.  Returns
+    [(ok, mismatches)]. *)

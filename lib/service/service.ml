@@ -139,6 +139,11 @@ type config = {
   scan_len : int;  (** Bindings per Scan transaction. *)
   slo_us : float array;  (** Per-class SLO, indexed like {!Sclass.all}. *)
   seed : int;
+  flight : Tcm_obs.Flight.t option;
+      (** SLO-breach flight recorder.  When set, the engine arms the
+          [tcm.trace] rings for the run and reports every completion
+          and shed to the recorder, which snapshots ring + ledger +
+          hot-key bundles on breach. *)
 }
 
 let default =
@@ -158,6 +163,7 @@ let default =
     scan_len = 32;
     slo_us = Sclass.default_slos;
     seed = 42;
+    flight = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -178,6 +184,9 @@ type summary = {
   throughput : float;  (** Completed requests per second. *)
   offered : float;  (** Generated requests per second. *)
   queue_high_water : int;
+  trace_drops : int;  (** Ring-buffer drops during the run. *)
+  metrics_on : bool;  (** Whether [tcm.metrics] was enabled. *)
+  trace_on : bool;  (** Whether the [tcm.trace] rings were armed. *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -240,6 +249,17 @@ let run (cfg : config) : summary =
           ~cls:(Sclass.name c) ())
       Sclass.all
   in
+  (* Obs class slots: the worker sets its domain's current slot around
+     [execute], so ledger charges from inside the transaction land on
+     the request's class. *)
+  let obs_cls = Array.map (fun c -> Tcm_obs.Ledger.class_slot (Sclass.name c)) Sclass.all in
+  (* A flight recorder needs the rings armed for the whole run; leave
+     them armed at exit so the caller can flush a final bundle. *)
+  (match cfg.flight with
+  | Some _ when not (Tcm_trace.Sink.enabled ()) -> Tcm_trace.Sink.start ()
+  | _ -> ());
+  let trace_on = Tcm_trace.Sink.enabled () in
+  let drops0 = if trace_on then Tcm_trace.Sink.drops () else 0 in
   let q : request Squeue.t = Squeue.create cfg.queue_cap in
   let gen_agg = Agg.create ~slo_us:cfg.slo_us in
   let worker_aggs = Array.init cfg.workers (fun _ -> Agg.create ~slo_us:cfg.slo_us) in
@@ -260,7 +280,10 @@ let run (cfg : config) : summary =
       Tcm_metrics.Conventions.service_request mx.(Sclass.index cls);
       if not (Squeue.try_push q { cls; arrival_s = !t; keys }) then begin
         Agg.drop gen_agg cls;
-        Tcm_metrics.Conventions.service_drop mx.(Sclass.index cls)
+        Tcm_metrics.Conventions.service_drop mx.(Sclass.index cls);
+        match cfg.flight with
+        | Some f -> Tcm_obs.Flight.note_drop f
+        | None -> ()
       end;
       t := Arrival.next cfg.process rng ~t:!t
     done
@@ -271,14 +294,21 @@ let run (cfg : config) : summary =
       match Squeue.pop q with
       | None -> ()
       | Some req ->
+          let ci = Sclass.index req.cls in
+          if Tcm_obs.enabled () then Tcm_obs.Ledger.set_class obs_cls.(ci);
           execute rt store ~scan_len:cfg.scan_len req;
+          if Tcm_obs.enabled () then Tcm_obs.Ledger.set_class 0;
           let now_s = Unix.gettimeofday () -. t0 in
           let lat = request_latency_us ~arrival_s:req.arrival_s ~now_s in
           Agg.complete agg req.cls ~latency_us:lat;
-          Tcm_metrics.Conventions.service_complete
-            mx.(Sclass.index req.cls)
-            ~latency_us:(int_of_float lat)
-            ~within_slo:(Agg.within_slo agg req.cls ~latency_us:lat);
+          let within = Agg.within_slo agg req.cls ~latency_us:lat in
+          Tcm_metrics.Conventions.service_complete mx.(ci)
+            ~latency_us:(int_of_float lat) ~within_slo:within;
+          (match cfg.flight with
+          | Some f ->
+              Tcm_obs.Flight.note_completion f ~cls:(Sclass.name req.cls)
+                ~within_slo:within
+          | None -> ());
           loop ()
     in
     loop ()
@@ -314,6 +344,9 @@ let run (cfg : config) : summary =
     throughput = float_of_int completed /. elapsed;
     offered = float_of_int submitted /. elapsed;
     queue_high_water = Squeue.high_water q;
+    trace_drops = (if trace_on then Tcm_trace.Sink.drops () - drops0 else 0);
+    metrics_on = Tcm_metrics.enabled ();
+    trace_on;
   }
 
 (* ------------------------------------------------------------------ *)

@@ -65,6 +65,11 @@ type config = {
   scan_len : int;
   slo_us : float array;  (** Per-class SLO, indexed like {!Sclass.all}. *)
   seed : int;
+  flight : Tcm_obs.Flight.t option;
+      (** SLO-breach flight recorder ([None] by default).  When set,
+          the engine arms the [tcm.trace] rings for the run, reports
+          every completion and shed to the recorder, and tags ledger
+          charges with the request's class. *)
 }
 
 val default : config
@@ -85,6 +90,9 @@ type summary = {
   throughput : float;  (** Completed requests per second. *)
   offered : float;  (** Generated requests per second. *)
   queue_high_water : int;
+  trace_drops : int;  (** Ring-buffer drops during the run (0 unarmed). *)
+  metrics_on : bool;  (** Whether [tcm.metrics] was enabled. *)
+  trace_on : bool;  (** Whether the [tcm.trace] rings were armed. *)
 }
 
 val run : config -> summary

@@ -111,6 +111,15 @@ let run ?(horizon = default_horizon) ?(record_grid = false) ?ranks
     Tcm_metrics.Conventions.for_manager ~runtime:"sim" ~backend:"locator"
       policy.Policy.name
   in
+  (* Matching obs handles: aborts/waits priced in ticks, conflict keys
+     are the scenario's object ids. *)
+  let obs =
+    Tcm_obs.Ledger.for_manager ~runtime:"sim" ~backend:"locator"
+      policy.Policy.name
+  in
+  let hot =
+    Tcm_obs.Hot.for_manager ~runtime:"sim" ~backend:"locator" policy.Policy.name
+  in
   let ts_counter =
     (* Later transactions must be younger than any explicit rank. *)
     ref (match ranks with None -> 0 | Some r -> Array.fold_left max 0 r)
@@ -182,6 +191,7 @@ let run ?(horizon = default_horizon) ?(record_grid = false) ?ranks
     Tcm_trace.Sink.attempt_abort ~txid:victim.timestamp
       ~attempt:victim.attempt_uid ~tick:now;
     Tcm_metrics.Conventions.attempt_abort mx ~duration:(now - victim.attempt_start);
+    Tcm_obs.Ledger.charge_abort obs ~work:(victim.opens - victim.opens_base);
     release victim;
     victim.waiting_flag <- false;
     victim.aborts <- victim.aborts + 1;
@@ -290,6 +300,7 @@ let run ?(horizon = default_horizon) ?(record_grid = false) ?ranks
                 Tcm_trace.Sink.conflict ~me:t.timestamp ~other:enemy.timestamp
                   ~decision:dcode ~tick:now;
               Tcm_metrics.Conventions.resolve mx dcode;
+              Tcm_obs.Hot.record hot a.Spec.obj;
               t.stuck <- t.stuck + 1;
               match d with
               | Policy.Abort_other ->
@@ -362,6 +373,11 @@ let run ?(horizon = default_horizon) ?(record_grid = false) ?ranks
             if resume then begin
               t.waiting_flag <- false;
               Tcm_metrics.Conventions.wait mx ~duration:(now - since);
+              (* Ticks are the sim's native duration, so cost and the
+                 ladder-tick pricing coincide (and the metrics
+                 histogram sum reconciles exactly). *)
+              Tcm_obs.Ledger.charge_wait obs ~cost:(now - since)
+                ~ticks:(now - since);
               Tcm_trace.Sink.wait_end ~me:t.timestamp
                 ~enemy:threads.(enemy_tid).timestamp ~tick:now;
               t.status <- Running_s;
@@ -386,6 +402,7 @@ let run ?(horizon = default_horizon) ?(record_grid = false) ?ranks
                   Tcm_metrics.Conventions.attempt_commit mx
                     ~duration:(now + 1 - t.attempt_start)
                     ~read_set:(t.opens - t.opens_base);
+                  Tcm_obs.Ledger.note_commit obs ~work:(t.opens - t.opens_base);
                   t.commits <- t.commits + 1;
                   incr total_commits;
                   commit_log := (t.tid, t.txn_index, now + 1) :: !commit_log;

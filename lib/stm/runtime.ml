@@ -149,6 +149,10 @@ and per_domain = {
   mx : Tcm_metrics.Conventions.t;
       (** Metric handles for this runtime's manager; every emit is a
           single enabled-check branch while metrics are off. *)
+  obs : Tcm_obs.Ledger.t;
+      (** Wasted-work ledger handle, same family labels as [mx]. *)
+  hot : Tcm_obs.Hot.t;
+      (** This domain's hot-key sketch; fed tvar ids at conflicts. *)
   pool : Tvar.pool;  (** This domain's locator freelist + hazard slot. *)
   scratch : tx;
       (** The domain's reusable transaction context; reset (by lengths
@@ -206,6 +210,12 @@ let create ?(config = default_config) cm =
             mx =
               Tcm_metrics.Conventions.for_manager ~runtime:"live" ~backend:backend_name
                 (Cm_intf.name cm);
+            obs =
+              Tcm_obs.Ledger.for_manager ~runtime:"live" ~backend:backend_name
+                (Cm_intf.name cm);
+            hot =
+              Tcm_obs.Hot.for_manager ~runtime:"live" ~backend:backend_name
+                (Cm_intf.name cm);
             pool = Tvar.domain_pool ();
             scratch;
             running = false;
@@ -247,7 +257,7 @@ let sleep_usec = Runtime_intf.sleep_usec
    abort us (Rule 1). *)
 let block_on tx (other : Txn.t) timeout_usec =
   Runtime_intf.block_on ~me:tx.txn ~other ~shard:tx.dom.shard ~mx:tx.dom.mx
-    ~cap_usec:tx.cfg.block_poll_usec ~timeout_usec
+    ~obs:tx.dom.obs ~cap_usec:tx.cfg.block_poll_usec ~timeout_usec
 
 let decision_trace_code = Runtime_intf.decision_trace_code
 
@@ -414,6 +424,7 @@ let rec drain_readers tx tvar attempts =
   match Tvar.find_active_reader tvar tx.txn with
   | None -> Tvar.purge_readers tvar
   | Some r ->
+      Tcm_obs.Hot.record tx.dom.hot (Tvar.id tvar);
       resolve_conflict tx ~other:r ~attempts;
       drain_readers tx tvar (attempts + 1)
 
@@ -488,6 +499,7 @@ let rec open_write : 'a. tx -> 'a Tvar.t -> put:bool -> 'a -> int -> 'a =
      let st = Txn.status owner in
      match st with
      | Status.Active ->
+         Tcm_obs.Hot.record tx.dom.hot (Tvar.id tvar);
          resolve_conflict tx ~other:owner ~attempts;
          open_write tx tvar ~put v (attempts + 1)
      | Status.Committed | Status.Aborted ->
@@ -605,6 +617,7 @@ let rec read_visible : 'a. tx -> 'a Tvar.t -> int -> 'a =
          else
            match st with
            | Status.Active ->
+               Tcm_obs.Hot.record tx.dom.hot (Tvar.id tvar);
                resolve_conflict tx ~other:owner ~attempts;
                read_visible tx tvar (attempts + 1)
            | Status.Committed | Status.Aborted ->
@@ -754,6 +767,9 @@ let finish_abort dom tx m_t0 =
   Tcm_trace.Sink.attempt_abort ~txid:(Txn.timestamp tx.txn)
     ~attempt:tx.txn.Txn.attempt_id ~tick:0;
   if m_t0 > 0. then Tcm_metrics.Conventions.attempt_abort dom.mx ~duration:(m_us m_t0);
+  (* The dead attempt's work — everything it opened — is what the
+     abort wastes, in the cost model's unit. *)
+  Tcm_obs.Ledger.charge_abort dom.obs ~work:tx.n_opens;
   tick dom.shard ix_aborts;
   let (Cm_intf.Packed ((module M), cm_st)) = dom.cm_state in
   M.aborted cm_st tx.txn;
@@ -797,6 +813,7 @@ let rec attempt_loop : 'a. t -> per_domain -> tx -> (tx -> 'a) -> Txn.shared -> 
          if m_t0 > 0. then
            Tcm_metrics.Conventions.attempt_commit dom.mx ~duration:(m_us m_t0)
              ~read_set:tx.n_opens;
+         Tcm_obs.Ledger.note_commit dom.obs ~work:tx.n_opens;
          M.committed cm_st txn;
          dom.running <- false;
          v

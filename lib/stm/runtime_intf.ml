@@ -151,19 +151,31 @@ let wait_step ~round ~cap_usec =
    and the manager is then re-consulted with the enemy's waiting flag
    visible) are identical on both. *)
 let block_on ~(me : Txn.t) ~(other : Txn.t) ~(shard : Shard.t)
-    ~(mx : Tcm_metrics.Conventions.t) ~cap_usec ~timeout_usec =
+    ~(mx : Tcm_metrics.Conventions.t) ~(obs : Tcm_obs.Ledger.t) ~cap_usec
+    ~timeout_usec =
   Shard.tick shard Shard.ix_blocks;
   Atomic.set me.Txn.waiting true;
   Tcm_trace.Sink.wait_begin ~me:(Txn.timestamp me) ~enemy:(Txn.timestamp other) ~tick:0;
-  (* Wall clock only when metrics are on; the spin loop itself never
-     consults it. *)
-  let m_t0 = if Tcm_metrics.enabled () then Unix.gettimeofday () else 0. in
-  let finish () =
+  (* Wall clock only when metrics or the obs ledger are on; the spin
+     loop itself never consults it. *)
+  let m_t0 =
+    if Tcm_metrics.enabled () || Tcm_obs.Ledger.enabled () then
+      Unix.gettimeofday ()
+    else 0.
+  in
+  (* [rounds] is how far the spin/yield ladder got — the wait's cost
+     in ladder ticks.  The duration is computed once and fed to both
+     the metrics histogram and the obs ledger (each self-gates), which
+     is what makes [Ledger.reconcile]'s wait-cost check exact when
+     both layers are enabled over the same span. *)
+  let finish rounds =
     Atomic.set me.Txn.waiting false;
     Tcm_trace.Sink.wait_end ~me:(Txn.timestamp me) ~enemy:(Txn.timestamp other) ~tick:0;
-    if m_t0 > 0. then
-      Tcm_metrics.Conventions.wait mx
-        ~duration:(int_of_float ((Unix.gettimeofday () -. m_t0) *. 1e6))
+    if m_t0 > 0. then begin
+      let duration = int_of_float ((Unix.gettimeofday () -. m_t0) *. 1e6) in
+      Tcm_metrics.Conventions.wait mx ~duration;
+      Tcm_obs.Ledger.charge_wait obs ~cost:duration ~ticks:rounds
+    end
   in
   let deadline =
     match timeout_usec with
@@ -172,7 +184,7 @@ let block_on ~(me : Txn.t) ~(other : Txn.t) ~(shard : Shard.t)
   in
   let rec wait round =
     if not (Txn.is_active me) then begin
-      finish ();
+      finish round;
       raise Abort_attempt
     end;
     if
@@ -183,9 +195,9 @@ let block_on ~(me : Txn.t) ~(other : Txn.t) ~(shard : Shard.t)
       wait_step ~round ~cap_usec;
       wait (round + 1)
     end
+    else round
   in
-  wait 0;
-  finish ()
+  finish (wait 0)
 
 let decision_trace_code = function
   | Decision.Abort_other -> Tcm_trace.Event.d_abort_other

@@ -123,8 +123,10 @@ let orecs : orec array =
 
 (* Stripe hash: ids are sequential, so multiply by an odd constant
    (golden-ratio) to decorrelate neighbouring variables — e.g. the
-   nodes of one structure — before masking. *)
-let orec_for_id id = orecs.((id * 0x9E3779B1) land orec_mask)
+   nodes of one structure — before masking.  The stripe index is also
+   the hot-key identity this backend reports to [Tcm_obs.Hot]. *)
+let stripe_of_id id = (id * 0x9E3779B1) land orec_mask
+let orec_for_id id = orecs.(stripe_of_id id)
 
 let dummy_orec = { o_version = Atomic.make 0; o_owner = Atomic.make no_owner }
 
@@ -143,6 +145,10 @@ and per_domain = {
   cm_state : Cm_intf.packed;
   shard : Shard.t;
   mx : Tcm_metrics.Conventions.t;
+  obs : Tcm_obs.Ledger.t;
+      (** Wasted-work ledger handle, same family labels as [mx]. *)
+  hot : Tcm_obs.Hot.t;
+      (** This domain's hot-key sketch; fed orec stripe indices. *)
   scratch : tx;
       (** The domain's reusable transaction context; reset (by lengths
           and field stores, never reallocation) at each attempt start. *)
@@ -185,6 +191,12 @@ let create ?(config = default_config) cm =
             shard;
             mx =
               Tcm_metrics.Conventions.for_manager ~runtime:"live" ~backend:backend_name
+                (Cm_intf.name cm);
+            obs =
+              Tcm_obs.Ledger.for_manager ~runtime:"live" ~backend:backend_name
+                (Cm_intf.name cm);
+            hot =
+              Tcm_obs.Hot.for_manager ~runtime:"live" ~backend:backend_name
                 (Cm_intf.name cm);
             scratch;
             running = false;
@@ -255,7 +267,7 @@ let resolve_conflict tx ~(other : Txn.t) ~attempts =
       raise Abort_attempt
   | Decision.Block { timeout_usec } ->
       Runtime_intf.block_on ~me:tx.txn ~other ~shard:tx.dom.shard ~mx:tx.dom.mx
-        ~cap_usec:tx.cfg.block_poll_usec ~timeout_usec
+        ~obs:tx.dom.obs ~cap_usec:tx.cfg.block_poll_usec ~timeout_usec
   | Decision.Backoff { usec } ->
       Shard.tick tx.dom.shard Shard.ix_backoffs;
       Runtime_intf.sleep_usec (min usec tx.cfg.backoff_cap_usec);
@@ -386,6 +398,7 @@ let rec read_fresh : 'a. tx -> 'a Tvar.t -> orec -> int -> 'a =
      if Txn.is_active owner then begin
        (* Locked by a live writer: a read-write conflict, resolved
           through the manager exactly like a write-write one. *)
+       Tcm_obs.Hot.record tx.dom.hot (stripe_of_id tvar.Tvar.id);
        resolve_conflict tx ~other:owner ~attempts;
        read_fresh tx tvar o (attempts + 1)
      end
@@ -482,25 +495,26 @@ let release_locked tx =
    safe, see the module comment); a committed holder is finishing its
    write-back, over in nanoseconds; a live holder is a conflict for
    the manager. *)
-let rec acquire tx o ~attempts ~round =
+let rec acquire tx o ~stripe ~attempts ~round =
   check_self tx;
   let owner = Atomic.get o.o_owner in
   if owner == tx.txn then () (* stripe collision with an earlier write *)
   else if owner == no_owner then begin
     if Atomic.compare_and_set o.o_owner no_owner tx.txn then push_locked tx o
-    else acquire tx o ~attempts ~round
+    else acquire tx o ~stripe ~attempts ~round
   end
   else
     match Txn.status owner with
     | Status.Aborted ->
         if Atomic.compare_and_set o.o_owner owner tx.txn then push_locked tx o
-        else acquire tx o ~attempts ~round
+        else acquire tx o ~stripe ~attempts ~round
     | Status.Committed ->
         Runtime_intf.wait_step ~round ~cap_usec:tx.cfg.block_poll_usec;
-        acquire tx o ~attempts ~round:(round + 1)
+        acquire tx o ~stripe ~attempts ~round:(round + 1)
     | Status.Active ->
+        Tcm_obs.Hot.record tx.dom.hot stripe;
         resolve_conflict tx ~other:owner ~attempts;
-        acquire tx o ~attempts:(attempts + 1) ~round
+        acquire tx o ~stripe ~attempts:(attempts + 1) ~round
 
 (* Commit-time read validation: every sampled stripe unlocked (or
    held by us, or by a decided-dead attempt) with its version at or
@@ -522,7 +536,8 @@ let validate_reads tx =
 let lock_and_validate tx =
   for i = 0 to tx.ws_len - 1 do
     let tv : Obj.t Tvar.t = Obj.obj tx.ws_var.(i) in
-    acquire tx (orec_for_id tv.Tvar.id) ~attempts:0 ~round:0
+    let stripe = stripe_of_id tv.Tvar.id in
+    acquire tx orecs.(stripe) ~stripe ~attempts:0 ~round:0
   done;
   let wv = Tvar.next_stamp () in
   if wv > tx.rv + 1 then validate_reads tx;
@@ -583,6 +598,9 @@ let finish_abort dom tx m_t0 =
   Tcm_trace.Sink.attempt_abort ~txid:(Txn.timestamp tx.txn) ~attempt:tx.txn.Txn.attempt_id
     ~tick:0;
   if m_t0 > 0. then Tcm_metrics.Conventions.attempt_abort dom.mx ~duration:(m_us m_t0);
+  (* The dead attempt's work — everything it opened — is what the
+     abort wastes, in the cost model's unit. *)
+  Tcm_obs.Ledger.charge_abort dom.obs ~work:tx.n_opens;
   Shard.tick dom.shard Shard.ix_aborts;
   let (Cm_intf.Packed ((module M), cm_st)) = dom.cm_state in
   M.aborted cm_st tx.txn;
@@ -618,6 +636,7 @@ let rec attempt_loop : 'a. t -> per_domain -> tx -> (tx -> 'a) -> Txn.shared -> 
          if m_t0 > 0. then
            Tcm_metrics.Conventions.attempt_commit dom.mx ~duration:(m_us m_t0)
              ~read_set:tx.n_opens;
+         Tcm_obs.Ledger.note_commit dom.obs ~work:tx.n_opens;
          M.committed cm_st txn;
          dom.running <- false;
          v

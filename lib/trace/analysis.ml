@@ -139,6 +139,95 @@ let wasted_work (trace : Event.t array) =
        else float_of_int !opens_wasted /. float_of_int !opens_total);
   }
 
+type price_report = {
+  p_attempts : int;
+  p_committed : int;
+  p_aborted : int;
+  work_total : int;
+  work_wasted : int;
+  waits : int;
+  wait_cost : int;
+  price : int;
+  price_per_commit : float;
+}
+
+(* The same outcome/current-attempt machinery as [wasted_work], plus
+   wait-interval pairing: a Wait_begin opens an interval for its txid,
+   closed by the matching Wait_end — or by the attempt's terminal
+   event, since an attempt blocked on an enemy can be aborted while
+   waiting and never emit Wait_end.  Intervals are measured in ticks
+   when the trace carries them, in seq units otherwise (same
+   convention as [empirical_makespan]). *)
+let price (trace : Event.t array) =
+  let outcomes : (int, bool) Hashtbl.t = Hashtbl.create 256 in
+  Array.iter
+    (fun (e : Event.t) ->
+      match e.kind with
+      | Event.Commit -> Hashtbl.replace outcomes e.b true
+      | Event.Abort -> Hashtbl.replace outcomes e.b false
+      | _ -> ())
+    trace;
+  let has_ticks = Array.exists (fun (e : Event.t) -> e.tick > 0) trace in
+  let time (e : Event.t) = if has_ticks then e.tick else e.seq in
+  let cur : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let wait_start : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let attempts = ref 0 and committed = ref 0 and aborted = ref 0 in
+  let work_total = ref 0 and work_wasted = ref 0 in
+  let waits = ref 0 and wait_cost = ref 0 in
+  let close_wait txid t =
+    match Hashtbl.find_opt wait_start txid with
+    | None -> ()
+    | Some t0 ->
+      Hashtbl.remove wait_start txid;
+      incr waits;
+      wait_cost := !wait_cost + max 0 (t - t0)
+  in
+  Array.iter
+    (fun (e : Event.t) ->
+      match e.kind with
+      | Event.Begin ->
+        incr attempts;
+        Hashtbl.replace cur e.a e.b
+      | Event.Commit ->
+        incr committed;
+        close_wait e.a (time e)
+      | Event.Abort ->
+        incr aborted;
+        close_wait e.a (time e)
+      | Event.Wait_begin -> Hashtbl.replace wait_start e.a (time e)
+      | Event.Wait_end -> close_wait e.a (time e)
+      | Event.Open -> (
+        incr work_total;
+        match Hashtbl.find_opt cur e.a with
+        | Some uid -> (
+          match Hashtbl.find_opt outcomes uid with
+          | Some false -> incr work_wasted
+          | Some true | None -> ())
+        | None -> ())
+      | _ -> ())
+    trace;
+  {
+    p_attempts = !attempts;
+    p_committed = !committed;
+    p_aborted = !aborted;
+    work_total = !work_total;
+    work_wasted = !work_wasted;
+    waits = !waits;
+    wait_cost = !wait_cost;
+    price = !work_wasted + !wait_cost;
+    price_per_commit =
+      (if !committed = 0 then infinity
+       else float_of_int (!work_wasted + !wait_cost) /. float_of_int !committed);
+  }
+
+let pp_price fmt p =
+  Format.fprintf fmt
+    "price: attempts=%d committed=%d aborted=%d work=%d wasted=%d waits=%d wait-cost=%d price=%d per-commit=%s@."
+    p.p_attempts p.p_committed p.p_aborted p.work_total p.work_wasted p.waits
+    p.wait_cost p.price
+    (if p.price_per_commit = infinity then "inf"
+     else Printf.sprintf "%.2f" p.price_per_commit)
+
 let empirical_makespan (trace : Event.t array) =
   let has_ticks = Array.exists (fun (e : Event.t) -> e.tick > 0) trace in
   let time (e : Event.t) = if has_ticks then e.tick else e.seq in

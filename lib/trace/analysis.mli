@@ -58,6 +58,34 @@ type waste_report = {
 
 val wasted_work : Event.t array -> waste_report
 
+(** {1 Conflict pricing ("The Transactional Conflict Problem")}
+
+    Alistarh et al. price each abort-vs-wait decision by the work it
+    destroys: an abort wastes everything the dead attempt had done, a
+    wait costs the time spent blocked.  Applied to a trace: wasted
+    work is [Open]s charged to aborting attempts (exactly
+    {!wasted_work}'s attribution) and wait cost is the summed length
+    of [Wait_begin]/[Wait_end] intervals — an interval an abort cuts
+    short (the victim never emits [Wait_end]) is closed at the
+    terminal event.  Time is in ticks when the trace carries them, seq
+    units otherwise, so live and simulated runs of the manager zoo can
+    be ranked on the same scalar. *)
+
+type price_report = {
+  p_attempts : int;
+  p_committed : int;
+  p_aborted : int;
+  work_total : int;  (** opens *)
+  work_wasted : int;  (** opens by attempts that abort *)
+  waits : int;  (** wait intervals (terminal-closed ones included) *)
+  wait_cost : int;  (** summed interval length, ticks or seq units *)
+  price : int;  (** [work_wasted + wait_cost] *)
+  price_per_commit : float;  (** [price / committed]; [inf] when none *)
+}
+
+val price : Event.t array -> price_report
+val pp_price : Format.formatter -> price_report -> unit
+
 (** {1 Makespan (Theorem 9, empirically)} *)
 
 val empirical_makespan : Event.t array -> int

@@ -1,8 +1,14 @@
 let schema = "tcm-trace/1"
 
-let output_jsonl ?(drops = 0) oc (trace : Event.t array) =
-  Printf.fprintf oc "{\"schema\":\"%s\",\"events\":%d,\"drops\":%d}\n" schema
-    (Array.length trace) drops;
+let output_jsonl ?(drops = 0) ?manager oc (trace : Event.t array) =
+  (match manager with
+  | None ->
+    Printf.fprintf oc "{\"schema\":\"%s\",\"events\":%d,\"drops\":%d}\n" schema
+      (Array.length trace) drops
+  | Some m ->
+    Printf.fprintf oc
+      "{\"schema\":\"%s\",\"manager\":%S,\"events\":%d,\"drops\":%d}\n" schema m
+      (Array.length trace) drops);
   Array.iter
     (fun (e : Event.t) ->
       Printf.fprintf oc
@@ -10,11 +16,11 @@ let output_jsonl ?(drops = 0) oc (trace : Event.t array) =
         e.seq e.dom e.tick (Event.kind_name e.kind) e.a e.b e.c)
     trace
 
-let write_jsonl ?drops path trace =
+let write_jsonl ?drops ?manager path trace =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_jsonl ?drops oc trace)
+    (fun () -> output_jsonl ?drops ?manager oc trace)
 
 (* Minimal scanners for the fixed shapes we emit; tolerant of key order. *)
 
@@ -54,13 +60,25 @@ let str_field line key =
     | Some stop -> String.sub line start (stop - start)
   end
 
-let read_jsonl path =
+(* A file holds one or more sections, each opened by a header line
+   (optionally labelled with the manager that produced the capture)
+   and followed by its events.  Headerless files read as one anonymous
+   section, so pre-section traces keep parsing unchanged. *)
+let read_jsonl_sections path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      let events = ref [] in
-      let drops = ref 0 in
+      let sections = ref [] in
+      let cur_mgr = ref None and cur_drops = ref 0 and cur_events = ref [] in
+      let in_section = ref false in
+      let flush () =
+        if !in_section || !cur_events <> [] then begin
+          let arr = Array.of_list !cur_events in
+          Array.sort (fun (x : Event.t) (y : Event.t) -> compare x.seq y.seq) arr;
+          sections := (!cur_mgr, arr, !cur_drops) :: !sections
+        end
+      in
       (try
          while true do
            let line = String.trim (input_line ic) in
@@ -68,10 +86,17 @@ let read_jsonl path =
            else if find_sub line "\"schema\"" >= 0 then begin
              let s = str_field line "schema" in
              if s <> schema then failwith ("unknown trace schema: " ^ s);
-             drops := int_field line "drops"
+             flush ();
+             in_section := true;
+             cur_mgr :=
+               (if find_sub line "\"manager\"" >= 0 then
+                  Some (str_field line "manager")
+                else None);
+             cur_drops := int_field line "drops";
+             cur_events := []
            end
            else
-             events :=
+             cur_events :=
                {
                  Event.seq = int_field line "seq";
                  dom = int_field line "dom";
@@ -81,12 +106,34 @@ let read_jsonl path =
                  b = int_field line "b";
                  c = int_field line "c";
                }
-               :: !events
+               :: !cur_events
          done
        with End_of_file -> ());
-      let arr = Array.of_list !events in
-      Array.sort (fun (x : Event.t) (y : Event.t) -> compare x.seq y.seq) arr;
-      (arr, !drops))
+      flush ();
+      List.rev !sections)
+
+let read_jsonl path =
+  match read_jsonl_sections path with
+  | [] -> ([||], 0)
+  | sections ->
+    (* Sections come from separate captures whose seq counters restart
+       at 0, so re-offset each one past its predecessor's range before
+       concatenating: downstream analyses assume seq is monotone. *)
+    let drops = List.fold_left (fun a (_, _, d) -> a + d) 0 sections in
+    let base = ref 0 in
+    let parts =
+      List.map
+        (fun (_, arr, _) ->
+          let b = !base in
+          let shifted =
+            Array.map (fun (e : Event.t) -> { e with Event.seq = e.seq + b }) arr
+          in
+          let n = Array.length shifted in
+          if n > 0 then base := shifted.(n - 1).Event.seq + 1;
+          shifted)
+        sections
+    in
+    (Array.concat parts, drops)
 
 (* Chrome Trace Event Format. Tracks are domains; attempts and waits are B/E
    slices, resolves and opens are instants. Waits nest inside attempts, but a

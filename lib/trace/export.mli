@@ -1,9 +1,12 @@
 (** Trace serialization.
 
     JSONL: first line is a header
-    [{"schema":"tcm-trace/1","events":N,"drops":D}], then one event object
-    per line with keys [seq dom tick kind a b c].  [read] accepts traces
-    with or without the header and raises [Failure] on malformed lines.
+    [{"schema":"tcm-trace/1","events":N,"drops":D}] (plus an optional
+    ["manager"] label naming the capture), then one event object per
+    line with keys [seq dom tick kind a b c].  A file may concatenate
+    several header-led sections — one per captured manager, as
+    [bench --trace] writes them.  [read] accepts traces with or
+    without the header and raises [Failure] on malformed lines.
 
     Chrome: the Trace Event Format (chrome://tracing, Perfetto).  Attempts
     become duration (B/E) slices named [tx<txid>] on track [dom]; waits
@@ -11,12 +14,19 @@
     the linearized [seq] (one unit = 1us); the simulator tick, when present,
     rides along in [args]. *)
 
-val write_jsonl : ?drops:int -> string -> Event.t array -> unit
-val output_jsonl : ?drops:int -> out_channel -> Event.t array -> unit
+val write_jsonl : ?drops:int -> ?manager:string -> string -> Event.t array -> unit
+val output_jsonl : ?drops:int -> ?manager:string -> out_channel -> Event.t array -> unit
 
 val read_jsonl : string -> Event.t array * int
-(** Returns the events (sorted by seq) and the drop count from the header
-    (0 when absent). *)
+(** Returns the events (sorted by seq) and the summed drop counts.  On
+    a multi-section file the sections are concatenated with each
+    section's seqs re-offset past its predecessor's, so seq stays
+    monotone for the analyses. *)
+
+val read_jsonl_sections : string -> (string option * Event.t array * int) list
+(** One [(manager, events, drops)] triple per header-led section, in
+    file order; a headerless trace reads as a single anonymous
+    section. *)
 
 val write_chrome : string -> Event.t array -> unit
 val output_chrome : out_channel -> Event.t array -> unit

@@ -377,7 +377,49 @@ let json_of_service_figure (s : Tcm_service.Service.summary) : Json.t =
       ("throughput", Json.Float s.throughput);
       ("offered", Json.Float s.offered);
       ("queue_high_water", Json.Int s.queue_high_water);
+      (* tcm-bench/5: every service figure is self-describing about
+         observability overhead — which layers were live and how many
+         trace events the rings dropped. *)
+      ("trace_drops", Json.Int s.trace_drops);
+      ("metrics_enabled", Json.Bool s.metrics_on);
+      ("trace_enabled", Json.Bool s.trace_on);
       ("classes", Json.Arr (List.map json_of_class_stats s.classes));
+    ]
+
+(* tcm-bench/5: conflict-attribution figures from tcm.obs — one entry
+   per ledger family, wasted work priced in Alistarh et al.'s cost
+   model plus the family's hottest conflict keys from the
+   space-saving sketches. *)
+let json_of_obs_figure ~(row : Tcm_obs.Ledger.row)
+    ~(hot : Tcm_obs.Sketch.entry list) : Json.t =
+  Json.Obj
+    [
+      ("id", Json.Str "obs-attribution");
+      ("title", Json.Str "priced wasted-work attribution");
+      ("kind", Json.Str "obs");
+      ("backend", Json.Str row.Tcm_obs.Ledger.backend);
+      ("manager", Json.Str row.Tcm_obs.Ledger.manager);
+      ("runtime", Json.Str row.Tcm_obs.Ledger.runtime);
+      ("class", Json.Str row.Tcm_obs.Ledger.cls);
+      ("commits", Json.Int row.Tcm_obs.Ledger.commits);
+      ("aborts", Json.Int row.Tcm_obs.Ledger.aborts);
+      ("useful_work", Json.Int row.Tcm_obs.Ledger.useful_work);
+      ("wasted_work", Json.Int row.Tcm_obs.Ledger.wasted_work);
+      ("waits", Json.Int row.Tcm_obs.Ledger.waits);
+      ("wait_cost", Json.Int row.Tcm_obs.Ledger.wait_cost);
+      ("wait_ticks", Json.Int row.Tcm_obs.Ledger.wait_ticks);
+      ("price", Json.Int (Tcm_obs.Ledger.price row));
+      ( "hot_keys",
+        Json.Arr
+          (List.map
+             (fun (e : Tcm_obs.Sketch.entry) ->
+               Json.Obj
+                 [
+                   ("key", Json.Int e.key);
+                   ("count", Json.Int e.count);
+                   ("err", Json.Int e.err);
+                 ])
+             hot) );
     ]
 
 (* Schema lineage of the bench dump:
@@ -386,11 +428,17 @@ let json_of_service_figure (s : Tcm_service.Service.summary) : Json.t =
    - tcm-bench/3: adds the per-figure "backend" field (locator | tl2);
    - tcm-bench/4: figure entries carry a "kind" discriminator
      ("sweep" | "service") and service entries report per-class
-     arrival-to-commit latency and SLO attainment.
+     arrival-to-commit latency and SLO attainment;
+   - tcm-bench/5: service entries are self-describing about
+     observability (trace_drops, metrics_enabled, trace_enabled) and
+     the dump may carry kind = "obs" conflict-attribution entries
+     (per-family priced wasted work + hot-key list from tcm.obs).
    Readers accept every shipped version; the writer always emits the
    newest. *)
-let bench_schema = "tcm-bench/4"
-let bench_schemas = [ "tcm-bench/1"; "tcm-bench/2"; "tcm-bench/3"; bench_schema ]
+let bench_schema = "tcm-bench/5"
+
+let bench_schemas =
+  [ "tcm-bench/1"; "tcm-bench/2"; "tcm-bench/3"; "tcm-bench/4"; bench_schema ]
 
 let bench_schema_of (j : Json.t) : (string, string) result =
   match Json.member "schema" j with
@@ -406,9 +454,11 @@ let bench_schema_of (j : Json.t) : (string, string) result =
     throughput, p50/p99 latency and the abort breakdown per manager,
     one figure entry per (figure, backend) pair.  [service_figures]
     are open-loop service summaries appended to the same "figures"
-    array with [kind = "service"].  [extra] lets the caller attach
-    more top-level sections. *)
-let bench_json ?(extra = []) ?(service_figures = []) ~mode ~duration_s ~seed
+    array with [kind = "service"]; [obs_figures] are conflict-
+    attribution entries appended with [kind = "obs"].  [extra] lets
+    the caller attach more top-level sections. *)
+let bench_json ?(extra = []) ?(service_figures = []) ?(obs_figures = []) ~mode
+    ~duration_s ~seed
     (figures : (Figures.spec * string * Figures.detailed_row list) list) : string =
   Json.to_string
     (Json.Obj
@@ -422,6 +472,8 @@ let bench_json ?(extra = []) ?(service_figures = []) ~mode ~duration_s ~seed
               (List.map
                  (fun (spec, backend, rows) -> json_of_detailed_figure ~backend spec rows)
                  figures
-              @ List.map json_of_service_figure service_figures) );
+              @ List.map json_of_service_figure service_figures
+              @ List.map (fun (row, hot) -> json_of_obs_figure ~row ~hot) obs_figures)
+          );
         ]
        @ extra))

@@ -44,17 +44,25 @@ val json_of_outcome : Harness.outcome -> Json.t
 val json_of_service_figure : Tcm_service.Service.summary -> Json.t
 (** One open-loop service run as a figure entry ([kind = "service"]):
     per-class arrival-to-commit latency (queue time included), SLO
-    attainment with sheds charged against the class, and the abort /
-    conflict deltas of the run. *)
+    attainment with sheds charged against the class, the abort /
+    conflict deltas of the run, and (tcm-bench/5) the observability
+    self-description: trace drops and whether metrics / trace were
+    enabled. *)
+
+val json_of_obs_figure :
+  row:Tcm_obs.Ledger.row -> hot:Tcm_obs.Sketch.entry list -> Json.t
+(** One conflict-attribution entry ([kind = "obs"]): a ledger family's
+    priced wasted work plus its hottest conflict keys. *)
 
 val bench_schema : string
-(** The schema the writer emits: ["tcm-bench/4"]. *)
+(** The schema the writer emits: ["tcm-bench/5"]. *)
 
 val bench_schemas : string list
 (** Every schema a reader must accept: tcm-bench/1 (original),
     /2 (adds GC words), /3 (adds the per-figure backend field),
     /4 (adds the per-figure "kind" discriminator and open-loop
-    service figures). *)
+    service figures), /5 (adds observability self-description on
+    service figures and kind = "obs" attribution entries). *)
 
 val bench_schema_of : Json.t -> (string, string) result
 (** Validate a parsed bench dump's schema header.  [Error _] when the
@@ -65,6 +73,7 @@ val bench_schema_of : Json.t -> (string, string) result
 val bench_json :
   ?extra:(string * Json.t) list ->
   ?service_figures:Tcm_service.Service.summary list ->
+  ?obs_figures:(Tcm_obs.Ledger.row * Tcm_obs.Sketch.entry list) list ->
   mode:string ->
   duration_s:float ->
   seed:int ->
@@ -73,4 +82,5 @@ val bench_json :
 (** The bench's machine-readable dump ([--json FILE]): schema header
     plus one entry per (figure, backend-name) pair with
     per-thread-count, per-manager outcomes; [service_figures] append
-    open-loop service entries to the same figures array. *)
+    open-loop service entries and [obs_figures] conflict-attribution
+    entries to the same figures array. *)

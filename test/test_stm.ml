@@ -820,6 +820,48 @@ let t_tl2_max_attempts () =
    with Runtime.Too_many_attempts _ -> ());
   check_int "gave up after the configured attempts" 4 !hits
 
+(* The tcm.obs ledger rides both backends: the commits and aborts it
+   attributes to the (backend, manager) family under forced conflicts
+   must equal the runtime's own stats — the runtime is the single
+   charge site for both. *)
+let obs_ledger_run backend backend_name =
+  Tcm_obs.reset ();
+  Tcm_obs.enable ();
+  let rt = Stm.create ~backend (Tcm_core.Registry.find_exn "karma") in
+  let c = Tvar.make 0 in
+  let doms =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 200 do
+              Stm.atomically rt (fun tx -> Stm.modify tx c succ)
+            done))
+  in
+  List.iter Domain.join doms;
+  Tcm_obs.disable ();
+  let stats = Stm.stats rt in
+  let commits, aborts =
+    List.fold_left
+      (fun (cs, ab) (r : Tcm_obs.Ledger.row) ->
+        if
+          r.Tcm_obs.Ledger.backend = backend_name
+          && r.Tcm_obs.Ledger.manager = "karma"
+          && r.Tcm_obs.Ledger.runtime = "live"
+        then (cs + r.Tcm_obs.Ledger.commits, ab + r.Tcm_obs.Ledger.aborts)
+        else (cs, ab))
+      (0, 0)
+      (Tcm_obs.Ledger.rows ())
+  in
+  check_int
+    (Printf.sprintf "ledger commits = runtime commits (%s)" backend_name)
+    stats.Runtime.n_commits commits;
+  check_int
+    (Printf.sprintf "ledger aborts = runtime aborts (%s)" backend_name)
+    stats.Runtime.n_aborts aborts;
+  check_int "counter exact" 800 (Tvar.peek c)
+
+let t_obs_ledger_locator () = obs_ledger_run Stm.Locator "locator"
+let t_obs_ledger_tl2 () = obs_ledger_run Stm.Tl2_backend "tl2"
+
 (* qcheck: arbitrary interleavings of single-threaded transactions on a
    register behave like plain assignments. *)
 let prop_register_semantics =
@@ -924,5 +966,12 @@ let () =
           Alcotest.test_case "lock steal executes Abort_other" `Quick t_tl2_lock_steal;
           Alcotest.test_case "dead-owner lock is free" `Quick t_tl2_dead_owner_lock_is_free;
           Alcotest.test_case "max_attempts enforced" `Quick t_tl2_max_attempts;
+        ] );
+      ( "obs",
+        [
+          Alcotest.test_case "ledger matches stats (locator)" `Quick
+            t_obs_ledger_locator;
+          Alcotest.test_case "ledger matches stats (tl2)" `Quick
+            t_obs_ledger_tl2;
         ] );
     ]

@@ -409,6 +409,50 @@ let t_export_jsonl_roundtrip () =
         (fun i e -> check_bool "events roundtrip" true (e = tr'.(i)))
         tr)
 
+(* Multi-section dumps (one header per manager, as bench --trace now
+   writes them): [read_jsonl_sections] keeps the sections and their
+   names apart, and the flat [read_jsonl] concatenates them with
+   re-offset seqs so downstream analyses still see a strictly
+   increasing order. *)
+let t_export_jsonl_sections () =
+  let mk base n =
+    Array.init n (fun i -> ev (base + i) Event.Open 1 i 1)
+  in
+  let a = mk 0 4 and b = mk 1 3 in
+  with_temp_file (fun path ->
+      let oc = open_out path in
+      Export.output_jsonl ~drops:1 ~manager:"greedy" oc a;
+      Export.output_jsonl ~drops:2 ~manager:"backoff" oc b;
+      close_out oc;
+      (match Export.read_jsonl_sections path with
+      | [ (Some "greedy", a', d1); (Some "backoff", b', d2) ] ->
+          check_int "first section intact" (Array.length a) (Array.length a');
+          check_int "second section intact" (Array.length b) (Array.length b');
+          check_int "per-section drops" 1 d1;
+          check_int "per-section drops" 2 d2;
+          check_int "section seqs unshifted" 1 b'.(0).Event.seq
+      | sections ->
+          Alcotest.failf "expected 2 named sections, got %d"
+            (List.length sections));
+      let all, drops = Export.read_jsonl path in
+      check_int "concatenated" 7 (Array.length all);
+      check_int "drops summed" 3 drops;
+      Array.iteri
+        (fun i e ->
+          if i > 0 then
+            check_bool "seqs strictly increasing after re-offset" true
+              (e.Event.seq > all.(i - 1).Event.seq))
+        all)
+
+(* Single-section files written by the old writer keep reading the
+   same way: one anonymous section. *)
+let t_export_jsonl_single_section () =
+  with_temp_file (fun path ->
+      Export.write_jsonl ~drops:0 path [| ev 5 Event.Begin 1 101 0 |];
+      match Export.read_jsonl_sections path with
+      | [ (None, a, 0) ] -> check_int "one event" 1 (Array.length a)
+      | _ -> Alcotest.fail "expected one anonymous section")
+
 let t_export_jsonl_rejects_garbage () =
   with_temp_file (fun path ->
       let oc = open_out path in
@@ -495,6 +539,10 @@ let () =
       ( "export",
         [
           Alcotest.test_case "jsonl roundtrip" `Quick t_export_jsonl_roundtrip;
+          Alcotest.test_case "jsonl sections roundtrip" `Quick
+            t_export_jsonl_sections;
+          Alcotest.test_case "jsonl single anonymous section" `Quick
+            t_export_jsonl_single_section;
           Alcotest.test_case "jsonl rejects garbage" `Quick t_export_jsonl_rejects_garbage;
           Alcotest.test_case "chrome shape" `Quick t_export_chrome_shape;
         ] );

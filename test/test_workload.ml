@@ -272,18 +272,19 @@ let t_float_to_string () =
 (* One regression case per shipped schema version: a reader must keep
    accepting every dump this repo has ever written (tcm-bench/1 from
    before the GC columns, /2 before the backend split, /3 before the
-   figure-kind discriminator, /4 current). *)
+   figure-kind discriminator, /4 before the observability fields,
+   /5 current). *)
 let t_bench_schema_accepts_all_versions () =
   List.iter
     (fun v ->
       match Report.bench_schema_of (Report.Json.Obj [ ("schema", Report.Json.Str v) ]) with
       | Ok got -> Alcotest.(check string) ("accepts " ^ v) v got
       | Error e -> Alcotest.failf "%s rejected: %s" v e)
-    [ "tcm-bench/1"; "tcm-bench/2"; "tcm-bench/3"; "tcm-bench/4" ];
+    [ "tcm-bench/1"; "tcm-bench/2"; "tcm-bench/3"; "tcm-bench/4"; "tcm-bench/5" ];
   Alcotest.(check (list string)) "the accept list is exactly the lineage"
-    [ "tcm-bench/1"; "tcm-bench/2"; "tcm-bench/3"; "tcm-bench/4" ]
+    [ "tcm-bench/1"; "tcm-bench/2"; "tcm-bench/3"; "tcm-bench/4"; "tcm-bench/5" ]
     Report.bench_schemas;
-  Alcotest.(check string) "writer emits the newest" "tcm-bench/4" Report.bench_schema
+  Alcotest.(check string) "writer emits the newest" "tcm-bench/5" Report.bench_schema
 
 let t_bench_schema_rejects () =
   let open Report.Json in
@@ -334,6 +335,9 @@ let fake_service_summary () : Tcm_service.Service.summary =
     throughput = 980.;
     offered = 1_000.;
     queue_high_water = 7;
+    trace_drops = 1;
+    metrics_on = true;
+    trace_on = false;
   }
 
 (* The writer side: a real (tiny) detailed run serialized through
@@ -346,10 +350,27 @@ let t_bench_json_emits_current_schema () =
     Figures.run_real_detailed ~threads_list:[ 1 ] ~duration_s:0.02
       ~backend:Tcm_stm.Stm.Tl2_backend Figures.fig1
   in
+  let fake_obs_row : Tcm_obs.Ledger.row =
+    {
+      backend = "tl2";
+      manager = "greedy";
+      runtime = "live";
+      cls = "read";
+      aborts = 4;
+      wasted_work = 9;
+      waits = 2;
+      wait_cost = 120;
+      wait_ticks = 7;
+      commits = 40;
+      useful_work = 80;
+    }
+  in
+  let fake_hot = [ { Tcm_obs.Sketch.key = 17; count = 5; err = 1 } ] in
   let doc =
     of_string
       (Report.bench_json ~mode:"real" ~duration_s:0.02 ~seed:42
          ~service_figures:[ fake_service_summary () ]
+         ~obs_figures:[ (fake_obs_row, fake_hot) ]
          [ (Figures.fig1, "tl2", rows) ])
   in
   (match Report.bench_schema_of doc with
@@ -368,6 +389,13 @@ let t_bench_json_emits_current_schema () =
       | [ s ] ->
           check_bool "service figure carries the manager" true
             (member "manager" s = Some (Str "greedy"));
+          (* tcm-bench/5: the observability self-description. *)
+          check_bool "service figure carries trace_drops" true
+            (member "trace_drops" s = Some (Int 1));
+          check_bool "service figure carries metrics_enabled" true
+            (member "metrics_enabled" s = Some (Bool true));
+          check_bool "service figure carries trace_enabled" true
+            (member "trace_enabled" s = Some (Bool false));
           (match member "classes" s with
           | Some (Arr (c :: _ as cs)) ->
               Alcotest.(check int) "one entry per class" 3 (List.length cs);
@@ -377,7 +405,31 @@ let t_bench_json_emits_current_schema () =
                     (member k c <> None))
                 [ "class"; "slo_attainment"; "latency_p50_us"; "latency_p99_us" ]
           | _ -> Alcotest.fail "service figure has no classes array")
-      | _ -> Alcotest.fail "expected exactly one kind=service figure")
+      | _ -> Alcotest.fail "expected exactly one kind=service figure");
+      (* tcm-bench/5: kind=obs attribution entries. *)
+      (match
+         List.filter (fun f -> member "kind" f = Some (Str "obs")) figs
+       with
+      | [ o ] ->
+          List.iter
+            (fun (k, v) ->
+              check_bool (k ^ " on obs entry") true (member k o = Some v))
+            [
+              ("backend", Str "tl2");
+              ("manager", Str "greedy");
+              ("runtime", Str "live");
+              ("class", Str "read");
+              ("aborts", Int 4);
+              ("wasted_work", Int 9);
+              ("wait_ticks", Int 7);
+              ("price", Int 16);
+            ];
+          (match member "hot_keys" o with
+          | Some (Arr [ h ]) ->
+              check_bool "hot key round-trips" true
+                (member "key" h = Some (Int 17) && member "count" h = Some (Int 5))
+          | _ -> Alcotest.fail "obs entry has no hot_keys array")
+      | _ -> Alcotest.fail "expected exactly one kind=obs figure")
   | _ -> Alcotest.fail "dump has no figures array"
 
 let () =
