@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test bench-smoke metrics-smoke write-smoke tl2-smoke service-smoke obs-smoke bench ci clean
+.PHONY: all build test bench-smoke metrics-smoke write-smoke tl2-smoke service-smoke obs-smoke cm-smoke bench ci clean
 
 # Perf-trajectory point number: `make bench N=2` writes BENCH_2.json.
 N ?= 1
@@ -47,13 +47,20 @@ service-smoke:
 obs-smoke:
 	dune build @obs-smoke
 
-# Full bench, regenerating the committed perf trajectory point
-# (closed-loop sweeps plus the open-loop service figures and the
-# conflict-attribution entries on both backends).
-bench:
-	dune exec bench/main.exe -- --quick --no-micro --service --obs --backend both --json BENCH_$(N).json
+# Consult-path allocation/latency gate: every registered manager's
+# resolve must allocate zero minor words and stay within the latency
+# band, on both backends and in the simulator (bench/consult_cost.ml).
+cm-smoke:
+	dune build @cm-smoke
 
-ci: build test bench-smoke metrics-smoke write-smoke tl2-smoke service-smoke obs-smoke
+# Full bench, regenerating the committed perf trajectory point
+# (closed-loop sweeps plus the open-loop service figures, the
+# conflict-attribution entries and the consult-cost microbench on
+# both backends).
+bench:
+	dune exec bench/main.exe -- --quick --no-micro --service --obs --consult --backend both --json BENCH_$(N).json
+
+ci: build test bench-smoke metrics-smoke write-smoke tl2-smoke service-smoke obs-smoke cm-smoke
 
 clean:
 	dune clean

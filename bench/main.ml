@@ -42,7 +42,11 @@
     (implies [--service]) runs the sweep with tcm.obs enabled: prints
     the priced wasted-work ranking of the manager zoo, the hot-key
     tables and the ledger-vs-metrics reconciliation, and adds
-    [kind = "obs"] attribution entries to the JSON dump. *)
+    [kind = "obs"] attribution entries to the JSON dump.  [--consult]
+    runs the consult-path microbench (ns + minor words per resolve for
+    every manager through both backend consult entry points and the
+    simulator policy table) and adds [kind = "consult"] entries to the
+    JSON dump. *)
 
 open Tcm_workload
 
@@ -54,6 +58,12 @@ let with_obs = Array.exists (( = ) "--obs") Sys.argv
 (* --obs rides on the service sweep (that is where transaction classes
    exist), so asking for it implies the sweep. *)
 let with_service = with_obs || Array.exists (( = ) "--service") Sys.argv
+
+(* --consult: the consult-path microbench (ns + minor words per
+   resolve, every manager through both backend consult entry points
+   plus the simulator policy table); prints the table and adds
+   [kind = "consult"] entries to the JSON dump. *)
+let with_consult = Array.exists (( = ) "--consult") Sys.argv
 
 (* Fail fast on a flag with a missing argument: silently dropping
    --json or --trace would cost a full run and write nothing. *)
@@ -520,6 +530,24 @@ let run_service_sweep () =
           Tcm_core.Registry.all)
       backends
   in
+  (* The open-loop sweep above only contends when worker domains truly
+     overlap; on a single-core host it prices clean runs.  The
+     deterministic simulator contends by construction, so with tcm.obs
+     on we also sweep the whole policy zoo over the fig1 list model —
+     the priced ranking in EXPERIMENTS.md reads from the resulting
+     runtime=sim ledger rows (same tick currency, same reconcile). *)
+  if with_obs then begin
+    Format.fprintf fmt
+      "(tcm.obs: pricing the policy zoo on the sim list model, %d threads, \
+       horizon %d)@.@."
+      16 sim_horizon;
+    List.iter
+      (fun policy ->
+        ignore
+          (Sim_load.run ~horizon:sim_horizon ~seed ~threads:16 ~policy
+             Sim_load.list_model))
+      (Tcm_sim.Policy.all ~seed ())
+  end;
   Tcm_metrics.disable ();
   let snap = Tcm_metrics.snapshot () in
   Tcm_metrics.Health.pp_slo fmt (Tcm_metrics.Health.slo_rows snap);
@@ -529,6 +557,33 @@ let run_service_sweep () =
     Tcm_obs.disable ()
   end;
   service_summaries := summaries
+
+(* ------------------------------------------------------------------ *)
+(* Consult-path microbench (--consult)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let consult_figures : Consult_cost.row list ref = ref []
+
+let run_consult_probe () =
+  section "Consult-path cost (ns / minor words per resolve)";
+  let iters = if quick then 50_000 else 200_000 in
+  let rows = Consult_cost.measure_all ~iters () in
+  Format.fprintf fmt "  %-10s %-14s %12s %14s@." "backend" "manager" "ns"
+    "minor words";
+  List.iter
+    (fun (r : Consult_cost.row) ->
+      Format.fprintf fmt "  %-10s %-14s %12.1f %14.4f@." r.Consult_cost.backend
+        r.Consult_cost.manager r.Consult_cost.ns_per_resolve
+        r.Consult_cost.minor_words_per_resolve)
+    rows;
+  (match Consult_cost.check rows with
+  | [] -> Format.fprintf fmt "  (all managers within the @cm-smoke gates)@."
+  | violations ->
+      List.iter
+        (fun v -> Format.fprintf fmt "  GATE VIOLATION: %s@." v)
+        violations);
+  Format.fprintf fmt "@.";
+  consult_figures := rows
 
 (* ------------------------------------------------------------------ *)
 (* JSON dump (--json FILE)                                             *)
@@ -582,7 +637,7 @@ let run_json_dump path =
   in
   let doc =
     Report.bench_json ~extra ~service_figures:!service_summaries
-      ~obs_figures:!obs_figures
+      ~obs_figures:!obs_figures ~consult_figures:!consult_figures
       ~mode:(if quick then "quick" else "full")
       ~duration_s:real_duration ~seed figures
   in
@@ -805,6 +860,7 @@ let () =
     run_latency_table ()
   end;
   if with_service then run_service_sweep ();
+  if with_consult then run_consult_probe ();
   Option.iter run_trace_capture trace_path;
   Option.iter run_metrics_capture metrics_path;
   if not no_micro then run_micro ();

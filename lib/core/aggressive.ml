@@ -12,4 +12,4 @@ let create () = ()
 
 include Cm_util.No_lifecycle
 
-let resolve () ~me:_ ~other:_ ~attempts:_ = Tcm_stm.Decision.Abort_other
+let resolve () ~me:_ ~other:_ ~attempts:_ = Tcm_stm.Decision.abort_other

@@ -24,5 +24,5 @@ let resolve t ~me ~other ~attempts =
     (* Transfer our momentum to the transaction in our way, once per
        conflict discovery. *)
     if attempts = 0 then Txn.add_priority other (max 1 (Txn.priority me));
-    Decision.Backoff { usec = backoff_usec + Cm_util.Prng.int t.prng backoff_usec }
+    Decision.backoff ~usec:(backoff_usec + Cm_util.Prng.int t.prng backoff_usec)
   end

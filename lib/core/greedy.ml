@@ -27,5 +27,5 @@ let create () = ()
 include Cm_util.No_lifecycle
 
 let resolve () ~me ~other ~attempts:_ =
-  if Txn.older_than me other || Txn.is_waiting other then Decision.Abort_other
-  else Decision.Block { timeout_usec = None }
+  if Txn.older_than me other || Txn.is_waiting other then Decision.abort_other
+  else Decision.block_forever

@@ -13,26 +13,29 @@ let name = "greedy-ft"
 
 type t = {
   (* timeout currently granted to each enemy, keyed by its (stable)
-     timestamp; doubled every time a wait on that enemy expires. *)
-  grants : (int, int) Hashtbl.t;
+     timestamp; doubled every time a wait on that enemy expires.  A
+     slab-resident bounded table: evicting a grant under pressure
+     merely restarts that enemy at [base_usec]. *)
+  grants : Cm_util.Table.t;
   base_usec : int;
 }
 
 let base_usec = 200
+let grants_cap = 64
 
-let create () = { grants = Hashtbl.create 16; base_usec }
+let create () = { grants = Cm_util.Table.create ~cap:grants_cap; base_usec }
 
 include Cm_util.No_lifecycle
 
 let resolve t ~me ~other ~attempts =
-  if Txn.older_than me other || Txn.is_waiting other then Decision.Abort_other
+  if Txn.older_than me other || Txn.is_waiting other then Decision.abort_other
   else
     let key = Txn.timestamp other in
-    let granted = Option.value (Hashtbl.find_opt t.grants key) ~default:t.base_usec in
+    let granted = Cm_util.Table.find t.grants key ~default:t.base_usec in
     if attempts > 0 then begin
       (* Our previous wait on this enemy timed out: abort it and double
          the patience we will extend to it next time. *)
-      Hashtbl.replace t.grants key (granted * 2);
-      Decision.Abort_other
+      Cm_util.Table.put t.grants key (granted * 2);
+      Decision.abort_other
     end
-    else Decision.Block { timeout_usec = Some granted }
+    else Decision.block ~usec:granted

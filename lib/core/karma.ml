@@ -26,5 +26,5 @@ let create () = { prng = Cm_util.Prng.create () }
 include Cm_util.No_lifecycle
 
 let resolve t ~me ~other ~attempts =
-  if Txn.priority me + attempts > Txn.priority other then Decision.Abort_other
-  else Decision.Backoff { usec = backoff_usec + Cm_util.Prng.int t.prng backoff_usec }
+  if Txn.priority me + attempts > Txn.priority other then Decision.abort_other
+  else Decision.backoff ~usec:(backoff_usec + Cm_util.Prng.int t.prng backoff_usec)

@@ -19,6 +19,6 @@ let create () = { prng = Cm_util.Prng.create () }
 include Cm_util.No_lifecycle
 
 let resolve t ~me:_ ~other ~attempts =
-  if Txn.is_waiting other then Decision.Abort_other
-  else if attempts >= max_tries then Decision.Abort_other
-  else Decision.Backoff { usec = Cm_util.exp_backoff ~base:32 t.prng attempts }
+  if Txn.is_waiting other then Decision.abort_other
+  else if attempts >= max_tries then Decision.abort_other
+  else Decision.backoff ~usec:(Cm_util.exp_backoff ~base:32 t.prng attempts)

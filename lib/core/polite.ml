@@ -18,5 +18,5 @@ let create () = { prng = Cm_util.Prng.create () }
 include Cm_util.No_lifecycle
 
 let resolve t ~me:_ ~other:_ ~attempts =
-  if attempts >= max_tries then Decision.Abort_other
-  else Decision.Backoff { usec = Cm_util.exp_backoff t.prng attempts }
+  if attempts >= max_tries then Decision.abort_other
+  else Decision.backoff ~usec:(Cm_util.exp_backoff t.prng attempts)

@@ -19,5 +19,5 @@ include Cm_util.No_lifecycle
 
 let resolve t ~me ~other ~attempts =
   let gap = Txn.priority other - Txn.priority me in
-  if attempts >= max 1 gap then Decision.Abort_other
-  else Decision.Backoff { usec = Cm_util.exp_backoff t.prng attempts }
+  if attempts >= max 1 gap then Decision.abort_other
+  else Decision.backoff ~usec:(Cm_util.exp_backoff t.prng attempts)

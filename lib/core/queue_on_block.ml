@@ -21,5 +21,5 @@ let create () = ()
 include Cm_util.No_lifecycle
 
 let resolve () ~me:_ ~other:_ ~attempts =
-  if attempts >= max_waits then Decision.Abort_other
-  else Decision.Block { timeout_usec = Some patience_usec }
+  if attempts >= max_waits then Decision.abort_other
+  else Decision.block ~usec:patience_usec

@@ -13,5 +13,5 @@ let create () = { prng = Cm_util.Prng.create () }
 include Cm_util.No_lifecycle
 
 let resolve t ~me:_ ~other:_ ~attempts:_ =
-  if Cm_util.Prng.bool t.prng then Decision.Abort_other
-  else Decision.Backoff { usec = 16 + Cm_util.Prng.int t.prng 112 }
+  if Cm_util.Prng.bool t.prng then Decision.abort_other
+  else Decision.backoff ~usec:(16 + Cm_util.Prng.int t.prng 112)

@@ -20,6 +20,7 @@ let all : Cm_intf.factory list =
     (module Eruption);
     (module Polka);
     (module Queue_on_block);
+    (module Sto_adaptive);
   ]
 
 let names = List.map Cm_intf.name all

@@ -1,0 +1,18 @@
+(** STO-style adaptive manager (after the contention manager in STO,
+    EuroSys 2016): timid while young — abort self on any conflict —
+    until {!ts_threshold} objects have been opened in the current
+    attempt; then acquire a global-timestamp stamp (published through
+    [Txn.cm_stamp]) and fight, aborting younger or dead enemies and
+    otherwise waiting out a randomized interval scaled by the run of
+    successive aborts, bounded by {!max_fight_rounds}. *)
+
+include Tcm_stm.Cm_intf.S
+
+val ts_threshold : int
+val succ_aborts_max : int
+val wait_usec_per_abort : int
+val max_fight_rounds : int
+
+val succ_aborts : t -> int
+(** Current successive-abort run (capped at {!succ_aborts_max});
+    exposed for tests. *)

@@ -21,6 +21,6 @@ let create () = ()
 include Cm_util.No_lifecycle
 
 let resolve () ~me ~other ~attempts =
-  if Txn.older_than me other then Decision.Abort_other
-  else if attempts >= max_quanta then Decision.Abort_other
-  else Decision.Block { timeout_usec = Some quantum_usec }
+  if Txn.older_than me other then Decision.abort_other
+  else if attempts >= max_quanta then Decision.abort_other
+  else Decision.block ~usec:quantum_usec

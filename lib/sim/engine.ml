@@ -66,6 +66,9 @@ type tstate = {
   mutable commits : int;
   mutable cur_aborts : int;  (** Restarts of the current transaction. *)
   mutable aborted_this_tick : bool;
+  view : Policy.view;
+      (** Cached policy view, refreshed in place by [view_of] before
+          each resolve — no per-conflict allocation. *)
 }
 
 type obj_state = { mutable owner : int option; mutable readers : int list }
@@ -90,14 +93,12 @@ type result = {
 let default_horizon = 1_000_000
 
 let view_of (t : tstate) : Policy.view =
-  {
-    Policy.id = t.tid;
-    timestamp = t.timestamp;
-    waiting = t.waiting_flag;
-    priority = t.priority;
-    aborts = t.aborts;
-    opens = t.opens;
-  }
+  let v = t.view in
+  v.Policy.timestamp <- t.timestamp;
+  v.Policy.waiting <- t.waiting_flag;
+  v.Policy.aborts <- t.aborts;
+  v.Policy.opens <- t.opens;
+  v
 
 let run ?(horizon = default_horizon) ?(record_grid = false) ?ranks
     ?(ts_on_restart = `Keep) ~(policy : Policy.t) ~n_objects
@@ -135,6 +136,9 @@ let run ?(horizon = default_horizon) ?(record_grid = false) ?ranks
   in
   let threads =
     Array.init n (fun tid ->
+        (* The cached view shares the [priority] ref with the thread
+           state, so Eruption's pressure transfer lands in both. *)
+        let priority = ref 0 in
         {
           tid;
           stream = streams.(tid);
@@ -151,13 +155,22 @@ let run ?(horizon = default_horizon) ?(record_grid = false) ?ranks
           held = [];
           reading = [];
           waiting_flag = false;
-          priority = ref 0;
+          priority;
           aborts = 0;
           opens = 0;
           stuck = 0;
           commits = 0;
           cur_aborts = 0;
           aborted_this_tick = false;
+          view =
+            {
+              Policy.id = tid;
+              timestamp = max_int;
+              waiting = false;
+              priority;
+              aborts = 0;
+              opens = 0;
+            };
         })
   in
   let objs = Array.init n_objects (fun _ -> { owner = None; readers = [] }) in

@@ -8,14 +8,19 @@
 
 type view = {
   id : int;
-  timestamp : int;  (** Smaller = older = higher priority. *)
-  waiting : bool;
+  mutable timestamp : int;  (** Smaller = older = higher priority. *)
+  mutable waiting : bool;
   priority : int ref;
       (** Karma-style accumulated priority.  A [ref] shared with the
           engine so Eruption can push pressure onto the blocker. *)
-  aborts : int;
-  opens : int;
+  mutable aborts : int;
+  mutable opens : int;
 }
+(* Mutable so the engine can keep one cached view per simulated thread
+   and refresh it in place before each resolve, instead of allocating
+   two records per conflict (the same discipline as the live runtime's
+   slab-resident manager state).  Policies must read fields during
+   [resolve] only, never retain a view. *)
 
 type decision =
   | Abort_other
@@ -23,8 +28,49 @@ type decision =
   | Block of { timeout : int option }  (** Ticks. *)
   | Backoff of int  (** Ticks. *)
 
-(* Deterministic stream for randomized policies. *)
+(* Flyweights for the two non-constant verdicts, mirroring
+   [Tcm_stm.Decision]: tick durations are small, so a flat table
+   covers every duration the shipped policies produce; anything
+   larger falls back to a fresh record (rare, correct, just not
+   free). *)
+let fw_max = 4_096
+let backoff_fw = Array.init fw_max (fun i -> Backoff i)
+let block_fw = Array.init fw_max (fun i -> Block { timeout = Some i })
+let block_forever = Block { timeout = None }
+let backoff d = if d >= 0 && d < fw_max then backoff_fw.(d) else Backoff d
+
+let block_for d =
+  if d >= 0 && d < fw_max then block_fw.(d) else Block { timeout = Some d }
+
+(* Deterministic stream for scenario generation (cold path; exported
+   for [Scenarios]). *)
 module Prng = Tcm_stm.Splitmix
+
+(* Allocation-free jitter stream for the policies' hot path: two plain
+   int cells of xorshift state, seeded deterministically from the
+   policy seed via splitmix.  [Splitmix] itself boxes an [Int64] per
+   draw, which would put an allocation on every randomized resolve. *)
+module Jitter = struct
+  type t = { mutable s0 : int; mutable s1 : int }
+
+  let create seed =
+    let s = Prng.create seed in
+    let cell d =
+      match Int64.to_int (Prng.next s) land max_int with 0 -> d | v -> v
+    in
+    { s0 = cell 0x9E3779B9; s1 = cell 0x6C078965 }
+
+  let next t =
+    let s0 = t.s0 and s1 = t.s1 in
+    let x = s1 lxor (s1 lsl 23) in
+    let x = x lxor (x lsr 17) lxor s0 lxor (s0 lsr 26) in
+    t.s0 <- s1;
+    t.s1 <- x;
+    (x + s1) land max_int
+
+  let int t bound = if bound <= 1 then 0 else next t mod bound
+  let bool t = next t land 1 = 1
+end
 
 type t = {
   name : string;
@@ -41,7 +87,7 @@ let greedy () =
     resolve =
       (fun ~me ~other ~attempts:_ ~now:_ ->
         if older_than me other || other.waiting then Abort_other
-        else Block { timeout = None });
+        else block_forever);
   }
 
 (** Fault-tolerant greedy, Section 6: wait behind older enemies only up
@@ -54,12 +100,18 @@ let greedy_ft ?(base = 4) () =
       (fun ~me ~other ~attempts ~now:_ ->
         if older_than me other || other.waiting then Abort_other
         else
-          let granted = Option.value (Hashtbl.find_opt grants other.timestamp) ~default:base in
+          (* [find] + [Not_found], not [find_opt]: the option would box
+             on every consult against a known enemy.  The doubling is
+             capped inside the {!block_for} flyweight range, so repeat
+             offenders cannot push the verdict off the table either. *)
+          let granted =
+            try Hashtbl.find grants other.timestamp with Not_found -> base
+          in
           if attempts > 0 then begin
-            Hashtbl.replace grants other.timestamp (granted * 2);
+            Hashtbl.replace grants other.timestamp (min (granted * 2) 1_024);
             Abort_other
           end
-          else Block { timeout = Some granted });
+          else block_for granted);
   }
 
 let aggressive () =
@@ -69,7 +121,7 @@ let timid () =
   { name = "timid"; resolve = (fun ~me:_ ~other:_ ~attempts:_ ~now:_ -> Abort_self) }
 
 let polite ?(max_tries = 6) ?(base = 1) ~seed () =
-  let prng = Prng.create seed in
+  let prng = Jitter.create seed in
   {
     name = "backoff";
     resolve =
@@ -77,27 +129,28 @@ let polite ?(max_tries = 6) ?(base = 1) ~seed () =
         if attempts >= max_tries then Abort_other
         else
           let d = base * (1 lsl min attempts 10) in
-          Backoff (d + Prng.int prng (max 1 d)));
+          backoff (d + Jitter.int prng (max 1 d)));
   }
 
 let randomized ~seed () =
-  let prng = Prng.create seed in
+  let prng = Jitter.create seed in
   {
     name = "randomized";
     resolve =
       (fun ~me:_ ~other:_ ~attempts:_ ~now:_ ->
-        if Prng.bool prng then Abort_other else Backoff (1 + Prng.int prng 4));
+        if Jitter.bool prng then Abort_other else backoff (1 + Jitter.int prng 4));
   }
 
-let karma ?(backoff = 2) () =
+let karma ?(backoff_ticks = 2) () =
   {
     name = "karma";
     resolve =
       (fun ~me ~other ~attempts ~now:_ ->
-        if !(me.priority) + attempts > !(other.priority) then Abort_other else Backoff backoff);
+        if !(me.priority) + attempts > !(other.priority) then Abort_other
+        else backoff backoff_ticks);
   }
 
-let eruption ?(backoff = 2) () =
+let eruption ?(backoff_ticks = 2) () =
   {
     name = "eruption";
     resolve =
@@ -105,7 +158,7 @@ let eruption ?(backoff = 2) () =
         if !(me.priority) + attempts > !(other.priority) then Abort_other
         else begin
           if attempts = 0 then other.priority := !(other.priority) + max 1 !(me.priority);
-          Backoff backoff
+          backoff backoff_ticks
         end);
   }
 
@@ -120,7 +173,7 @@ let kindergarten ?(rounds = 2) () =
           Hashtbl.replace deferred other.timestamp ();
           Abort_self
         end
-        else Backoff 1);
+        else backoff 1);
   }
 
 let timestamp ?(quantum = 2) ?(max_quanta = 4) () =
@@ -130,7 +183,7 @@ let timestamp ?(quantum = 2) ?(max_quanta = 4) () =
       (fun ~me ~other ~attempts ~now:_ ->
         if older_than me other then Abort_other
         else if attempts >= max_quanta then Abort_other
-        else Block { timeout = Some quantum });
+        else block_for quantum);
   }
 
 let killblocked ?(max_tries = 3) () =
@@ -140,11 +193,11 @@ let killblocked ?(max_tries = 3) () =
       (fun ~me:_ ~other ~attempts ~now:_ ->
         if other.waiting then Abort_other
         else if attempts >= max_tries then Abort_other
-        else Backoff 1);
+        else backoff 1);
   }
 
 let polka ?(base = 1) ~seed () =
-  let prng = Prng.create seed in
+  let prng = Jitter.create seed in
   {
     name = "polka";
     resolve =
@@ -153,7 +206,7 @@ let polka ?(base = 1) ~seed () =
         if attempts >= max 1 gap then Abort_other
         else
           let d = base * (1 lsl min attempts 10) in
-          Backoff (d + Prng.int prng (max 1 d)));
+          backoff (d + Jitter.int prng (max 1 d)));
   }
 
 (** Randomized-priority greedy — a stab at the paper's closing open
@@ -170,21 +223,27 @@ let polka ?(base = 1) ~seed () =
     one transaction's commit time. *)
 let randomized_greedy ~seed () =
   let rank ts =
-    (* splitmix-style keyed hash of the stable timestamp. *)
-    let z = Int64.add (Int64.of_int ts) (Int64.mul (Int64.of_int (seed + 1)) 0x9E3779B97F4A7C15L) in
-    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
-    Int64.to_int (Int64.logand (Int64.logxor z (Int64.shift_right_logical z 31)) 0x3FFFFFFFFFFFFFFFL)
+    (* splitmix-style keyed hash of the stable timestamp, in plain int
+       arithmetic (boxed Int64 mixing would allocate per resolve). *)
+    let z = (ts + ((seed + 1) * 0x9E3779B97F4A7C1)) land max_int in
+    let z = (z lxor (z lsr 30)) * 0xBF58476D1CE4E5B land max_int in
+    let z = (z lxor (z lsr 27)) * 0x94D049BB133111E land max_int in
+    (z lxor (z lsr 31)) land 0x3FFFFFFFFFFFFFF
   in
   {
     name = "rand-greedy";
     resolve =
       (fun ~me ~other ~attempts:_ ~now:_ ->
         (* Ties broken by the underlying timestamp, so a strict total
-           order survives hashing collisions. *)
-        let rm = (rank me.timestamp, me.timestamp)
-        and ro = (rank other.timestamp, other.timestamp) in
-        if rm < ro || other.waiting then Abort_other else Block { timeout = None });
+           order survives hashing collisions; compared field-wise so no
+           tuple is built per resolve. *)
+        let rm = rank me.timestamp and ro = rank other.timestamp in
+        if
+          rm < ro
+          || (rm = ro && me.timestamp < other.timestamp)
+          || other.waiting
+        then Abort_other
+        else block_forever);
   }
 
 (** Unbounded FIFO waiting: the manager the paper calls prone to
@@ -197,8 +256,30 @@ let queue_on_block ?(mode = `Bounded) () =
     resolve =
       (fun ~me:_ ~other:_ ~attempts ~now:_ ->
         match mode with
-        | `Unbounded -> Block { timeout = None }
-        | `Bounded -> if attempts >= 3 then Abort_other else Block { timeout = Some 8 });
+        | `Unbounded -> block_forever
+        | `Bounded -> if attempts >= 3 then Abort_other else block_for 8);
+  }
+
+(** Tick-clock analogue of [Tcm_core.Sto_adaptive].  The live manager
+    counts opens per attempt to decide when to leave the timid phase;
+    here the engine's priority counter (reset per transaction,
+    incremented per open, retained across aborts like karma's
+    investment) is the phase proxy, and the stable arrival timestamp
+    stands in for the acquired global stamp — a still-timid enemy
+    (below threshold) reads as youngest of all, exactly like the
+    [max_int] stamp sentinel.  The fight-phase wait is randomized and
+    scaled by the own abort count, bounded by [max_rounds]. *)
+let sto_adaptive ?(threshold = 3) ?(max_rounds = 8) ~seed () =
+  let prng = Jitter.create seed in
+  {
+    name = "sto-adaptive";
+    resolve =
+      (fun ~me ~other ~attempts ~now:_ ->
+        if !(me.priority) < threshold then Abort_self
+        else if !(other.priority) < threshold then Abort_other
+        else if older_than me other then Abort_other
+        else if attempts >= max_rounds then Abort_self
+        else backoff (1 + Jitter.int prng (min me.aborts 10 + 1)));
   }
 
 (** Everything comparable, for sweeps.  [seed] feeds the randomized
@@ -219,6 +300,7 @@ let all ~seed () =
     polka ~seed ();
     queue_on_block ();
     timid ();
+    sto_adaptive ~seed ();
   ]
 
 (** The paper's Figure 1–4 line-up. *)

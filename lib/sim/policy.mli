@@ -4,18 +4,31 @@
 
 type view = {
   id : int;
-  timestamp : int;  (** Smaller = older = higher priority. *)
-  waiting : bool;
+  mutable timestamp : int;  (** Smaller = older = higher priority. *)
+  mutable waiting : bool;
   priority : int ref;  (** Shared with the engine; Eruption mutates it. *)
-  aborts : int;
-  opens : int;
+  mutable aborts : int;
+  mutable opens : int;
 }
+(** Mutable so the engine can keep one cached view per simulated thread
+    and refresh it in place before each resolve (no per-conflict
+    allocation).  Policies read fields during [resolve] only — a view
+    must never be retained across calls. *)
 
 type decision =
   | Abort_other
   | Abort_self
   | Block of { timeout : int option }  (** Ticks. *)
   | Backoff of int  (** Ticks. *)
+
+val backoff : int -> decision
+(** Preallocated [Backoff] for tick durations below an internal bound
+    (larger durations fall back to a fresh record). *)
+
+val block_for : int -> decision
+(** Preallocated bounded [Block], likewise. *)
+
+val block_forever : decision
 
 module Prng = Tcm_stm.Splitmix
 
@@ -32,8 +45,8 @@ val aggressive : unit -> t
 val timid : unit -> t
 val polite : ?max_tries:int -> ?base:int -> seed:int -> unit -> t
 val randomized : seed:int -> unit -> t
-val karma : ?backoff:int -> unit -> t
-val eruption : ?backoff:int -> unit -> t
+val karma : ?backoff_ticks:int -> unit -> t
+val eruption : ?backoff_ticks:int -> unit -> t
 val kindergarten : ?rounds:int -> unit -> t
 val timestamp : ?quantum:int -> ?max_quanta:int -> unit -> t
 val killblocked : ?max_tries:int -> unit -> t
@@ -48,6 +61,13 @@ val randomized_greedy : seed:int -> unit -> t
 val queue_on_block : ?mode:[ `Bounded | `Unbounded ] -> unit -> t
 (** [`Unbounded] reproduces the dependency-cycle livelock the paper
     warns about; [`Bounded] matches the defensive real manager. *)
+
+val sto_adaptive : ?threshold:int -> ?max_rounds:int -> seed:int -> unit -> t
+(** Tick-clock analogue of [Tcm_core.Sto_adaptive]: abort self while
+    the current transaction's investment (priority counter) is below
+    [threshold], then fight greedy-by-age — still-timid enemies read
+    as youngest — with a randomized, abort-scaled, [max_rounds]-bounded
+    wait. *)
 
 val all : seed:int -> unit -> t list
 

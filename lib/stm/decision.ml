@@ -24,3 +24,49 @@ let pp fmt = function
   | Block { timeout_usec = None } -> Format.pp_print_string fmt "block"
   | Block { timeout_usec = Some t } -> Format.fprintf fmt "block(%dus)" t
   | Backoff { usec } -> Format.fprintf fmt "backoff(%dus)" usec
+
+(* ------------------------------------------------------------------ *)
+(* Flyweights                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* [Block] and [Backoff] are the two non-constant constructors, so
+   building one on the consult path costs minor words — the last
+   allocation the contention managers were still making per conflict.
+   The constructors below return preallocated records instead:
+   durations are snapped onto a quantization grid (exact up to
+   [exact_max], then [coarse_step]-spaced up to [max_usec]) and each
+   grid point's record is built once at module init.  The grid loses
+   at most [coarse_step - 1] us off a duration that is jitter-randomized
+   anyway; both runtime backends share the very same records, so
+   cross-backend verdict equality is unaffected. *)
+
+let exact_max = 4_096
+let coarse_step = 128
+let coarse_n = 1_024
+let max_usec = exact_max + ((coarse_n - 1) * coarse_step)
+
+let quantize usec =
+  if usec <= 0 then 0
+  else if usec < exact_max then usec
+  else exact_max + (min (coarse_n - 1) ((usec - exact_max) / coarse_step) * coarse_step)
+
+let backoff_exact = Array.init exact_max (fun usec -> Backoff { usec })
+let backoff_coarse =
+  Array.init coarse_n (fun i -> Backoff { usec = exact_max + (i * coarse_step) })
+let block_exact =
+  Array.init exact_max (fun t -> Block { timeout_usec = Some t })
+let block_coarse =
+  Array.init coarse_n (fun i ->
+      Block { timeout_usec = Some (exact_max + (i * coarse_step)) })
+
+let backoff ~usec =
+  if usec < exact_max then backoff_exact.(max 0 usec)
+  else backoff_coarse.(min (coarse_n - 1) ((usec - exact_max) / coarse_step))
+
+let block ~usec =
+  if usec < exact_max then block_exact.(max 0 usec)
+  else block_coarse.(min (coarse_n - 1) ((usec - exact_max) / coarse_step))
+
+let abort_other = Abort_other
+let abort_self = Abort_self
+let block_forever = Block { timeout_usec = None }

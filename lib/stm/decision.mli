@@ -16,3 +16,36 @@ type t =
   | Backoff of { usec : int }  (** Sleep, then ask again. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {1 Flyweights}
+
+    Preallocated verdicts for the consult path.  [Block] and [Backoff]
+    are non-constant constructors, so building one per conflict costs
+    minor words; managers use the constructors below instead, which
+    return records built once at module init.  Durations are snapped
+    onto a quantization grid — exact below [exact_max] microseconds,
+    then [coarse_step]-spaced — which loses at most [coarse_step - 1]
+    us off durations that the managers jitter-randomize anyway. *)
+
+val abort_other : t
+val abort_self : t
+
+val block_forever : t
+(** [Block { timeout_usec = None }]. *)
+
+val backoff : usec:int -> t
+(** Preallocated [Backoff] with the duration quantized (see
+    {!quantize}); never allocates. *)
+
+val block : usec:int -> t
+(** Preallocated bounded [Block], quantized likewise; never
+    allocates. *)
+
+val quantize : int -> int
+(** The grid: identity on [0 .. exact_max), then rounded down to a
+    [coarse_step] multiple, clamped at [max_usec].  Exposed so tests
+    can state expected durations exactly. *)
+
+val exact_max : int
+val coarse_step : int
+val max_usec : int

@@ -38,6 +38,14 @@ type shared = {
       (** Number of times this logical transaction was aborted. *)
   mutable opens : int;
       (** Number of successful object opens over all attempts. *)
+  mutable cm_stamp : int;
+      (** Manager-owned priority stamp, published through the shared
+          descriptor so enemies can read it (the decentralised
+          "public field" of Section 2).  [max_int] is the reserved
+          "no stamp yet" sentinel; the STO-style adaptive manager
+          stores its acquired global timestamp here once a transaction
+          leaves the timid phase.  Plain int: advisory, racy-snapshot
+          semantics like [priority]. *)
 }
 
 type t = {
@@ -50,7 +58,13 @@ type t = {
 }
 
 let new_shared () =
-  { timestamp = Txid.next_timestamp (); priority = 0; aborts = 0; opens = 0 }
+  {
+    timestamp = Txid.next_timestamp ();
+    priority = 0;
+    aborts = 0;
+    opens = 0;
+    cm_stamp = max_int;
+  }
 
 let new_attempt shared =
   {
@@ -63,7 +77,9 @@ let new_attempt shared =
 (** Sentinel owner used for the initial locator of every tvar: a
     permanently committed transaction. *)
 let committed_sentinel =
-  let shared = { timestamp = 0; priority = 0; aborts = 0; opens = 0 } in
+  let shared =
+    { timestamp = 0; priority = 0; aborts = 0; opens = 0; cm_stamp = 0 }
+  in
   {
     attempt_id = 0;
     status = Atomic.make Status.Committed;
@@ -84,6 +100,11 @@ let timestamp t = t.shared.timestamp
 let priority t = t.shared.priority
 let abort_count t = t.shared.aborts
 let open_count t = t.shared.opens
+let cm_stamp t = t.shared.cm_stamp
+let set_cm_stamp t v = t.shared.cm_stamp <- v
+
+(** Reserved [cm_stamp] value meaning "no manager stamp acquired". *)
+let no_cm_stamp = max_int
 
 (** [older_than a b] is true when [a] has higher (older) priority. *)
 let older_than a b = timestamp a < timestamp b

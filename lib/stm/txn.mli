@@ -22,6 +22,9 @@ type shared = {
   mutable priority : int;  (** Karma-style accumulated priority. *)
   mutable aborts : int;  (** Times this logical transaction aborted. *)
   mutable opens : int;  (** Successful opens across attempts. *)
+  mutable cm_stamp : int;
+      (** Manager-owned priority stamp published to enemies;
+          [no_cm_stamp] until a manager assigns one. *)
 }
 
 type t = {
@@ -50,6 +53,15 @@ val timestamp : t -> int
 val priority : t -> int
 val abort_count : t -> int
 val open_count : t -> int
+
+val cm_stamp : t -> int
+(** The manager-owned priority stamp (see {!shared}); [no_cm_stamp]
+    while none has been acquired. *)
+
+val set_cm_stamp : t -> int -> unit
+
+val no_cm_stamp : int
+(** Reserved [cm_stamp] sentinel ([max_int]): no stamp acquired. *)
 
 val older_than : t -> t -> bool
 (** [older_than a b]: [a] has the earlier timestamp (higher priority). *)

@@ -422,6 +422,23 @@ let json_of_obs_figure ~(row : Tcm_obs.Ledger.row)
              hot) );
     ]
 
+(* tcm-bench/6: consult-path microbench figures — one entry per
+   (backend, manager), latency and minor-heap allocation per resolve
+   from the consult-cost probe (backend "sim" rows cover the simulator
+   policy table). *)
+let json_of_consult_figure (r : Consult_cost.row) : Json.t =
+  Json.Obj
+    [
+      ("id", Json.Str "consult-cost");
+      ("title", Json.Str "consult-path cost per resolve");
+      ("kind", Json.Str "consult");
+      ("backend", Json.Str r.Consult_cost.backend);
+      ("manager", Json.Str r.Consult_cost.manager);
+      ("ns_per_resolve", Json.Float r.Consult_cost.ns_per_resolve);
+      ( "minor_words_per_resolve",
+        Json.Float r.Consult_cost.minor_words_per_resolve );
+    ]
+
 (* Schema lineage of the bench dump:
    - tcm-bench/1: throughput + latency + abort breakdown;
    - tcm-bench/2: adds per-window GC words (minor/major);
@@ -432,13 +449,23 @@ let json_of_obs_figure ~(row : Tcm_obs.Ledger.row)
    - tcm-bench/5: service entries are self-describing about
      observability (trace_drops, metrics_enabled, trace_enabled) and
      the dump may carry kind = "obs" conflict-attribution entries
-     (per-family priced wasted work + hot-key list from tcm.obs).
+     (per-family priced wasted work + hot-key list from tcm.obs);
+   - tcm-bench/6: the dump may carry kind = "consult" entries — the
+     consult-cost microbench's ns + minor words per resolve, per
+     (backend | "sim") × manager.
    Readers accept every shipped version; the writer always emits the
    newest. *)
-let bench_schema = "tcm-bench/5"
+let bench_schema = "tcm-bench/6"
 
 let bench_schemas =
-  [ "tcm-bench/1"; "tcm-bench/2"; "tcm-bench/3"; "tcm-bench/4"; bench_schema ]
+  [
+    "tcm-bench/1";
+    "tcm-bench/2";
+    "tcm-bench/3";
+    "tcm-bench/4";
+    "tcm-bench/5";
+    bench_schema;
+  ]
 
 let bench_schema_of (j : Json.t) : (string, string) result =
   match Json.member "schema" j with
@@ -455,10 +482,12 @@ let bench_schema_of (j : Json.t) : (string, string) result =
     one figure entry per (figure, backend) pair.  [service_figures]
     are open-loop service summaries appended to the same "figures"
     array with [kind = "service"]; [obs_figures] are conflict-
-    attribution entries appended with [kind = "obs"].  [extra] lets
-    the caller attach more top-level sections. *)
-let bench_json ?(extra = []) ?(service_figures = []) ?(obs_figures = []) ~mode
-    ~duration_s ~seed
+    attribution entries appended with [kind = "obs"];
+    [consult_figures] are consult-cost microbench rows appended with
+    [kind = "consult"].  [extra] lets the caller attach more top-level
+    sections. *)
+let bench_json ?(extra = []) ?(service_figures = []) ?(obs_figures = [])
+    ?(consult_figures = []) ~mode ~duration_s ~seed
     (figures : (Figures.spec * string * Figures.detailed_row list) list) : string =
   Json.to_string
     (Json.Obj
@@ -473,7 +502,7 @@ let bench_json ?(extra = []) ?(service_figures = []) ?(obs_figures = []) ~mode
                  (fun (spec, backend, rows) -> json_of_detailed_figure ~backend spec rows)
                  figures
               @ List.map json_of_service_figure service_figures
-              @ List.map (fun (row, hot) -> json_of_obs_figure ~row ~hot) obs_figures)
-          );
+              @ List.map (fun (row, hot) -> json_of_obs_figure ~row ~hot) obs_figures
+              @ List.map json_of_consult_figure consult_figures) );
         ]
        @ extra))

@@ -54,15 +54,20 @@ val json_of_obs_figure :
 (** One conflict-attribution entry ([kind = "obs"]): a ledger family's
     priced wasted work plus its hottest conflict keys. *)
 
+val json_of_consult_figure : Consult_cost.row -> Json.t
+(** One consult-cost entry ([kind = "consult"]): ns and minor words
+    per resolve for a (backend | "sim") × manager pair. *)
+
 val bench_schema : string
-(** The schema the writer emits: ["tcm-bench/5"]. *)
+(** The schema the writer emits: ["tcm-bench/6"]. *)
 
 val bench_schemas : string list
 (** Every schema a reader must accept: tcm-bench/1 (original),
     /2 (adds GC words), /3 (adds the per-figure backend field),
     /4 (adds the per-figure "kind" discriminator and open-loop
     service figures), /5 (adds observability self-description on
-    service figures and kind = "obs" attribution entries). *)
+    service figures and kind = "obs" attribution entries),
+    /6 (adds kind = "consult" consult-cost microbench entries). *)
 
 val bench_schema_of : Json.t -> (string, string) result
 (** Validate a parsed bench dump's schema header.  [Error _] when the
@@ -74,6 +79,7 @@ val bench_json :
   ?extra:(string * Json.t) list ->
   ?service_figures:Tcm_service.Service.summary list ->
   ?obs_figures:(Tcm_obs.Ledger.row * Tcm_obs.Sketch.entry list) list ->
+  ?consult_figures:Consult_cost.row list ->
   mode:string ->
   duration_s:float ->
   seed:int ->
@@ -82,5 +88,6 @@ val bench_json :
 (** The bench's machine-readable dump ([--json FILE]): schema header
     plus one entry per (figure, backend-name) pair with
     per-thread-count, per-manager outcomes; [service_figures] append
-    open-loop service entries and [obs_figures] conflict-attribution
-    entries to the same figures array. *)
+    open-loop service entries, [obs_figures] conflict-attribution
+    entries and [consult_figures] consult-cost entries to the same
+    figures array. *)

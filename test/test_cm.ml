@@ -237,6 +237,99 @@ let t_polka () =
     (resolve (module Polka) st ~me:a ~other:b ~attempts:1)
 
 (* ------------------------------------------------------------------ *)
+(* Sto-adaptive                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Drive a stamped fight-phase transaction the way the runtime would:
+   a fresh attempt followed by enough opens to cross the threshold. *)
+let sto_warm st me =
+  Sto_adaptive.begin_attempt st me;
+  for _ = 1 to Sto_adaptive.ts_threshold do
+    Sto_adaptive.opened st me
+  done
+
+let t_sto_timid () =
+  let st = Sto_adaptive.create () in
+  let older, younger = fresh_pair () in
+  Sto_adaptive.begin_attempt st older;
+  (* Below the open threshold the transaction concedes every conflict,
+     seniority notwithstanding. *)
+  check_abort_self "timid: older concedes too"
+    (resolve (module Sto_adaptive) st ~me:older ~other:younger ~attempts:0);
+  check_abort_self "timid: younger concedes"
+    (resolve (module Sto_adaptive) st ~me:younger ~other:older ~attempts:0);
+  for _ = 1 to Sto_adaptive.ts_threshold - 1 do
+    Sto_adaptive.opened st older
+  done;
+  check_abort_self "still timid one open short of the threshold"
+    (resolve (module Sto_adaptive) st ~me:older ~other:younger ~attempts:0)
+
+let t_sto_phase_transition () =
+  let st = Sto_adaptive.create () in
+  let me, _ = fresh_pair () in
+  Sto_adaptive.begin_attempt st me;
+  Alcotest.(check bool) "no stamp while timid" true
+    (Txn.cm_stamp me = Txn.no_cm_stamp);
+  for _ = 1 to Sto_adaptive.ts_threshold do
+    Sto_adaptive.opened st me
+  done;
+  Alcotest.(check bool) "threshold crossing buys a stamp" true
+    (Txn.cm_stamp me <> Txn.no_cm_stamp);
+  let stamp = Txn.cm_stamp me in
+  Sto_adaptive.opened st me;
+  Alcotest.(check int) "stamp is stable across further opens" stamp
+    (Txn.cm_stamp me);
+  (* A restart begins timid again. *)
+  Sto_adaptive.begin_attempt st me;
+  Alcotest.(check bool) "restart drops the stamp" true
+    (Txn.cm_stamp me = Txn.no_cm_stamp)
+
+let t_sto_fight_verdicts () =
+  let st = Sto_adaptive.create () in
+  let me, other = fresh_pair () in
+  sto_warm st me;
+  check_abort_other "stamped vs timid enemy: abort it"
+    (resolve (module Sto_adaptive) st ~me ~other ~attempts:0);
+  Txn.set_cm_stamp other (Txn.cm_stamp me + 1);
+  check_abort_other "stamped vs younger stamp: abort it"
+    (resolve (module Sto_adaptive) st ~me ~other ~attempts:0);
+  Txn.set_cm_stamp other (Txn.cm_stamp me - 1);
+  Alcotest.(check bool) "stamped vs older stamp: bounded wait" true
+    (is_backoff (resolve (module Sto_adaptive) st ~me ~other ~attempts:0));
+  check_abort_self "cycle-wait exhausted: concede"
+    (resolve (module Sto_adaptive) st ~me ~other
+       ~attempts:Sto_adaptive.max_fight_rounds);
+  ignore (Txn.try_abort other);
+  check_abort_other "dead enemies are cleared regardless of seniority"
+    (resolve (module Sto_adaptive) st ~me ~other ~attempts:0)
+
+let t_sto_succ_abort_cap () =
+  let st = Sto_adaptive.create () in
+  let me, other = fresh_pair () in
+  Alcotest.(check int) "fresh instance" 0 (Sto_adaptive.succ_aborts st);
+  for _ = 1 to Sto_adaptive.succ_aborts_max + 5 do
+    Sto_adaptive.aborted st me
+  done;
+  Alcotest.(check int) "successive-abort run is capped"
+    Sto_adaptive.succ_aborts_max
+    (Sto_adaptive.succ_aborts st);
+  (* The capped run bounds the fight-phase wait. *)
+  sto_warm st me;
+  Txn.set_cm_stamp other (Txn.cm_stamp me - 1);
+  let bound =
+    (Sto_adaptive.succ_aborts_max + 1) * Sto_adaptive.wait_usec_per_abort
+  in
+  for i = 0 to 63 do
+    match resolve (module Sto_adaptive) st ~me ~other ~attempts:(i land 3) with
+    | Decision.Backoff { usec } ->
+        if usec < 1 || usec > bound then
+          Alcotest.failf "wait %d outside [1, %d]" usec bound
+    | d -> Alcotest.failf "expected backoff, got %a" Decision.pp d
+  done;
+  Sto_adaptive.committed st me;
+  Alcotest.(check int) "commit ends the run" 0 (Sto_adaptive.succ_aborts st)
+
+(* ------------------------------------------------------------------ *)
 (* QueueOnBlock                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -261,7 +354,7 @@ let t_registry_finds_all () =
     Registry.names
 
 let t_registry_count () =
-  Alcotest.(check int) "13 managers shipped" 13 (List.length Registry.all)
+  Alcotest.(check int) "14 managers shipped" 14 (List.length Registry.all)
 
 let t_registry_case_insensitive () =
   Alcotest.(check string) "case folded" "greedy" (Cm_intf.name (Registry.find_exn "GREEDY"))
@@ -298,6 +391,7 @@ let t_registry_complete () =
       (module Eruption);
       (module Polka);
       (module Queue_on_block);
+      (module Sto_adaptive);
     ]
   in
   Alcotest.(check int) "test list covers the registry" (List.length Registry.all)
@@ -409,6 +503,34 @@ let t_backends_agree () =
           (List.combine via_locator via_tl2))
     Registry.all
 
+(* The registry-wide duel above exercises sto-adaptive only in its
+   timid phase (no opens are replayed, so both backends deterministically
+   see Abort_self).  Stamp both parties by hand to duel the fight phase
+   too: verdict classes are deterministic given the stamps, with
+   agreement up to the jittered backoff duration as usual. *)
+let t_sto_fight_cross_backend () =
+  let factory : Cm_intf.factory = (module Sto_adaptive) in
+  let older, younger = fresh_pair () in
+  Txn.set_cm_stamp older 1;
+  Txn.set_cm_stamp younger 2;
+  let via_locator =
+    replay (Runtime.consult (Cm_intf.instantiate factory)) ~older ~younger
+  in
+  let via_tl2 =
+    replay (Tl2.consult (Cm_intf.instantiate factory)) ~older ~younger
+  in
+  let agree a b =
+    match (a, b) with
+    | Decision.Backoff _, Decision.Backoff _ -> true
+    | a, b -> a = b
+  in
+  List.iteri
+    (fun i (dl, dt) ->
+      if not (agree dl dt) then
+        Alcotest.failf "fight step %d disagrees: locator %a, tl2 %a" i
+          Decision.pp dl Decision.pp dt)
+    (List.combine via_locator via_tl2)
+
 (* The TL2 backend executes verdicts at commit-time lock acquisition;
    pin the verdict -> lock-action mapping so a refactor cannot quietly
    turn "abort the enemy" into "wait for the enemy". *)
@@ -424,6 +546,108 @@ let t_tl2_action_mapping () =
     (action_of_decision (Decision.Block { timeout_usec = None }) = Spin_then_retry);
   Alcotest.(check bool) "Backoff sleeps then retries" true
     (action_of_decision (Decision.Backoff { usec = 50 }) = Backoff_then_retry)
+
+(* ------------------------------------------------------------------ *)
+(* Cm_state slab lifecycle                                             *)
+(* ------------------------------------------------------------------ *)
+
+let t_slab_slots_scrubbed () =
+  let words = 6 in
+  let s = Cm_util.Cm_state.acquire ~words in
+  for i = 0 to words - 1 do
+    Alcotest.(check int) "fresh slot is zero" 0 (Cm_util.Cm_state.get s i);
+    Cm_util.Cm_state.set s i (1000 + i)
+  done;
+  Cm_util.Cm_state.release s;
+  (* Same stride: the freelist hands the storage back — it must carry
+     nothing of the previous tenant. *)
+  let s2 = Cm_util.Cm_state.acquire ~words in
+  for i = 0 to words - 1 do
+    Alcotest.(check int) "recycled slot is scrubbed" 0 (Cm_util.Cm_state.get s2 i)
+  done;
+  Cm_util.Cm_state.release s2
+
+let t_slab_release_idempotent () =
+  let s = Cm_util.Cm_state.acquire ~words:4 in
+  Cm_util.Cm_state.release s;
+  let after_first = Cm_util.Cm_state.live_slots () in
+  (* A second release (the domain-exit hook firing after an explicit
+     release) must not double-free the slot into the freelist. *)
+  Cm_util.Cm_state.release s;
+  Alcotest.(check int) "double release is a no-op" after_first
+    (Cm_util.Cm_state.live_slots ())
+
+let t_slab_domain_exit_releases () =
+  let baseline = Cm_util.Cm_state.live_slots () in
+  let d =
+    Domain.spawn (fun () ->
+        (* A manager instance's worth of state, tied to this domain the
+           way the runtime's DLS initializer ties it. *)
+        let s = Cm_util.Cm_state.acquire ~words:8 in
+        Cm_util.Cm_state.set s 0 42;
+        Cm_util.Cm_state.live_slots ())
+  in
+  let inside = Domain.join d in
+  Alcotest.(check int) "slot live while the domain runs" (baseline + 1) inside;
+  Alcotest.(check int) "domain exit released the slot" baseline
+    (Cm_util.Cm_state.live_slots ())
+
+let t_slab_no_cross_domain_bleed () =
+  let words = 6 and rounds = 2_000 in
+  let worker tag () =
+    let s = Cm_util.Cm_state.acquire ~words in
+    let ok = ref true in
+    for _ = 1 to rounds do
+      for i = 0 to words - 1 do
+        Cm_util.Cm_state.set s i tag
+      done;
+      Domain.cpu_relax ();
+      for i = 0 to words - 1 do
+        if Cm_util.Cm_state.get s i <> tag then ok := false
+      done
+    done;
+    !ok
+  in
+  let domains = List.init 4 (fun d -> Domain.spawn (worker (d + 1))) in
+  List.iteri
+    (fun d dom ->
+      Alcotest.(check bool)
+        (Printf.sprintf "domain %d sees only its own writes" d)
+        true (Domain.join dom))
+    domains
+
+let t_table_ops () =
+  let t = Cm_util.Table.create ~cap:16 in
+  Alcotest.(check int) "miss returns default" (-1)
+    (Cm_util.Table.find t 5 ~default:(-1));
+  Cm_util.Table.put t 5 99;
+  Cm_util.Table.put t 7 11;
+  Alcotest.(check int) "hit" 99 (Cm_util.Table.find t 5 ~default:(-1));
+  Cm_util.Table.put t 5 100;
+  Alcotest.(check int) "put updates in place" 100
+    (Cm_util.Table.find t 5 ~default:(-1));
+  Alcotest.(check bool) "mem" true (Cm_util.Table.mem t 7);
+  Cm_util.Table.reset t;
+  Alcotest.(check bool) "reset forgets everything" false
+    (Cm_util.Table.mem t 5);
+  Cm_util.Table.put t 5 1;
+  Alcotest.(check int) "usable after reset" 1
+    (Cm_util.Table.find t 5 ~default:(-1))
+
+let t_table_bounded () =
+  (* Overfill with colliding keys: the bounded window must keep the
+     table usable (dropped memories are benign advisory state), never
+     loop or grow. *)
+  let cap = 16 in
+  let t = Cm_util.Table.create ~cap in
+  for k = 0 to 8 * cap do
+    Cm_util.Table.put t k k
+  done;
+  let survivors = ref 0 in
+  for k = 0 to 8 * cap do
+    if Cm_util.Table.find t k ~default:(-1) = k then incr survivors
+  done;
+  Alcotest.(check bool) "some memories survive pressure" true (!survivors > 0)
 
 let () =
   Alcotest.run "cm"
@@ -464,6 +688,14 @@ let () =
           Alcotest.test_case "polka gap backoffs" `Quick t_polka;
         ] );
       ("queueonblock", [ Alcotest.test_case "bounded FIFO waiting" `Quick t_queue_on_block ]);
+      ( "sto-adaptive",
+        [
+          Alcotest.test_case "timid phase concedes" `Quick t_sto_timid;
+          Alcotest.test_case "threshold buys a stamp" `Quick t_sto_phase_transition;
+          Alcotest.test_case "fight verdicts" `Quick t_sto_fight_verdicts;
+          Alcotest.test_case "successive-abort cap bounds the wait" `Quick
+            t_sto_succ_abort_cap;
+        ] );
       ( "registry",
         [
           Alcotest.test_case "finds every manager" `Quick t_registry_finds_all;
@@ -478,6 +710,17 @@ let () =
       ( "cross-backend",
         [
           Alcotest.test_case "verdicts agree locator vs tl2" `Quick t_backends_agree;
+          Alcotest.test_case "sto-adaptive fight phase agrees" `Quick
+            t_sto_fight_cross_backend;
           Alcotest.test_case "tl2 verdict-action mapping" `Quick t_tl2_action_mapping;
+        ] );
+      ( "cm-state",
+        [
+          Alcotest.test_case "slots scrubbed on reuse" `Quick t_slab_slots_scrubbed;
+          Alcotest.test_case "release is idempotent" `Quick t_slab_release_idempotent;
+          Alcotest.test_case "domain exit releases" `Quick t_slab_domain_exit_releases;
+          Alcotest.test_case "no cross-domain bleed" `Quick t_slab_no_cross_domain_bleed;
+          Alcotest.test_case "table round-trip and reset" `Quick t_table_ops;
+          Alcotest.test_case "table bounded under pressure" `Quick t_table_bounded;
         ] );
     ]

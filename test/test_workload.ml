@@ -280,11 +280,25 @@ let t_bench_schema_accepts_all_versions () =
       match Report.bench_schema_of (Report.Json.Obj [ ("schema", Report.Json.Str v) ]) with
       | Ok got -> Alcotest.(check string) ("accepts " ^ v) v got
       | Error e -> Alcotest.failf "%s rejected: %s" v e)
-    [ "tcm-bench/1"; "tcm-bench/2"; "tcm-bench/3"; "tcm-bench/4"; "tcm-bench/5" ];
+    [
+      "tcm-bench/1";
+      "tcm-bench/2";
+      "tcm-bench/3";
+      "tcm-bench/4";
+      "tcm-bench/5";
+      "tcm-bench/6";
+    ];
   Alcotest.(check (list string)) "the accept list is exactly the lineage"
-    [ "tcm-bench/1"; "tcm-bench/2"; "tcm-bench/3"; "tcm-bench/4"; "tcm-bench/5" ]
+    [
+      "tcm-bench/1";
+      "tcm-bench/2";
+      "tcm-bench/3";
+      "tcm-bench/4";
+      "tcm-bench/5";
+      "tcm-bench/6";
+    ]
     Report.bench_schemas;
-  Alcotest.(check string) "writer emits the newest" "tcm-bench/5" Report.bench_schema
+  Alcotest.(check string) "writer emits the newest" "tcm-bench/6" Report.bench_schema
 
 let t_bench_schema_rejects () =
   let open Report.Json in
@@ -366,11 +380,20 @@ let t_bench_json_emits_current_schema () =
     }
   in
   let fake_hot = [ { Tcm_obs.Sketch.key = 17; count = 5; err = 1 } ] in
+  let fake_consult_row : Consult_cost.row =
+    {
+      backend = "tl2";
+      manager = "greedy";
+      ns_per_resolve = 12.5;
+      minor_words_per_resolve = 0.;
+    }
+  in
   let doc =
     of_string
       (Report.bench_json ~mode:"real" ~duration_s:0.02 ~seed:42
          ~service_figures:[ fake_service_summary () ]
          ~obs_figures:[ (fake_obs_row, fake_hot) ]
+         ~consult_figures:[ fake_consult_row ]
          [ (Figures.fig1, "tl2", rows) ])
   in
   (match Report.bench_schema_of doc with
@@ -429,7 +452,24 @@ let t_bench_json_emits_current_schema () =
               check_bool "hot key round-trips" true
                 (member "key" h = Some (Int 17) && member "count" h = Some (Int 5))
           | _ -> Alcotest.fail "obs entry has no hot_keys array")
-      | _ -> Alcotest.fail "expected exactly one kind=obs figure")
+      | _ -> Alcotest.fail "expected exactly one kind=obs figure");
+      (* tcm-bench/6: kind=consult consult-cost entries. *)
+      (match
+         List.filter (fun f -> member "kind" f = Some (Str "consult")) figs
+       with
+      | [ c ] ->
+          List.iter
+            (fun (k, v) ->
+              check_bool (k ^ " on consult entry") true (member k c = Some v))
+            [
+              ("backend", Str "tl2");
+              ("manager", Str "greedy");
+              ("ns_per_resolve", Float 12.5);
+              (* A zero float prints as "0" (%.6g) and reparses as Int —
+                 and zero is exactly what the allocation gate enforces. *)
+              ("minor_words_per_resolve", Int 0);
+            ]
+      | _ -> Alcotest.fail "expected exactly one kind=consult figure")
   | _ -> Alcotest.fail "dump has no figures array"
 
 let () =
