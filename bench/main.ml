@@ -559,6 +559,66 @@ let run_service_sweep () =
   service_summaries := summaries
 
 (* ------------------------------------------------------------------ *)
+(* Offered-load rate ladder (rides on --service)                       *)
+(* ------------------------------------------------------------------ *)
+
+let ladder_curves : Tcm_service.Ladder.curve list ref = ref []
+
+(* Saturation sweep: fixed-rate Poisson rungs rising past the knee on
+   every backend × manager pair.  Quick mode runs the 3-rung
+   mini-ladder on greedy only (the smoke configuration); full mode
+   runs the 6-rung ladder over the paper's five managers. *)
+let run_rate_ladder () =
+  let rates =
+    if quick then Tcm_service.Ladder.quick_rates
+    else Tcm_service.Ladder.default_rates
+  in
+  let managers =
+    if quick then [ Tcm_core.Registry.find_exn "greedy" ]
+    else Tcm_core.Registry.paper_figures
+  in
+  section
+    (Printf.sprintf
+       "tcm.service: offered-load rate ladder (%d rungs, %.0f -> %.0f rps; \
+        knee = first rung under %.0f%% attainment)"
+       (Array.length rates) rates.(0)
+       rates.(Array.length rates - 1)
+       (100. *. Tcm_service.Ladder.knee_threshold));
+  Format.fprintf fmt "%-8s %-14s %10s %12s %12s %12s %8s %8s@." "backend"
+    "manager" "rps" "attainment" "p50 (us)" "p99 (us)" "dropped" "spills";
+  let curves =
+    List.concat_map
+      (fun backend ->
+        List.map
+          (fun manager ->
+            let cfg = service_config ~backend ~manager in
+            let c = Tcm_service.Ladder.run ~rates cfg in
+            List.iter
+              (fun (r : Tcm_service.Ladder.rung) ->
+                let s = r.Tcm_service.Ladder.summary in
+                Format.fprintf fmt "%-8s %-14s %10.0f %11.1f%% %12.1f %12.1f %8d %8d@."
+                  c.Tcm_service.Ladder.backend c.Tcm_service.Ladder.manager
+                  r.Tcm_service.Ladder.offered_rps
+                  (100. *. Tcm_service.Ladder.attainment s)
+                  s.Tcm_service.Service.p50_us s.Tcm_service.Service.p99_us
+                  s.Tcm_service.Service.dropped s.Tcm_service.Service.queue_spills)
+              c.Tcm_service.Ladder.rungs;
+            (match c.Tcm_service.Ladder.knee_rps with
+            | Some r ->
+                Format.fprintf fmt "  -> knee: %s/%s saturates at %.0f rps@."
+                  c.Tcm_service.Ladder.backend c.Tcm_service.Ladder.manager r
+            | None ->
+                Format.fprintf fmt
+                  "  -> no knee: %s/%s held its SLOs on every rung@."
+                  c.Tcm_service.Ladder.backend c.Tcm_service.Ladder.manager);
+            c)
+          managers)
+      backends
+  in
+  Format.fprintf fmt "@.";
+  ladder_curves := curves
+
+(* ------------------------------------------------------------------ *)
 (* Consult-path microbench (--consult)                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -638,6 +698,7 @@ let run_json_dump path =
   let doc =
     Report.bench_json ~extra ~service_figures:!service_summaries
       ~obs_figures:!obs_figures ~consult_figures:!consult_figures
+      ~ladder_figures:!ladder_curves
       ~mode:(if quick then "quick" else "full")
       ~duration_s:real_duration ~seed figures
   in
@@ -859,7 +920,10 @@ let () =
     run_update_rate_sweep ();
     run_latency_table ()
   end;
-  if with_service then run_service_sweep ();
+  if with_service then begin
+    run_service_sweep ();
+    run_rate_ladder ()
+  end;
   if with_consult then run_consult_probe ();
   Option.iter run_trace_capture trace_path;
   Option.iter run_metrics_capture metrics_path;

@@ -47,10 +47,11 @@ let backend_arg =
 let summary_arg =
   let doc =
     "Summarize a bench JSON dump (bench/main.exe --json) instead of running figures: \
-     per-figure throughput, GC words per committed transaction (schema tcm-bench/2+) \
-     and the runtime backend per sweep (schema tcm-bench/3).  Accepts schemas \
-     tcm-bench/1, tcm-bench/2 and tcm-bench/3; refuses dumps with a missing or \
-     unknown schema header."
+     per-figure throughput, GC words per committed transaction (schema tcm-bench/2+), \
+     the runtime backend per sweep (tcm-bench/3+), open-loop service summaries \
+     (tcm-bench/4+), and the rate-ladder attainment / latency-degradation curves \
+     with the saturation knee marked (tcm-bench/7).  Accepts every shipped schema; \
+     refuses dumps with a missing or unknown schema header."
   in
   Arg.(value & opt (some file) None & info [ "summary" ] ~docv:"FILE" ~doc)
 
@@ -99,32 +100,113 @@ let summarize path =
   Printf.printf "bench dump %s (schema %s, mode %s, seed %.0f)\n" path schema
     (jstr (member "mode" j))
     (num (member "seed" j));
+  let render_sweep fig backend =
+    Printf.printf "\n== %s [%s]: %s ==\n" (jstr (member "id" fig)) backend
+      (jstr (member "title" fig));
+    Printf.printf "%8s %-14s %12s %10s %12s %12s\n" "threads" "manager" "throughput"
+      "commits" "minor-w/txn" "major-w/txn";
+    List.iter
+      (fun row ->
+        let threads = num (member "threads" row) in
+        List.iter
+          (fun m ->
+            let commits = num (member "commits" m) in
+            (* tcm-bench/1 rows have no words fields; render "-". *)
+            Printf.printf "%8.0f %-14s %12.1f %10.0f %12s %12s\n" threads
+              (jstr (member "name" m))
+              (num (member "throughput" m))
+              commits
+              (per_commit (num (member "minor_words" m)) commits)
+              (per_commit (num (member "major_words" m)) commits))
+          (jarr (member "managers" row)))
+      (jarr (member "rows" fig))
+  in
+  (* tcm-bench/4+: one line per open-loop service run. *)
+  let render_service fig backend =
+    Printf.printf
+      "\n== service [%s/%s]: %s — %.0f submitted, %.0f completed, %.0f \
+       dropped, %.0f/s, p50 %.1f us, p99 %.1f us ==\n"
+      backend
+      (jstr (member "manager" fig))
+      (jstr (member "process" fig))
+      (num (member "submitted" fig))
+      (num (member "completed" fig))
+      (num (member "dropped" fig))
+      (num (member "throughput" fig))
+      (num (member "latency_p50_us" fig))
+      (num (member "latency_p99_us" fig));
+    List.iter
+      (fun c ->
+        Printf.printf "  %-6s slo %6.0f us  attainment %6.1f%%  p99 %9.1f us\n"
+          (jstr (member "class" c))
+          (num (member "slo_us" c))
+          (100. *. num (member "slo_attainment" c))
+          (num (member "latency_p99_us" c)))
+      (jarr (member "classes" fig))
+  in
+  (* tcm-bench/7: the saturation sweep — attainment-vs-load and
+     latency-degradation curves, knee marked on its rung. *)
+  let render_ladder fig backend =
+    let knee = num (member "knee_rps" fig) in
+    Printf.printf "\n== ladder [%s/%s]: %s ==\n" backend
+      (jstr (member "manager" fig))
+      (jstr (member "title" fig));
+    Printf.printf "%12s %12s %12s %12s %9s %8s\n" "offered rps" "attainment"
+      "p50 (us)" "p99 (us)" "dropped" "spills";
+    List.iter
+      (fun r ->
+        let rps = num (member "offered_rps" r) in
+        Printf.printf "%12.0f %11.1f%% %12.1f %12.1f %9.0f %8.0f%s\n" rps
+          (100. *. num (member "attainment" r))
+          (num (member "latency_p50_us" r))
+          (num (member "latency_p99_us" r))
+          (num (member "dropped" r))
+          (num (member "queue_spills" r))
+          (if (not (Float.is_nan knee)) && rps = knee then "   <- knee" else ""))
+      (jarr (member "rungs" fig));
+    if Float.is_nan knee then
+      Printf.printf "  (no knee: every rung held its SLOs)\n"
+    else
+      Printf.printf "  knee at %.0f rps (first rung under %.0f%% attainment)\n"
+        knee
+        (100. *. num (member "knee_threshold" fig))
+  in
+  let render_obs fig backend =
+    Printf.printf
+      "== obs [%s/%s/%s] class %s: %.0f commits, %.0f aborts, wasted %.0f, \
+       price %.0f ==\n"
+      backend
+      (jstr (member "manager" fig))
+      (jstr (member "runtime" fig))
+      (jstr (member "class" fig))
+      (num (member "commits" fig))
+      (num (member "aborts" fig))
+      (num (member "wasted_work" fig))
+      (num (member "price" fig))
+  in
+  let render_consult fig backend =
+    Printf.printf "== consult [%s/%s]: %.1f ns, %.4f minor words per resolve ==\n"
+      backend
+      (jstr (member "manager" fig))
+      (num (member "ns_per_resolve" fig))
+      (num (member "minor_words_per_resolve" fig))
+  in
   List.iter
     (fun fig ->
       (* Pre-/3 dumps have no backend field; those sweeps ran on the
-         (then only) locator runtime. *)
+         (then only) locator runtime.  Pre-/4 dumps have no kind field;
+         every figure was a closed-loop sweep. *)
       let backend =
         match member "backend" fig with Some (Str b) -> b | _ -> "locator"
       in
-      Printf.printf "\n== %s [%s]: %s ==\n" (jstr (member "id" fig)) backend
-        (jstr (member "title" fig));
-      Printf.printf "%8s %-14s %12s %10s %12s %12s\n" "threads" "manager" "throughput"
-        "commits" "minor-w/txn" "major-w/txn";
-      List.iter
-        (fun row ->
-          let threads = num (member "threads" row) in
-          List.iter
-            (fun m ->
-              let commits = num (member "commits" m) in
-              (* tcm-bench/1 rows have no words fields; render "-". *)
-              Printf.printf "%8.0f %-14s %12.1f %10.0f %12s %12s\n" threads
-                (jstr (member "name" m))
-                (num (member "throughput" m))
-                commits
-                (per_commit (num (member "minor_words" m)) commits)
-                (per_commit (num (member "major_words" m)) commits))
-            (jarr (member "managers" row)))
-        (jarr (member "rows" fig)))
+      match member "kind" fig with
+      | None | Some (Str "sweep") -> render_sweep fig backend
+      | Some (Str "service") -> render_service fig backend
+      | Some (Str "ladder") -> render_ladder fig backend
+      | Some (Str "obs") -> render_obs fig backend
+      | Some (Str "consult") -> render_consult fig backend
+      | Some (Str k) -> Printf.printf "\n== (unrendered figure kind %S) ==\n" k
+      | Some _ -> Printf.printf "\n== (malformed figure kind) ==\n")
     (jarr (member "figures" j))
 
 let run_figures figure mode threads duration horizon seed backend =

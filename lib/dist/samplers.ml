@@ -72,6 +72,48 @@ let exp_draw rng ~rate =
   if rate <= 0. then invalid_arg "Samplers.exp_draw: rate > 0";
   -.log (1. -. Rng.float rng) /. rate
 
+(** Precomputed arrival schedules.
+
+    The service generator's hot loop must allocate nothing per
+    request, so arrival times are drawn {e ahead of the run} into one
+    flat float array: a non-homogeneous Poisson process materialized
+    by thinning against its peak rate, exactly the draw-by-draw
+    process the open-loop generator used to sample inline — same rng
+    discipline, same distribution, zero allocation at fire time. *)
+module Schedule = struct
+  (** Arrival times (strictly increasing, in [0, horizon)) of a
+      Poisson process whose instantaneous rate is [rate_at t],
+      thinned against [peak] (an upper bound on [rate_at]).
+      Deterministic in the rng stream.
+      @raise Invalid_argument on a non-positive peak or horizon. *)
+  let arrivals rng ~rate_at ~peak ~horizon =
+    if peak <= 0. then invalid_arg "Samplers.Schedule.arrivals: peak > 0";
+    if horizon <= 0. then invalid_arg "Samplers.Schedule.arrivals: horizon > 0";
+    (* Expected count is peak·horizon before thinning; grow by
+       doubling so a bursty process with a low duty cycle doesn't
+       over-reserve. *)
+    let cap = ref (max 16 (int_of_float (1.2 *. peak *. horizon) + 8)) in
+    let buf = ref (Array.make !cap 0.) in
+    let n = ref 0 in
+    let t = ref 0. in
+    let continue = ref true in
+    while !continue do
+      t := !t +. exp_draw rng ~rate:peak;
+      if !t >= horizon then continue := false
+      else if Rng.float rng *. peak <= rate_at !t then begin
+        if !n = !cap then begin
+          let bigger = Array.make (2 * !cap) 0. in
+          Array.blit !buf 0 bigger 0 !n;
+          buf := bigger;
+          cap := 2 * !cap
+        end;
+        !buf.(!n) <- !t;
+        incr n
+      end
+    done;
+    Array.sub !buf 0 !n
+end
+
 (** Index drawn proportionally to [weights] (non-negative, at least one
     positive); a zero-weight index is never returned. *)
 let pick_weighted rng ~weights =

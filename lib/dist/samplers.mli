@@ -20,6 +20,17 @@ module Zipf : sig
   val theta : t -> float
 end
 
+module Schedule : sig
+  val arrivals :
+    Rng.t -> rate_at:(float -> float) -> peak:float -> horizon:float -> float array
+  (** Arrival times (strictly increasing, in [0, horizon)) of a
+      non-homogeneous Poisson process with instantaneous rate
+      [rate_at t], materialized ahead of time by thinning against
+      [peak] (an upper bound on [rate_at]) — the allocation-free-at-
+      fire-time form of the open-loop generator's draw.
+      @raise Invalid_argument on non-positive [peak] or [horizon]. *)
+end
+
 val exp_draw : Rng.t -> rate:float -> float
 (** Exponential inter-arrival gap of a Poisson process with [rate]
     events per unit time.  @raise Invalid_argument on [rate <= 0]. *)

@@ -174,3 +174,54 @@ let[@inline] service_drop h = Core.Counter.incr h.s_dropped
 let[@inline] service_complete h ~latency_us ~within_slo =
   Core.Histogram.observe h.s_latency latency_us;
   if within_slo then Core.Counter.incr h.s_slo_ok
+
+(* ------------------------------------------------------------------ *)
+(* Per-shard admission-queue labels (tcm.service)                      *)
+(* ------------------------------------------------------------------ *)
+
+type shard = {
+  q_pushed : Core.Counter.t;
+  q_shed : Core.Counter.t;
+  q_spill : Core.Counter.t;
+  q_occupancy : Core.Histogram.t;
+}
+
+let n_shard_pushed = "tcm_service_shard_pushed_total"
+let n_shard_shed = "tcm_service_shard_shed_total"
+let n_shard_spill = "tcm_service_shard_spill_total"
+let n_shard_occupancy = "tcm_service_shard_occupancy"
+
+(* One handle per admission-queue shard.  Recorded by the generator at
+   push time (the single producer), so every emit is int stores on
+   already-created handles — the admission hot loop stays
+   allocation-free. *)
+let for_shard ?(backend = "locator") ~manager ~shard () =
+  let labels =
+    [
+      ("backend", backend);
+      ("manager", manager);
+      ("runtime", "live");
+      ("shard", string_of_int shard);
+    ]
+  in
+  {
+    q_pushed =
+      Core.Counter.create n_shard_pushed ~labels
+        ~help:"Requests admitted to this admission-queue shard.";
+    q_shed =
+      Core.Counter.create n_shard_shed ~labels
+        ~help:"Requests shed with this shard as the round-robin target.";
+    q_spill =
+      Core.Counter.create n_shard_spill ~labels
+        ~help:"Pushes that overflowed their round-robin target onto this shard.";
+    q_occupancy =
+      Core.Histogram.create n_shard_occupancy ~labels
+        ~help:"Shard occupancy observed just after each push.";
+  }
+
+let[@inline] shard_push h ~occupancy ~spilled =
+  Core.Counter.incr h.q_pushed;
+  if spilled then Core.Counter.incr h.q_spill;
+  Core.Histogram.observe h.q_occupancy occupancy
+
+let[@inline] shard_shed h = Core.Counter.incr h.q_shed

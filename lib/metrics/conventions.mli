@@ -83,3 +83,24 @@ val service_drop : service -> unit
 val service_complete : service -> latency_us:int -> within_slo:bool -> unit
 (** One request completed: observe its arrival-to-commit latency and
     count it against the class SLO. *)
+
+(** Per-(backend, manager, shard) admission-queue instruments,
+    recorded by the generator (the queue's single producer) at push
+    time; emits are int stores only, keeping the admission hot loop
+    allocation-free. *)
+
+type shard
+
+val n_shard_pushed : string
+val n_shard_shed : string
+val n_shard_spill : string
+val n_shard_occupancy : string
+
+val for_shard : ?backend:string -> manager:string -> shard:int -> unit -> shard
+
+val shard_push : shard -> occupancy:int -> spilled:bool -> unit
+(** One request admitted: occupancy just after the push, and whether
+    the push spilled off its round-robin target. *)
+
+val shard_shed : shard -> unit
+(** One request shed with this shard as the round-robin target. *)

@@ -54,6 +54,16 @@ let next process rng ~t =
   in
   go t
 
+(** The whole run's arrival times at once (strictly increasing, in
+    [0, horizon)), via {!Tcm_dist.Samplers.Schedule} — the same
+    thinning discipline as {!next}, materialized ahead of the run so
+    the generator's hot loop allocates nothing per request. *)
+let schedule process rng ~horizon =
+  validate process;
+  Tcm_dist.Samplers.Schedule.arrivals rng
+    ~rate_at:(fun t -> rate_at process ~t)
+    ~peak:(peak_rate process) ~horizon
+
 let describe = function
   | Poisson { rate } -> Printf.sprintf "poisson(%.0f rps)" rate
   | Bursty { base_rate; burst_rate; period_s; burst_frac } ->

@@ -24,4 +24,10 @@ val peak_rate : process -> float
 val next : process -> Rng.t -> t:float -> float
 (** Next arrival strictly after [t]. *)
 
+val schedule : process -> Rng.t -> horizon:float -> float array
+(** Every arrival in [0, horizon) at once (strictly increasing): the
+    precomputed form the allocation-free generator replays.
+    @raise Invalid_argument on an invalid process or non-positive
+    horizon. *)
+
 val describe : process -> string

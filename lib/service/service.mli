@@ -1,17 +1,13 @@
 (** The service engine: open-loop transactional KV traffic with
     Zipf-skewed keys, mixed transaction classes and per-class SLO
     accounting, on either runtime backend under any contention
-    manager.  Latency is arrival-to-commit (admission-queue time
-    included); a full queue sheds the request and the shed counts
-    against SLO attainment. *)
+    manager.  The whole run's arrivals, classes and keys are
+    precomputed into flat arrays, so the generator allocates nothing
+    per request and can drive both backends past saturation.  Latency
+    is arrival-to-commit (admission-queue time included); a full queue
+    sheds the request and the shed counts against SLO attainment. *)
 
 open Tcm_stm
-
-type request = {
-  cls : Sclass.t;
-  arrival_s : float;  (** Scheduled arrival, seconds from run start. *)
-  keys : int array;  (** Pre-drawn Zipf keys (scan: the start key). *)
-}
 
 val request_latency_us : arrival_s:float -> now_s:float -> float
 (** Arrival-to-commit latency in us — measured from the scheduled
@@ -46,6 +42,10 @@ module Agg : sig
   val complete : t -> Sclass.t -> latency_us:float -> unit
   val within_slo : t -> Sclass.t -> latency_us:float -> bool
   val merge_into : into:t -> t -> unit
+
+  val all_lats : t -> float list
+  (** Every completion latency, classes pooled. *)
+
   val class_stats : t -> class_stats list
 end
 
@@ -84,21 +84,31 @@ type summary = {
   submitted : int;
   completed : int;
   dropped : int;
-  aborts : int;  (** STM aborts during the run (prefill excluded). *)
+  aborts : int;  (** STM aborts during the run (preload excluded). *)
   conflicts : int;
   elapsed_s : float;
   throughput : float;  (** Completed requests per second. *)
   offered : float;  (** Generated requests per second. *)
-  queue_high_water : int;
+  p50_us : float;  (** Overall completion latency, classes pooled. *)
+  p99_us : float;
+  queue_high_water : int;  (** Max single-shard occupancy observed. *)
+  queue_spills : int;
+      (** Pushes that overflowed their round-robin shard onto the
+          least-loaded one. *)
+  gen_minor_words_per_req : float;
+      (** Generator minor words allocated per generated request —
+          should stay in the single digits on the precomputed-schedule
+          path (clock reads only). *)
   trace_drops : int;  (** Ring-buffer drops during the run (0 unarmed). *)
   metrics_on : bool;  (** Whether [tcm.metrics] was enabled. *)
   trace_on : bool;  (** Whether the [tcm.trace] rings were armed. *)
 }
 
 val run : config -> summary
-(** Prefill the store, then drive [duration_s] of open-loop traffic;
-    returns after the admission queue has drained.  At return,
-    [submitted = completed + dropped].
+(** Preload the store (directly, without transactions), precompute the
+    request schedule, then drive [duration_s] of open-loop traffic
+    through one queue shard per worker; returns after the admission
+    queue has drained.  At return, [submitted = completed + dropped].
     @raise Invalid_argument on a non-positive duration or worker
     count, or an invalid arrival process. *)
 

@@ -1,105 +1,297 @@
 (** Bounded admission queue between the open-loop generator and the
-    worker pool.
+    worker pool — sharded.
 
-    A fixed-capacity ring under one mutex: [try_push] never blocks —
-    a full queue sheds the request and counts the drop, so overload
-    surfaces as queueing delay and load shedding rather than
-    generator slowdown.  Workers block in [pop] until a request or
-    [close]-plus-drained; [close] lets in-flight requests finish, so
-    at shutdown every admitted request is either completed or still
-    counted in the queue (never silently lost). *)
+    The original queue was one mutex-guarded ring: every [try_push]
+    from the generator, every [pop] from every worker, and even the
+    stat reads serialized on a single lock, which caps the admission
+    rate far below where either STM backend saturates.  This version
+    keeps the same contract — non-blocking shed-on-full push, blocking
+    pop, close-then-drain, exact [submitted = completed + dropped]
+    conservation — over {e per-worker SPSC ring shards}:
 
-type 'a t = {
-  buf : 'a option array;
-  mutable head : int;  (** Next pop slot. *)
-  mutable tail : int;  (** Next push slot. *)
-  mutable len : int;
-  mutable high_water : int;
-  mutable dropped : int;
-  mutable closed : bool;
+    - One producer (the generator) round-robins pushes across shards
+      and {e spills to the least-loaded shard} when the round-robin
+      target is full; only when every shard is full is the request
+      shed (charged to the round-robin target's drop counter).  A
+      single producer keeps every ring single-producer even with
+      spilling.
+    - One consumer per shard (worker [i] owns shard [i]) pops with two
+      atomic loads and a store — no lock, no CAS.  An empty shard
+      parks the consumer on a per-shard condition variable; the
+      producer takes that shard's mutex {e only} when the consumer has
+      published that it is waiting (eventcount-style), so the
+      saturated steady state never touches a lock.
+    - Every stat accessor reads relaxed atomics and never takes a
+      mutex, so a metrics poller cannot contend the admission path.
+      Snapshots may lag in-flight operations by a few events; totals
+      read after the producing/consuming domains joined are exact.
+
+    Payloads are non-negative ints (indices into a precomputed request
+    schedule); [-1] is the closed-and-drained sentinel.  Head and tail
+    are monotone positions (never wrapped), so occupancy is one
+    subtraction and the ABA problem cannot arise. *)
+
+type shard = {
+  buf : int array;
+  cap : int;
+  head : int Atomic.t;  (** Next pop position; consumer-advanced. *)
+  tail : int Atomic.t;  (** Next push position; producer-advanced. *)
+  pushed : int Atomic.t;  (** Requests admitted to this shard. *)
+  shed : int Atomic.t;  (** Drops charged to this shard. *)
+  hw : int Atomic.t;  (** Max occupancy seen by the producer. *)
+  waiting : bool Atomic.t;  (** Consumer parked: producer must signal. *)
   m : Mutex.t;
   nonempty : Condition.t;
 }
 
-let create cap =
+type t = {
+  shards : shard array;
+  closed : bool Atomic.t;
+  (* Producer-only state (single-producer invariant): the round-robin
+     cursor and the out-of-band result of the last push, exposed so the
+     engine can record shard metrics without the push allocating. *)
+  mutable rr : int;
+  mutable last_shard : int;
+  mutable last_spilled : bool;
+  mutable last_occupancy : int;
+}
+
+let create ?(shards = 1) cap =
   if cap < 1 then invalid_arg "Squeue.create: capacity >= 1";
+  if shards < 1 then invalid_arg "Squeue.create: shards >= 1";
+  let per = (cap + shards - 1) / shards in
+  let mk _ =
+    {
+      buf = Array.make per 0;
+      cap = per;
+      head = Atomic.make 0;
+      tail = Atomic.make 0;
+      pushed = Atomic.make 0;
+      shed = Atomic.make 0;
+      hw = Atomic.make 0;
+      waiting = Atomic.make false;
+      m = Mutex.create ();
+      nonempty = Condition.create ();
+    }
+  in
   {
-    buf = Array.make cap None;
-    head = 0;
-    tail = 0;
-    len = 0;
-    high_water = 0;
-    dropped = 0;
-    closed = false;
-    m = Mutex.create ();
-    nonempty = Condition.create ();
+    shards = Array.init shards mk;
+    closed = Atomic.make false;
+    rr = 0;
+    last_shard = 0;
+    last_spilled = false;
+    last_occupancy = 0;
   }
 
-let capacity t = Array.length t.buf
+let shards t = Array.length t.shards
+let capacity t = Array.fold_left (fun acc sh -> acc + sh.cap) 0 t.shards
 
-(** [false] when the queue was full (the request is shed and counted)
-    or already closed. *)
+let[@inline] shard_len sh = Atomic.get sh.tail - Atomic.get sh.head
+
+(* Wake the shard's consumer iff it published that it is parked.  The
+   signal is sent under the shard mutex, and the consumer re-checks
+   emptiness under the same mutex before waiting, so the wakeup cannot
+   be lost; the lock is simply skipped while the consumer is running. *)
+let[@inline] wake sh =
+  if Atomic.get sh.waiting then begin
+    Mutex.lock sh.m;
+    Condition.signal sh.nonempty;
+    Mutex.unlock sh.m
+  end
+
+(** [false] when every shard was full (the request is shed and
+    counted) or the queue is closed.  Never blocks; single producer
+    only. *)
 let try_push t x =
-  Mutex.lock t.m;
-  let ok =
-    if t.closed || t.len = Array.length t.buf then begin
-      t.dropped <- t.dropped + 1;
+  if x < 0 then invalid_arg "Squeue.try_push: payload >= 0";
+  let n = Array.length t.shards in
+  let target = t.rr in
+  t.rr <- (if target + 1 = n then 0 else target + 1);
+  if Atomic.get t.closed then begin
+    Atomic.incr t.shards.(target).shed;
+    t.last_shard <- target;
+    t.last_spilled <- false;
+    false
+  end
+  else begin
+    let chosen = ref target in
+    let spilled = ref false in
+    if shard_len t.shards.(target) >= t.shards.(target).cap then begin
+      (* Round-robin target full: spill to the least-loaded shard. *)
+      let best = ref target and best_len = ref max_int in
+      for i = 0 to n - 1 do
+        let l = shard_len t.shards.(i) in
+        if l < !best_len then begin
+          best := i;
+          best_len := l
+        end
+      done;
+      chosen := !best;
+      spilled := true
+    end;
+    let sh = t.shards.(!chosen) in
+    let tl = Atomic.get sh.tail in
+    let len = tl - Atomic.get sh.head in
+    if len >= sh.cap then begin
+      (* Every shard full: shed, charged to the round-robin target. *)
+      Atomic.incr t.shards.(target).shed;
+      t.last_shard <- target;
+      t.last_spilled <- false;
+      t.last_occupancy <- len;
       false
     end
     else begin
-      t.buf.(t.tail) <- Some x;
-      t.tail <- (t.tail + 1) mod Array.length t.buf;
-      t.len <- t.len + 1;
-      if t.len > t.high_water then t.high_water <- t.len;
-      Condition.signal t.nonempty;
+      sh.buf.(tl mod sh.cap) <- x;
+      let occ = len + 1 in
+      if occ > Atomic.get sh.hw then Atomic.set sh.hw occ;
+      Atomic.incr sh.pushed;
+      Atomic.set sh.tail (tl + 1) (* release publication *);
+      wake sh;
+      t.last_shard <- !chosen;
+      t.last_spilled <- !spilled;
+      t.last_occupancy <- occ;
       true
     end
-  in
-  Mutex.unlock t.m;
-  ok
+  end
 
-(** Blocks until a request is available or the queue is closed and
-    drained ([None]). *)
-let pop t =
-  Mutex.lock t.m;
-  while t.len = 0 && not t.closed do
-    Condition.wait t.nonempty t.m
-  done;
-  let r =
-    if t.len = 0 then None
-    else begin
-      let x = t.buf.(t.head) in
-      t.buf.(t.head) <- None;
-      t.head <- (t.head + 1) mod Array.length t.buf;
-      t.len <- t.len - 1;
+(** Blocks until shard [shard]'s next request is available, or the
+    queue is closed and that shard is drained ([-1]).  One consumer
+    per shard. *)
+let pop t ~shard =
+  let sh = t.shards.(shard) in
+  let rec loop () =
+    let hd = Atomic.get sh.head in
+    if Atomic.get sh.tail - hd > 0 then begin
+      let x = sh.buf.(hd mod sh.cap) in
+      Atomic.set sh.head (hd + 1);
       x
     end
+    else if Atomic.get t.closed then
+      (* A push may have landed between the emptiness check and the
+         closed check; drain it rather than losing it. *)
+      if Atomic.get sh.tail - hd > 0 then loop () else -1
+    else begin
+      (* Park.  [waiting] is set before the locked re-check, and the
+         producer signals under the mutex whenever it sees it set, so
+         a push that races the park either wins the re-check or wakes
+         us — never both lost. *)
+      Atomic.set sh.waiting true;
+      Mutex.lock sh.m;
+      if shard_len sh = 0 && not (Atomic.get t.closed) then
+        Condition.wait sh.nonempty sh.m;
+      Atomic.set sh.waiting false;
+      Mutex.unlock sh.m;
+      loop ()
+    end
   in
-  Mutex.unlock t.m;
-  r
+  loop ()
 
-(** Stop admissions and wake every blocked popper; queued requests
+(** Stop admissions and wake every parked consumer; queued requests
     still drain. *)
 let close t =
-  Mutex.lock t.m;
-  t.closed <- true;
-  Condition.broadcast t.nonempty;
-  Mutex.unlock t.m
+  Atomic.set t.closed true;
+  Array.iter
+    (fun sh ->
+      Mutex.lock sh.m;
+      Condition.broadcast sh.nonempty;
+      Mutex.unlock sh.m)
+    t.shards
 
-let length t =
-  Mutex.lock t.m;
-  let n = t.len in
-  Mutex.unlock t.m;
-  n
+(* --- Relaxed stat snapshots: atomic loads only, never a lock. --- *)
 
-let dropped t =
-  Mutex.lock t.m;
-  let n = t.dropped in
-  Mutex.unlock t.m;
-  n
+let length t = Array.fold_left (fun acc sh -> acc + shard_len sh) 0 t.shards
+let dropped t = Array.fold_left (fun acc sh -> acc + Atomic.get sh.shed) 0 t.shards
+let pushed t = Array.fold_left (fun acc sh -> acc + Atomic.get sh.pushed) 0 t.shards
 
 let high_water t =
-  Mutex.lock t.m;
-  let n = t.high_water in
-  Mutex.unlock t.m;
-  n
+  Array.fold_left (fun acc sh -> max acc (Atomic.get sh.hw)) 0 t.shards
+
+let shard_length t i = shard_len t.shards.(i)
+let shard_dropped t i = Atomic.get t.shards.(i).shed
+let shard_pushed t i = Atomic.get t.shards.(i).pushed
+let shard_capacity t i = t.shards.(i).cap
+
+let last_shard t = t.last_shard
+let last_spilled t = t.last_spilled
+let last_occupancy t = t.last_occupancy
+
+(** The original single-mutex bounded ring, kept verbatim as the
+    measurement baseline for the sharded design (the @service-smoke
+    gate asserts sharded push+pop beats this at worker counts >= 4)
+    and as a behavioral reference in tests. *)
+module Single_mutex = struct
+  type 'a t = {
+    buf : 'a option array;
+    mutable head : int;
+    mutable tail : int;
+    mutable len : int;
+    mutable high_water : int;
+    mutable dropped : int;
+    mutable closed : bool;
+    m : Mutex.t;
+    nonempty : Condition.t;
+  }
+
+  let create cap =
+    if cap < 1 then invalid_arg "Squeue.Single_mutex.create: capacity >= 1";
+    {
+      buf = Array.make cap None;
+      head = 0;
+      tail = 0;
+      len = 0;
+      high_water = 0;
+      dropped = 0;
+      closed = false;
+      m = Mutex.create ();
+      nonempty = Condition.create ();
+    }
+
+  let try_push t x =
+    Mutex.lock t.m;
+    let ok =
+      if t.closed || t.len = Array.length t.buf then begin
+        t.dropped <- t.dropped + 1;
+        false
+      end
+      else begin
+        t.buf.(t.tail) <- Some x;
+        t.tail <- (t.tail + 1) mod Array.length t.buf;
+        t.len <- t.len + 1;
+        if t.len > t.high_water then t.high_water <- t.len;
+        Condition.signal t.nonempty;
+        true
+      end
+    in
+    Mutex.unlock t.m;
+    ok
+
+  let pop t =
+    Mutex.lock t.m;
+    while t.len = 0 && not t.closed do
+      Condition.wait t.nonempty t.m
+    done;
+    let r =
+      if t.len = 0 then None
+      else begin
+        let x = t.buf.(t.head) in
+        t.buf.(t.head) <- None;
+        t.head <- (t.head + 1) mod Array.length t.buf;
+        t.len <- t.len - 1;
+        x
+      end
+    in
+    Mutex.unlock t.m;
+    r
+
+  let close t =
+    Mutex.lock t.m;
+    t.closed <- true;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.m
+
+  let dropped t =
+    Mutex.lock t.m;
+    let n = t.dropped in
+    Mutex.unlock t.m;
+    n
+end

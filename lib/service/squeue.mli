@@ -1,28 +1,86 @@
-(** Bounded admission queue: non-blocking shed-on-full push (the
-    open-loop contract), blocking pop, close-then-drain shutdown. *)
+(** Sharded bounded admission queue: per-worker SPSC ring shards fed
+    by one producer (round-robin with least-loaded spill), non-blocking
+    shed-on-full push, lock-free pop with eventcount-style parking,
+    close-then-drain shutdown, and relaxed (never-locking) stat
+    snapshots.  Payloads are non-negative ints — indices into a
+    precomputed request schedule. *)
 
-type 'a t
+type t
 
-val create : int -> 'a t
-(** @raise Invalid_argument on capacity < 1. *)
+val create : ?shards:int -> int -> t
+(** [create ~shards cap]: total capacity [cap] split evenly across
+    [shards] rings (default 1).  Single producer; one consumer per
+    shard.  @raise Invalid_argument on capacity or shards < 1. *)
 
-val capacity : 'a t -> int
+val shards : t -> int
 
-val try_push : 'a t -> 'a -> bool
-(** [false] when full or closed; the request is shed and counted in
-    {!dropped}.  Never blocks. *)
+val capacity : t -> int
+(** Total capacity (per-shard capacities summed; rounding the even
+    split up may exceed the requested total by < shards). *)
 
-val pop : 'a t -> 'a option
-(** Blocks until a request arrives or the queue is closed and drained
-    ([None]). *)
+val try_push : t -> int -> bool
+(** [false] when every shard is full or the queue is closed; the
+    request is shed and counted in {!dropped} (charged to the
+    round-robin target shard).  Never blocks.  Producer-only.
+    @raise Invalid_argument on a negative payload. *)
 
-val close : 'a t -> unit
-(** Stop admissions, wake blocked poppers; queued requests still
+val pop : t -> shard:int -> int
+(** Next request from the given shard, blocking while it is empty;
+    [-1] once the queue is closed and the shard drained.  One consumer
+    per shard. *)
+
+val close : t -> unit
+(** Stop admissions, wake parked consumers; queued requests still
     drain. *)
 
-val length : 'a t -> int
-val dropped : 'a t -> int
+(** {2 Relaxed stats}
 
-val high_water : 'a t -> int
-(** Maximum occupancy ever observed — the queueing-depth signature of
-    a traffic spike. *)
+    Atomic loads only — never a mutex — so polling cannot contend the
+    admission path.  A concurrent snapshot may lag in-flight events;
+    totals read after the producer/consumers joined are exact, and
+    then [pushed = Σ completed pops] and
+    [submitted = pushed + dropped]. *)
+
+val length : t -> int
+val dropped : t -> int
+
+val pushed : t -> int
+(** Requests admitted (popped or still queued). *)
+
+val high_water : t -> int
+(** Max occupancy observed on any {e single shard} — the per-shard
+    queueing-depth signature of a traffic spike. *)
+
+val shard_length : t -> int -> int
+val shard_dropped : t -> int -> int
+val shard_pushed : t -> int -> int
+val shard_capacity : t -> int -> int
+
+(** {2 Producer-side probes}
+
+    Out-of-band results of the last {!try_push} (valid on the producer
+    only), so the engine can record per-shard metrics without the push
+    allocating a result. *)
+
+val last_shard : t -> int
+(** Shard the last push landed on (or was charged to, when shed). *)
+
+val last_spilled : t -> bool
+(** Whether the last push overflowed its round-robin target onto the
+    least-loaded shard. *)
+
+val last_occupancy : t -> int
+(** Occupancy of the landing shard just after the last push. *)
+
+(** The original single-mutex ring, kept as the measurement baseline
+    the sharded queue is gated against (and as a behavioral reference
+    in tests). *)
+module Single_mutex : sig
+  type 'a t
+
+  val create : int -> 'a t
+  val try_push : 'a t -> 'a -> bool
+  val pop : 'a t -> 'a option
+  val close : 'a t -> unit
+  val dropped : 'a t -> int
+end

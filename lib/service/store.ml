@@ -22,10 +22,21 @@ let prefill_batch = 64
 
 let create ?buckets ~n_keys () =
   if n_keys < 1 then invalid_arg "Store.create: n_keys >= 1";
-  (* Low single-digit occupancy by default (see Thashmap's sizing
-     note); callers with million-key stores can still override. *)
-  let buckets = match buckets with Some b -> b | None -> max 64 (n_keys / 4) in
-  { map = H.create ~buckets (); index = S.create (); n_keys }
+  (* Low single-digit hashmap occupancy and a log2-sized skiplist by
+     default (see the structures' sizing notes); [buckets] still
+     overrides the hashmap exactly. *)
+  { map = H.create ?buckets ~expect:n_keys ();
+    index = S.create_sized ~expect:n_keys ();
+    n_keys }
+
+(** Populate keys [0 .. n_keys - 1] (value = key) directly, without
+    transactions — only sound before the store is published to any
+    worker.  This is how a service run builds a million-key store in
+    tens of milliseconds instead of minutes of STM commits; {!prefill}
+    remains as the transactional reference build. *)
+let preload t =
+  H.unsafe_preload t.map (Array.init t.n_keys (fun k -> (k, k)));
+  S.unsafe_preload t.index (Array.init t.n_keys (fun k -> k))
 
 (** Populate keys [0 .. n_keys - 1] (value = key), batched. *)
 let prefill rt t =

@@ -7,12 +7,19 @@ open Tcm_stm
 type t
 
 val create : ?buckets:int -> n_keys:int -> unit -> t
-(** [buckets] defaults to [n_keys / 4] (min 64).
+(** Hashmap sized for [n_keys] at low occupancy ([buckets] overrides),
+    skiplist level cap derived from [n_keys].
     @raise Invalid_argument on [n_keys < 1]. *)
 
+val preload : t -> unit
+(** Insert keys [0 .. n_keys - 1] (value = key) {e non-transactionally}
+    — only sound on a fresh store before any worker can see it.  The
+    fast path for million-key stores. *)
+
 val prefill : Stm.runtime -> t -> unit
-(** Insert keys [0 .. n_keys - 1] (value = key), batched into
-    small transactions. *)
+(** Insert keys [0 .. n_keys - 1] (value = key), batched into small
+    transactions — the slow reference build {!preload} is checked
+    against. *)
 
 val n_keys : t -> int
 val get : Stm.tx -> t -> int -> int option

@@ -289,6 +289,19 @@ let make v =
 
 let id t = t.id
 
+(** Non-transactional store for bulk preloading, installing a fresh
+    committed locator.  Only sound while the variable is {e
+    unpublished} — no concurrent transaction (on either backend) may
+    have seen it: the store bypasses conflict detection entirely, so a
+    racing reader could validate against the displaced locator.  Both
+    backends read the committed value as [new_v] of a
+    committed-sentinel locator, which is exactly what this installs;
+    the structure-level [unsafe_preload]s build million-entry stores
+    through it without paying a commit per variable. *)
+let unsafe_init t v =
+  Atomic.set t.loc
+    { owner = Txn.committed_sentinel; old_v = v; new_v = v; gen = Atomic.make 0 }
+
 (** Value of a locator as seen by an outside observer, given the
     owner's status read {e after} the locator itself.  Only meaningful
     on a locator known stable: one the caller owns, holds under its

@@ -73,6 +73,12 @@ val peek : 'a t -> 'a
     debugging); linearizes at the atomic load of the locator
     (seqlock-guarded against concurrent recycling). *)
 
+val unsafe_init : 'a t -> 'a -> unit
+(** Non-transactional store (fresh committed locator), for bulk
+    preloading {e before} the variable is published to any
+    transaction.  Bypasses conflict detection on both backends: unsound
+    the moment a concurrent transaction may have read the variable. *)
+
 (** {2 Locator pool (per-domain freelist + hazard slot)} *)
 
 type pool

@@ -1,30 +1,41 @@
 (** Transactional hash map (int keys): per-bucket association lists in
     individual [Tvar]s, so transactions on different buckets never
-    conflict. *)
+    conflict.  The table resizes {e incrementally}: one bucket splits
+    at a time (two bucket writes inside the splitting transaction), so
+    growth conflicts only with transactions touching the split bucket
+    or its buddy — never the whole map. *)
 
 type 'v t
 
 val default_buckets : int
 
-val create : ?buckets:int -> unit -> 'v t
+val create : ?buckets:int -> ?expect:int -> unit -> 'v t
 (** Bucket count is rounded up to a power of two.
 
     Sizing: each bucket is one [Tvar] holding an association list, so
     a transaction touching a bucket conflicts with every other
     transaction on that bucket and pays O(occupancy) to replace or
-    remove a binding.  The default (64) suits the paper's 256-key
-    micro-workloads; service-scale stores should size [buckets] to
-    keep occupancy in the low single digits — e.g. [~buckets:(n / 4)]
-    for [n] keys, which for a million-key store means ~256k buckets
-    (~2 MB of [Tvar] array, amortized by the conflict and copy costs
-    saved on every access). *)
+    remove a binding.  [~expect:n] sizes the initial table for [n]
+    keys at low single-digit occupancy (a million-key store gets
+    ~256k buckets); [~buckets] overrides it exactly.  With neither,
+    the default (64) suits the paper's 256-key micro-workloads —
+    larger populations then grow the table by incremental splits. *)
 
 val n_buckets : 'v t -> int
+(** Currently allocated physical buckets (grows as the table splits). *)
+
+val depth : 'v t -> int
+(** Maximum published split depth (0 until the first split). *)
+
+val split_threshold : int
+(** Occupancy at which an insert splits its bucket. *)
+
 val find : Tcm_stm.Stm.tx -> 'v t -> int -> 'v option
 val mem : Tcm_stm.Stm.tx -> 'v t -> int -> bool
 
 val add : Tcm_stm.Stm.tx -> 'v t -> int -> 'v -> unit
-(** Insert or replace. *)
+(** Insert or replace; may split the target bucket (two bucket writes)
+    when its occupancy reaches {!split_threshold}. *)
 
 val remove : Tcm_stm.Stm.tx -> 'v t -> int -> bool
 (** [true] if the key was present. *)
@@ -33,6 +44,26 @@ val update : Tcm_stm.Stm.tx -> 'v t -> int -> ('v option -> 'v option) -> unit
 (** Atomic read-modify-write of one binding; [None] deletes. *)
 
 val length : Tcm_stm.Stm.tx -> 'v t -> int
+(** {b Warning}: reads {e every} bucket Tvar, so the calling
+    transaction conflicts with every concurrent writer — a monitoring
+    transaction built on [length] serializes the whole map.  Prefer
+    {!size_hint} for observability. *)
 
 val bindings : Tcm_stm.Stm.tx -> 'v t -> (int * 'v) list
-(** Sorted by key. *)
+(** Sorted by key.  {b Warning}: same full-table read set as
+    {!length}; use for tests and offline dumps, not monitoring. *)
+
+val size_hint : 'v t -> int
+(** Conflict-free {e approximate} binding count: maintained by plain
+    atomic bumps at the mutation sites (an aborted attempt's bump is
+    not rolled back), and mirrored into the global [tcm.metrics]
+    counters [tcm_hashmap_inserts_total] / [tcm_hashmap_removes_total]
+    so monitoring never opens a transaction.  Exact when no mutation
+    ever aborted. *)
+
+val unsafe_preload : 'v t -> (int * 'v) array -> unit
+(** Bulk-load distinct keys into a freshly created map,
+    non-transactionally ({!Tcm_stm.Tvar.unsafe_init}) — only sound
+    {e before} the map is published to any transaction.  Loads into
+    the depth-0 table without splitting: size with [~expect].
+    @raise Invalid_argument if the map has ever been written. *)

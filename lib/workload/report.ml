@@ -376,7 +376,13 @@ let json_of_service_figure (s : Tcm_service.Service.summary) : Json.t =
       ("elapsed_s", Json.Float s.elapsed_s);
       ("throughput", Json.Float s.throughput);
       ("offered", Json.Float s.offered);
+      (* tcm-bench/7: pooled latency, shard-spill count and generator
+         allocation per request. *)
+      ("latency_p50_us", Json.Float s.p50_us);
+      ("latency_p99_us", Json.Float s.p99_us);
       ("queue_high_water", Json.Int s.queue_high_water);
+      ("queue_spills", Json.Int s.queue_spills);
+      ("gen_minor_words_per_req", Json.Float s.gen_minor_words_per_req);
       (* tcm-bench/5: every service figure is self-describing about
          observability overhead — which layers were live and how many
          trace events the rings dropped. *)
@@ -439,6 +445,51 @@ let json_of_consult_figure (r : Consult_cost.row) : Json.t =
         Json.Float r.Consult_cost.minor_words_per_resolve );
     ]
 
+(* tcm-bench/7: overload-regime rate-ladder figures — one entry per
+   (backend, manager) curve, one row per rung with the rung's offered
+   rate, overall attainment and pooled p50/p99, plus the detected
+   knee (first rung whose attainment fell under 99%). *)
+let json_of_ladder_figure (c : Tcm_service.Ladder.curve) : Json.t =
+  let open Tcm_service in
+  Json.Obj
+    [
+      ("id", Json.Str "service-ladder");
+      ("title", Json.Str "offered-load rate ladder (saturation sweep)");
+      ("kind", Json.Str "ladder");
+      ("backend", Json.Str c.Ladder.backend);
+      ("manager", Json.Str c.Ladder.manager);
+      ("knee_threshold", Json.Float Ladder.knee_threshold);
+      ( "knee_rps",
+        match c.Ladder.knee_rps with
+        | Some r -> Json.Float r
+        | None -> Json.Null );
+      ( "rungs",
+        Json.Arr
+          (List.map
+             (fun (r : Ladder.rung) ->
+               let s = r.Ladder.summary in
+               Json.Obj
+                 [
+                   ("offered_rps", Json.Float r.Ladder.offered_rps);
+                   ("attainment", Json.Float (Ladder.attainment s));
+                   ("submitted", Json.Int s.Service.submitted);
+                   ("completed", Json.Int s.Service.completed);
+                   ("dropped", Json.Int s.Service.dropped);
+                   ("aborts", Json.Int s.Service.aborts);
+                   ("throughput", Json.Float s.Service.throughput);
+                   ("latency_p50_us", Json.Float s.Service.p50_us);
+                   ("latency_p99_us", Json.Float s.Service.p99_us);
+                   ("queue_high_water", Json.Int s.Service.queue_high_water);
+                   ("queue_spills", Json.Int s.Service.queue_spills);
+                   ( "gen_minor_words_per_req",
+                     Json.Float s.Service.gen_minor_words_per_req );
+                   ( "classes",
+                     Json.Arr (List.map json_of_class_stats s.Service.classes)
+                   );
+                 ])
+             c.Ladder.rungs) );
+    ]
+
 (* Schema lineage of the bench dump:
    - tcm-bench/1: throughput + latency + abort breakdown;
    - tcm-bench/2: adds per-window GC words (minor/major);
@@ -452,10 +503,16 @@ let json_of_consult_figure (r : Consult_cost.row) : Json.t =
      (per-family priced wasted work + hot-key list from tcm.obs);
    - tcm-bench/6: the dump may carry kind = "consult" entries — the
      consult-cost microbench's ns + minor words per resolve, per
-     (backend | "sim") × manager.
+     (backend | "sim") × manager;
+   - tcm-bench/7: the dump may carry kind = "ladder" entries — the
+     offered-load rate ladder per (backend, manager), one row per
+     rung (attainment, pooled p50/p99, sheds, spills) plus the
+     detected saturation knee; service entries additionally report
+     pooled p50/p99, queue spills and generator allocation per
+     request.
    Readers accept every shipped version; the writer always emits the
    newest. *)
-let bench_schema = "tcm-bench/6"
+let bench_schema = "tcm-bench/7"
 
 let bench_schemas =
   [
@@ -464,6 +521,7 @@ let bench_schemas =
     "tcm-bench/3";
     "tcm-bench/4";
     "tcm-bench/5";
+    "tcm-bench/6";
     bench_schema;
   ]
 
@@ -484,10 +542,11 @@ let bench_schema_of (j : Json.t) : (string, string) result =
     array with [kind = "service"]; [obs_figures] are conflict-
     attribution entries appended with [kind = "obs"];
     [consult_figures] are consult-cost microbench rows appended with
-    [kind = "consult"].  [extra] lets the caller attach more top-level
-    sections. *)
+    [kind = "consult"]; [ladder_figures] are rate-ladder curves
+    appended with [kind = "ladder"].  [extra] lets the caller attach
+    more top-level sections. *)
 let bench_json ?(extra = []) ?(service_figures = []) ?(obs_figures = [])
-    ?(consult_figures = []) ~mode ~duration_s ~seed
+    ?(consult_figures = []) ?(ladder_figures = []) ~mode ~duration_s ~seed
     (figures : (Figures.spec * string * Figures.detailed_row list) list) : string =
   Json.to_string
     (Json.Obj
@@ -503,6 +562,7 @@ let bench_json ?(extra = []) ?(service_figures = []) ?(obs_figures = [])
                  figures
               @ List.map json_of_service_figure service_figures
               @ List.map (fun (row, hot) -> json_of_obs_figure ~row ~hot) obs_figures
-              @ List.map json_of_consult_figure consult_figures) );
+              @ List.map json_of_consult_figure consult_figures
+              @ List.map json_of_ladder_figure ladder_figures) );
         ]
        @ extra))

@@ -58,8 +58,15 @@ val json_of_consult_figure : Consult_cost.row -> Json.t
 (** One consult-cost entry ([kind = "consult"]): ns and minor words
     per resolve for a (backend | "sim") × manager pair. *)
 
+val json_of_ladder_figure : Tcm_service.Ladder.curve -> Json.t
+(** One rate-ladder entry ([kind = "ladder"]): a (backend, manager)
+    saturation sweep — per-rung offered rate, overall attainment,
+    pooled p50/p99, sheds and shard spills — plus the detected knee
+    (first rung under the 99% attainment threshold, [null] when every
+    rung held). *)
+
 val bench_schema : string
-(** The schema the writer emits: ["tcm-bench/6"]. *)
+(** The schema the writer emits: ["tcm-bench/7"]. *)
 
 val bench_schemas : string list
 (** Every schema a reader must accept: tcm-bench/1 (original),
@@ -67,7 +74,10 @@ val bench_schemas : string list
     /4 (adds the per-figure "kind" discriminator and open-loop
     service figures), /5 (adds observability self-description on
     service figures and kind = "obs" attribution entries),
-    /6 (adds kind = "consult" consult-cost microbench entries). *)
+    /6 (adds kind = "consult" consult-cost microbench entries),
+    /7 (adds kind = "ladder" saturation-sweep entries and pooled
+    latency / spill / generator-allocation fields on service
+    entries). *)
 
 val bench_schema_of : Json.t -> (string, string) result
 (** Validate a parsed bench dump's schema header.  [Error _] when the
@@ -80,6 +90,7 @@ val bench_json :
   ?service_figures:Tcm_service.Service.summary list ->
   ?obs_figures:(Tcm_obs.Ledger.row * Tcm_obs.Sketch.entry list) list ->
   ?consult_figures:Consult_cost.row list ->
+  ?ladder_figures:Tcm_service.Ladder.curve list ->
   mode:string ->
   duration_s:float ->
   seed:int ->
@@ -89,5 +100,5 @@ val bench_json :
     plus one entry per (figure, backend-name) pair with
     per-thread-count, per-manager outcomes; [service_figures] append
     open-loop service entries, [obs_figures] conflict-attribution
-    entries and [consult_figures] consult-cost entries to the same
-    figures array. *)
+    entries, [consult_figures] consult-cost entries and
+    [ladder_figures] rate-ladder curves to the same figures array. *)

@@ -151,6 +151,63 @@ let t_bursty_thinning_ratio () =
     Alcotest.failf "offered rate %.0f/s, expected ~875/s" rate
 
 (* ------------------------------------------------------------------ *)
+(* Precomputed arrival schedules                                       *)
+(* ------------------------------------------------------------------ *)
+
+let t_schedule_shape_and_rate () =
+  let rate = 2_000. and horizon = 20. in
+  let arr =
+    S.Schedule.arrivals (Rng.create 53) ~rate_at:(fun _ -> rate) ~peak:rate
+      ~horizon
+  in
+  let n = Array.length arr in
+  (* Poisson count: mean 40k, sd 200; +-5 sd. *)
+  check_bool "count near rate * horizon" true
+    (Float.abs (float_of_int n -. (rate *. horizon)) < 1_000.);
+  let ok = ref true in
+  Array.iteri
+    (fun i t ->
+      if t < 0. || t >= horizon then ok := false;
+      if i > 0 && t <= arr.(i - 1) then ok := false)
+    arr;
+  check_bool "strictly increasing within [0, horizon)" true !ok;
+  (* Same seed, same schedule — the engine replays these verbatim. *)
+  let again =
+    S.Schedule.arrivals (Rng.create 53) ~rate_at:(fun _ -> rate) ~peak:rate
+      ~horizon
+  in
+  check_bool "deterministic in the seed" true (arr = again)
+
+let t_schedule_thinning () =
+  (* rate_at = peak/4 everywhere: thinning must keep ~1/4 of the
+     dominating process, not all of it. *)
+  let peak = 4_000. and horizon = 10. in
+  let arr =
+    S.Schedule.arrivals (Rng.create 59) ~rate_at:(fun _ -> peak /. 4.) ~peak
+      ~horizon
+  in
+  let n = float_of_int (Array.length arr) in
+  check_bool "thinned to the instantaneous rate" true
+    (Float.abs (n -. (peak /. 4. *. horizon)) < 500.);
+  (* A zero-rate region must produce no arrivals at all. *)
+  let gated =
+    S.Schedule.arrivals (Rng.create 61)
+      ~rate_at:(fun t -> if t < 5. then 1_000. else 0.)
+      ~peak:1_000. ~horizon
+  in
+  check_bool "zero-rate tail is empty" true
+    (Array.for_all (fun t -> t < 5.) gated)
+
+let t_schedule_invalid () =
+  let reject name f =
+    check_bool name true (try ignore (f ()); false with Invalid_argument _ -> true)
+  in
+  reject "peak = 0 rejected" (fun () ->
+      S.Schedule.arrivals (Rng.create 1) ~rate_at:(fun _ -> 1.) ~peak:0. ~horizon:1.);
+  reject "horizon = 0 rejected" (fun () ->
+      S.Schedule.arrivals (Rng.create 1) ~rate_at:(fun _ -> 1.) ~peak:1. ~horizon:0.)
+
+(* ------------------------------------------------------------------ *)
 (* Weighted pick                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -195,6 +252,13 @@ let () =
           Alcotest.test_case "mean gap and CV ~ 1" `Quick t_exp_draw_mean_and_cv;
           Alcotest.test_case "invalid rate" `Quick t_exp_draw_invalid;
           Alcotest.test_case "bursty thinning ratio" `Quick t_bursty_thinning_ratio;
+        ] );
+      ( "schedule",
+        [
+          Alcotest.test_case "shape, rate and determinism" `Quick
+            t_schedule_shape_and_rate;
+          Alcotest.test_case "thinning follows rate_at" `Quick t_schedule_thinning;
+          Alcotest.test_case "invalid parameters" `Quick t_schedule_invalid;
         ] );
       ( "pick-weighted",
         [

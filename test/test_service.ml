@@ -23,8 +23,8 @@ let t_squeue_fifo () =
   check_int "length" 3 (Squeue.length q);
   Squeue.close q;
   Alcotest.(check (list int)) "drains in order" [ 1; 2; 3 ]
-    (List.filter_map (fun _ -> Squeue.pop q) [ (); (); () ]);
-  check_bool "closed and drained" true (Squeue.pop q = None)
+    (List.map (fun _ -> Squeue.pop q ~shard:0) [ (); (); () ]);
+  check_int "closed and drained" (-1) (Squeue.pop q ~shard:0)
 
 let t_squeue_overflow_counts () =
   let q = Squeue.create 2 in
@@ -34,7 +34,7 @@ let t_squeue_overflow_counts () =
   check_bool "full sheds again" false (Squeue.try_push q 4);
   check_int "dropped counted" 2 (Squeue.dropped q);
   check_int "high water" 2 (Squeue.high_water q);
-  ignore (Squeue.pop q);
+  check_int "pop makes room" 1 (Squeue.pop q ~shard:0);
   check_bool "room again" true (Squeue.try_push q 5);
   check_int "drops don't reset" 2 (Squeue.dropped q)
 
@@ -43,9 +43,114 @@ let t_squeue_closed_rejects () =
   check_bool "pre-close admits" true (Squeue.try_push q 1);
   Squeue.close q;
   check_bool "post-close sheds" false (Squeue.try_push q 2);
-  check_bool "queued item drains" true (Squeue.pop q = Some 1);
-  check_bool "then None" true (Squeue.pop q = None);
+  check_int "queued item drains" 1 (Squeue.pop q ~shard:0);
+  check_int "then the sentinel" (-1) (Squeue.pop q ~shard:0);
   check_int "post-close shed counted" 1 (Squeue.dropped q)
+
+(* Round-robin dispatch, and the spill rule: a push whose round-robin
+   target is full lands on the least-loaded shard instead of
+   shedding. *)
+let t_squeue_least_loaded_spill () =
+  let q = Squeue.create ~shards:2 4 in
+  check_int "two shards" 2 (Squeue.shards q);
+  check_int "per-shard capacity" 2 (Squeue.shard_capacity q 0);
+  List.iter
+    (fun x -> check_bool "push" true (Squeue.try_push q x))
+    [ 10; 11; 12; 13 ];
+  check_int "round-robin filled shard 0" 2 (Squeue.shard_pushed q 0);
+  check_int "round-robin filled shard 1" 2 (Squeue.shard_pushed q 1);
+  check_bool "no spill while targets had room" false (Squeue.last_spilled q);
+  (* Drain one slot of shard 1; the next push's round-robin target is
+     the (still full) shard 0, so it must spill onto shard 1. *)
+  check_int "consumer drains shard 1" 11 (Squeue.pop q ~shard:1);
+  check_bool "spilled push admitted" true (Squeue.try_push q 14);
+  check_bool "marked as a spill" true (Squeue.last_spilled q);
+  check_int "landed on the least-loaded shard" 1 (Squeue.last_shard q);
+  check_int "charged to shard 1's pushed" 3 (Squeue.shard_pushed q 1);
+  check_int "nothing shed" 0 (Squeue.dropped q);
+  check_int "totals add up" 5 (Squeue.pushed q)
+
+(* Sheds are charged to the round-robin target shard, and per-shard
+   drop counters sum to the queue total. *)
+let t_squeue_per_shard_shed () =
+  let q = Squeue.create ~shards:2 4 in
+  for x = 0 to 3 do
+    check_bool "fill" true (Squeue.try_push q x)
+  done;
+  check_bool "all full: shed" false (Squeue.try_push q 4);
+  check_int "charged to the rr target (shard 0)" 0 (Squeue.last_shard q);
+  check_bool "a shed is not a spill" false (Squeue.last_spilled q);
+  check_bool "all full: shed again" false (Squeue.try_push q 5);
+  check_int "next shed charged to shard 1" 1 (Squeue.last_shard q);
+  check_int "shard 0 shed" 1 (Squeue.shard_dropped q 0);
+  check_int "shard 1 shed" 1 (Squeue.shard_dropped q 1);
+  check_int "per-shard sheds sum to the total" (Squeue.dropped q)
+    (Squeue.shard_dropped q 0 + Squeue.shard_dropped q 1);
+  check_int "conservation: submitted = pushed + dropped" 6
+    (Squeue.pushed q + Squeue.dropped q)
+
+(* Multi-domain hammer: one producer, one consumer domain per shard,
+   relaxed stat reads racing the traffic.  After close + join the
+   conservation identities must hold exactly: every successfully
+   pushed payload is popped exactly once, and
+   submitted = pushed + dropped. *)
+let t_squeue_conservation_hammer () =
+  let shards = 3 in
+  let n = 20_000 in
+  let q = Squeue.create ~shards 48 in
+  let consumers =
+    Array.init shards (fun shard ->
+        Domain.spawn (fun () ->
+            let count = ref 0 and sum = ref 0 in
+            let rec go () =
+              let x = Squeue.pop q ~shard in
+              if x >= 0 then begin
+                incr count;
+                sum := !sum + x;
+                go ()
+              end
+            in
+            go ();
+            (!count, !sum)))
+  in
+  let pushed_ok = ref 0 and pushed_sum = ref 0 in
+  for x = 1 to n do
+    if Squeue.try_push q x then begin
+      incr pushed_ok;
+      pushed_sum := !pushed_sum + x
+    end;
+    (* Exercise the relaxed stat reads against live traffic. *)
+    if x land 1023 = 0 then begin
+      ignore (Squeue.length q);
+      ignore (Squeue.pushed q);
+      ignore (Squeue.dropped q);
+      ignore (Squeue.high_water q)
+    end;
+    if x land 255 = 0 then Domain.cpu_relax ()
+  done;
+  Squeue.close q;
+  let results = Array.map Domain.join consumers in
+  let popped = Array.fold_left (fun acc (c, _) -> acc + c) 0 results in
+  let popped_sum = Array.fold_left (fun acc (_, s) -> acc + s) 0 results in
+  check_int "every admitted request popped exactly once" !pushed_ok popped;
+  check_int "payloads conserved" !pushed_sum popped_sum;
+  check_int "pushed counter exact after join" !pushed_ok (Squeue.pushed q);
+  check_int "submitted = pushed + dropped" n
+    (Squeue.pushed q + Squeue.dropped q);
+  check_int "per-shard pushed sums to the total" (Squeue.pushed q)
+    (List.fold_left
+       (fun acc i -> acc + Squeue.shard_pushed q i)
+       0
+       (List.init shards Fun.id));
+  (* The sharded queue must agree with the single-mutex reference on
+     the sequential contract. *)
+  let r = Squeue.Single_mutex.create 2 in
+  check_bool "ref fits" true (Squeue.Single_mutex.try_push r 1);
+  check_bool "ref fits" true (Squeue.Single_mutex.try_push r 2);
+  check_bool "ref sheds" false (Squeue.Single_mutex.try_push r 3);
+  check_int "ref dropped" 1 (Squeue.Single_mutex.dropped r);
+  Squeue.Single_mutex.close r;
+  check_bool "ref drains" true (Squeue.Single_mutex.pop r = Some 1)
 
 (* ------------------------------------------------------------------ *)
 (* SLO accounting                                                      *)
@@ -177,7 +282,16 @@ let t_run_invariants backend () =
   check_int "class totals sum" s.Service.submitted
     (List.fold_left
        (fun acc (c : Service.class_stats) -> acc + c.submitted)
-       0 s.Service.classes)
+       0 s.Service.classes);
+  (* tcm-bench/7 fields: pooled latency orders, and the precomputed-
+     schedule generator allocates (at most) a handful of words per
+     request — clock reads, never per-request records. *)
+  if s.Service.completed > 0 then
+    check_bool "pooled p99 >= p50" true (s.Service.p99_us >= s.Service.p50_us);
+  check_bool "generator allocation-free (words/req)" true
+    (Float.is_nan s.Service.gen_minor_words_per_req
+    || s.Service.gen_minor_words_per_req < 32.);
+  check_bool "spill counter non-negative" true (s.Service.queue_spills >= 0)
 
 (* Overload: an all-scan mix (the slowest class) offered far beyond
    what one worker with a tiny queue can serve must shed, and the
@@ -230,6 +344,96 @@ let t_run_metrics_slo_rows () =
         r.Tcm_metrics.Health.slo_ok)
     rows
 
+(* ------------------------------------------------------------------ *)
+(* Rate ladder                                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Ladder = Tcm_service.Ladder
+
+(* Synthetic summaries with a hand-set attainment, for the pure knee
+   arithmetic. *)
+let mk_summary ~slo_ok ~submitted : Service.summary =
+  {
+    backend = "locator";
+    manager = "greedy";
+    process = "poisson";
+    classes =
+      [
+        {
+          Service.cls = Sclass.Read;
+          submitted;
+          completed = slo_ok;
+          dropped = submitted - slo_ok;
+          slo_us = 1_000.;
+          slo_ok;
+          attainment = float_of_int slo_ok /. float_of_int submitted;
+          p50_us = 10.;
+          p99_us = 20.;
+          mean_us = 12.;
+        };
+      ];
+    submitted;
+    completed = slo_ok;
+    dropped = submitted - slo_ok;
+    aborts = 0;
+    conflicts = 0;
+    elapsed_s = 1.;
+    throughput = float_of_int slo_ok;
+    offered = float_of_int submitted;
+    p50_us = 10.;
+    p99_us = 20.;
+    queue_high_water = 0;
+    queue_spills = 0;
+    gen_minor_words_per_req = 0.;
+    trace_drops = 0;
+    metrics_on = false;
+    trace_on = false;
+  }
+
+let t_ladder_knee_arithmetic () =
+  let rung rps slo_ok submitted =
+    { Ladder.offered_rps = rps; summary = mk_summary ~slo_ok ~submitted }
+  in
+  Alcotest.(check (float 1e-9))
+    "attainment pools classes" 0.95
+    (Ladder.attainment (mk_summary ~slo_ok:95 ~submitted:100));
+  check_bool "no knee while every rung holds" true
+    (Ladder.knee [ rung 1_000. 100 100; rung 2_000. 995 1_000 ] = None);
+  check_bool "knee = first rung under threshold" true
+    (Ladder.knee
+       [ rung 1_000. 100 100; rung 2_000. 980 1_000; rung 4_000. 500 1_000 ]
+    = Some 2_000.);
+  check_bool "empty rungs: no knee" true (Ladder.knee [] = None)
+
+(* A two-rung mini-ladder on the live engine: the top rung offers far
+   beyond single-host capacity into a tiny queue, so it must shed and
+   fall under the attainment threshold — a knee exists and the rungs
+   keep the run invariants. *)
+let t_ladder_live_knee () =
+  let cfg =
+    {
+      Service.default with
+      Service.workers = 2;
+      duration_s = 0.05;
+      queue_cap = 64;
+      n_keys = 512;
+      seed = 11;
+    }
+  in
+  let c = Ladder.run ~rates:[| 1_000.; 250_000. |] cfg in
+  check_bool "backend name" true (c.Ladder.backend = "locator");
+  check_int "one rung per rate" 2 (List.length c.Ladder.rungs);
+  List.iter
+    (fun (r : Ladder.rung) ->
+      let s = r.Ladder.summary in
+      check_int "rung conservation" s.Service.submitted
+        (s.Service.completed + s.Service.dropped))
+    c.Ladder.rungs;
+  let top = List.nth c.Ladder.rungs 1 in
+  check_bool "top rung saturates" true
+    (Ladder.attainment top.Ladder.summary < Ladder.knee_threshold);
+  check_bool "knee detected" true (c.Ladder.knee_rps <> None)
+
 let t_run_rejects_bad_config () =
   let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
   check_bool "zero workers rejected" true
@@ -256,6 +460,11 @@ let () =
           Alcotest.test_case "fifo and close-drain" `Quick t_squeue_fifo;
           Alcotest.test_case "overflow counts sheds" `Quick t_squeue_overflow_counts;
           Alcotest.test_case "closed rejects, drains" `Quick t_squeue_closed_rejects;
+          Alcotest.test_case "least-loaded spill" `Quick t_squeue_least_loaded_spill;
+          Alcotest.test_case "per-shard shed accounting" `Quick
+            t_squeue_per_shard_shed;
+          Alcotest.test_case "multi-domain conservation" `Quick
+            t_squeue_conservation_hammer;
         ] );
       ( "slo",
         [
@@ -276,5 +485,10 @@ let () =
           Alcotest.test_case "overload sheds" `Quick t_run_overload_sheds;
           Alcotest.test_case "metrics slo rows" `Quick t_run_metrics_slo_rows;
           Alcotest.test_case "config validation" `Quick t_run_rejects_bad_config;
+        ] );
+      ( "ladder",
+        [
+          Alcotest.test_case "knee arithmetic" `Quick t_ladder_knee_arithmetic;
+          Alcotest.test_case "live knee past saturation" `Quick t_ladder_live_knee;
         ] );
     ]

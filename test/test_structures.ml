@@ -255,6 +255,80 @@ let t_skiplist_range () =
      Stm.atomically rt (fun tx -> S.Tskiplist.range tx s2 ~lo:0 ~len:5))
 
 (* ------------------------------------------------------------------ *)
+(* Store scaling: sized skiplists and the non-transactional preload    *)
+(* ------------------------------------------------------------------ *)
+
+let t_skiplist_sized_levels () =
+  check_int "1M keys cap at 20" 20 (S.Tskiplist.level_for ~expect:1_000_000);
+  check_int "tiny populations clamp at 4" 4 (S.Tskiplist.level_for ~expect:1);
+  check_int "huge populations clamp at 30" 30 (S.Tskiplist.level_for ~expect:max_int);
+  check_int "default create keeps the historical cap" S.Tskiplist.default_max_level
+    (S.Tskiplist.level_cap (S.Tskiplist.create ()));
+  check_int "explicit override wins" 12
+    (S.Tskiplist.level_cap (S.Tskiplist.create_sized ~max_level:12 ~expect:64 ()));
+  (* Tower heights under a parametric cap: every tower fits the cap,
+     every node is counted once, and the distribution is geometric-ish
+     (ground level dominates, tall towers are rare). *)
+  let n = 4096 in
+  let s = S.Tskiplist.create_sized ~expect:n () in
+  check_int "expect-derived cap" (S.Tskiplist.level_for ~expect:n)
+    (S.Tskiplist.level_cap s);
+  S.Tskiplist.unsafe_preload s (Array.init n (fun i -> i));
+  let counts = S.Tskiplist.level_counts s in
+  check_int "counts array spans the cap" (S.Tskiplist.level_cap s)
+    (Array.length counts);
+  check_int "every node counted once" n (Array.fold_left ( + ) 0 counts);
+  check_bool "ground towers dominate" true (counts.(0) > n / 3);
+  check_bool "tall towers are rare" true (counts.(0) > 8 * counts.(4))
+
+let t_skiplist_preload_equiv () =
+  (* The preload must be observationally identical to a transactional
+     build of the same keys: same contents, same range reads, and —
+     because levels come from the same deterministic stream — the same
+     tower-height histogram. *)
+  let keys = Array.init 500 (fun i -> 3 * i) in
+  let pre = S.Tskiplist.create_sized ~expect:500 () in
+  S.Tskiplist.unsafe_preload pre keys;
+  let rt = rt () in
+  let txn = S.Tskiplist.create_sized ~expect:500 () in
+  Array.iter
+    (fun k -> ignore (Stm.atomically rt (fun tx -> S.Tskiplist.insert tx txn k)))
+    keys;
+  let contents t = Stm.atomically rt (fun tx -> S.Tskiplist.to_list tx t) in
+  check_ilist "same contents" (contents txn) (contents pre);
+  Alcotest.(check (array int))
+    "same level histogram"
+    (S.Tskiplist.level_counts txn)
+    (S.Tskiplist.level_counts pre);
+  let range t ~lo ~len =
+    Stm.atomically rt (fun tx -> S.Tskiplist.range tx t ~lo ~len)
+  in
+  List.iter
+    (fun (lo, len) ->
+      check_ilist
+        (Printf.sprintf "same range lo=%d len=%d" lo len)
+        (range txn ~lo ~len) (range pre ~lo ~len))
+    [ (0, 10); (7, 64); (1_200, 500); (1_497, 5); (1_500, 5) ];
+  (* Preloaded structures stay fully transactional afterwards. *)
+  check_bool "insert after preload" true
+    (Stm.atomically rt (fun tx -> S.Tskiplist.insert tx pre 1));
+  check_bool "remove after preload" true
+    (Stm.atomically rt (fun tx -> S.Tskiplist.remove tx pre 0));
+  check_bool "member after preload" true
+    (Stm.atomically rt (fun tx -> S.Tskiplist.member tx pre 3))
+
+let t_skiplist_preload_rejects () =
+  let s = S.Tskiplist.create ()
+  and sorted = [| 1; 2; 3 |] in
+  Alcotest.check_raises "unsorted keys" (Invalid_argument
+    "Tskiplist.unsafe_preload: keys must be strictly ascending")
+    (fun () -> S.Tskiplist.unsafe_preload (S.Tskiplist.create ()) [| 2; 1 |]);
+  S.Tskiplist.unsafe_preload s sorted;
+  Alcotest.check_raises "non-empty structure"
+    (Invalid_argument "Tskiplist.unsafe_preload: structure not empty")
+    (fun () -> S.Tskiplist.unsafe_preload s sorted)
+
+(* ------------------------------------------------------------------ *)
 (* Forest specifics                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -460,6 +534,80 @@ let t_hashmap_concurrent () =
   in
   check_int "no lost increments" 800 total
 
+(* Incremental splits must not lose or corrupt bindings: a map forced
+   through many doublings keeps exact point lookups and sorted dumps. *)
+let t_hashmap_split_correctness () =
+  let rt = rt () in
+  let m = S.Thashmap.create ~buckets:1 () in
+  let n = 400 in
+  for k = 0 to n - 1 do
+    Stm.atomically rt (fun tx -> S.Thashmap.add tx m k (k * 7))
+  done;
+  check_bool "table actually split" true (S.Thashmap.depth m > 0);
+  check_bool "buckets grew" true (S.Thashmap.n_buckets m > 1);
+  check_int "length survives splits" n
+    (Stm.atomically rt (fun tx -> S.Thashmap.length tx m));
+  for k = 0 to n - 1 do
+    check_bool "find after splits" true
+      (Stm.atomically rt (fun tx -> S.Thashmap.find tx m k) = Some (k * 7))
+  done;
+  check_ilist "bindings sorted and complete"
+    (List.init n (fun k -> k))
+    (List.map fst (Stm.atomically rt (fun tx -> S.Thashmap.bindings tx m)));
+  check_int "size_hint exact without aborts" n (S.Thashmap.size_hint m)
+
+(* Resize under concurrent transactional writers, on both runtime
+   backends: 4 domains insert disjoint key ranges into a deliberately
+   undersized table, so bucket splits race with inserts into the
+   splitting bucket's buddy range.  Every binding must survive. *)
+let t_hashmap_resize_concurrent backend () =
+  let rt = Stm.create ~backend (module Tcm_core.Greedy) in
+  let m = S.Thashmap.create ~buckets:2 () in
+  let per = 150 in
+  let doms =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              let k = (d * per) + i in
+              Stm.atomically rt (fun tx -> S.Thashmap.add tx m k (k + 1))
+            done))
+  in
+  List.iter Domain.join doms;
+  let n = 4 * per in
+  check_bool "splits happened under contention" true (S.Thashmap.depth m > 0);
+  check_int "no bindings lost across racing splits" n
+    (Stm.atomically rt (fun tx -> S.Thashmap.length tx m));
+  let bad =
+    Stm.atomically rt (fun tx ->
+        List.filter (fun (k, v) -> v <> k + 1) (S.Thashmap.bindings tx m))
+  in
+  check_int "no bindings corrupted" 0 (List.length bad)
+
+(* The bulk preload must agree with a transactional build of the same
+   bindings — contents only: preload targets the depth-0 table, so the
+   physical layout legitimately differs from a split-as-you-go build. *)
+let t_hashmap_preload_equiv () =
+  let rt = rt () in
+  let n = 300 in
+  let entries = Array.init n (fun i -> (i * 5, i)) in
+  let pre = S.Thashmap.create ~expect:n () in
+  S.Thashmap.unsafe_preload pre entries;
+  let txn = S.Thashmap.create ~expect:n () in
+  Array.iter
+    (fun (k, v) -> Stm.atomically rt (fun tx -> S.Thashmap.add tx txn k v))
+    entries;
+  let dump m = Stm.atomically rt (fun tx -> S.Thashmap.bindings tx m) in
+  Alcotest.(check (list (pair int int))) "same bindings" (dump txn) (dump pre);
+  check_int "same length" n
+    (Stm.atomically rt (fun tx -> S.Thashmap.length tx pre));
+  check_int "size_hint primed by preload" n (S.Thashmap.size_hint pre);
+  (* Preloaded maps stay live: mutations and splits keep working. *)
+  Stm.atomically rt (fun tx -> S.Thashmap.add tx pre 1 99);
+  check_bool "find after preload" true
+    (Stm.atomically rt (fun tx -> S.Thashmap.find tx pre 1) = Some 99);
+  check_bool "remove after preload" true
+    (Stm.atomically rt (fun tx -> S.Thashmap.remove tx pre 0))
+
 (* ------------------------------------------------------------------ *)
 (* Counter and queue                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -567,6 +715,12 @@ let () =
           Alcotest.test_case "dense inserts" `Quick t_skiplist_dense;
           Alcotest.test_case "interleaved removal" `Quick t_skiplist_interleaved_removal;
           Alcotest.test_case "range reads" `Quick t_skiplist_range;
+          Alcotest.test_case "sized level caps and tower histogram" `Quick
+            t_skiplist_sized_levels;
+          Alcotest.test_case "preload equivalent to transactional build" `Quick
+            t_skiplist_preload_equiv;
+          Alcotest.test_case "preload rejects unsound input" `Quick
+            t_skiplist_preload_rejects;
         ] );
       ( "forest",
         [
@@ -592,6 +746,13 @@ let () =
           Alcotest.test_case "bucket rounding" `Quick t_hashmap_bucket_rounding;
           QCheck_alcotest.to_alcotest prop_hashmap_model;
           Alcotest.test_case "concurrent increments" `Quick t_hashmap_concurrent;
+          Alcotest.test_case "split correctness" `Quick t_hashmap_split_correctness;
+          Alcotest.test_case "concurrent resize (locator)" `Quick
+            (t_hashmap_resize_concurrent Stm.Locator);
+          Alcotest.test_case "concurrent resize (tl2)" `Quick
+            (t_hashmap_resize_concurrent Stm.Tl2_backend);
+          Alcotest.test_case "preload equivalent to transactional build" `Quick
+            t_hashmap_preload_equiv;
         ] );
       ( "counter-queue",
         [

@@ -273,7 +273,8 @@ let t_float_to_string () =
    accepting every dump this repo has ever written (tcm-bench/1 from
    before the GC columns, /2 before the backend split, /3 before the
    figure-kind discriminator, /4 before the observability fields,
-   /5 current). *)
+   /5 before the consult-cost entries, /6 before the rate-ladder
+   figures and per-run latency/admission fields, /7 current). *)
 let t_bench_schema_accepts_all_versions () =
   List.iter
     (fun v ->
@@ -287,6 +288,7 @@ let t_bench_schema_accepts_all_versions () =
       "tcm-bench/4";
       "tcm-bench/5";
       "tcm-bench/6";
+      "tcm-bench/7";
     ];
   Alcotest.(check (list string)) "the accept list is exactly the lineage"
     [
@@ -296,9 +298,10 @@ let t_bench_schema_accepts_all_versions () =
       "tcm-bench/4";
       "tcm-bench/5";
       "tcm-bench/6";
+      "tcm-bench/7";
     ]
     Report.bench_schemas;
-  Alcotest.(check string) "writer emits the newest" "tcm-bench/6" Report.bench_schema
+  Alcotest.(check string) "writer emits the newest" "tcm-bench/7" Report.bench_schema
 
 let t_bench_schema_rejects () =
   let open Report.Json in
@@ -349,6 +352,10 @@ let fake_service_summary () : Tcm_service.Service.summary =
     throughput = 980.;
     offered = 1_000.;
     queue_high_water = 7;
+    queue_spills = 3;
+    p50_us = 150.;
+    p99_us = 950.;
+    gen_minor_words_per_req = 0.5;
     trace_drops = 1;
     metrics_on = true;
     trace_on = false;
@@ -388,12 +395,25 @@ let t_bench_json_emits_current_schema () =
       minor_words_per_resolve = 0.;
     }
   in
+  let fake_ladder_curve : Tcm_service.Ladder.curve =
+    {
+      backend = "tl2";
+      manager = "greedy";
+      rungs =
+        [
+          { Tcm_service.Ladder.offered_rps = 1_000.; summary = fake_service_summary () };
+          { Tcm_service.Ladder.offered_rps = 4_000.; summary = fake_service_summary () };
+        ];
+      knee_rps = Some 4_000.;
+    }
+  in
   let doc =
     of_string
       (Report.bench_json ~mode:"real" ~duration_s:0.02 ~seed:42
          ~service_figures:[ fake_service_summary () ]
          ~obs_figures:[ (fake_obs_row, fake_hot) ]
          ~consult_figures:[ fake_consult_row ]
+         ~ladder_figures:[ fake_ladder_curve ]
          [ (Figures.fig1, "tl2", rows) ])
   in
   (match Report.bench_schema_of doc with
@@ -469,7 +489,36 @@ let t_bench_json_emits_current_schema () =
                  and zero is exactly what the allocation gate enforces. *)
               ("minor_words_per_resolve", Int 0);
             ]
-      | _ -> Alcotest.fail "expected exactly one kind=consult figure")
+      | _ -> Alcotest.fail "expected exactly one kind=consult figure");
+      (* tcm-bench/7: kind=ladder saturation-sweep entries. *)
+      (match
+         List.filter (fun f -> member "kind" f = Some (Str "ladder")) figs
+       with
+      | [ l ] ->
+          check_bool "ladder figure carries the backend" true
+            (member "backend" l = Some (Str "tl2"));
+          check_bool "ladder figure carries the knee" true
+            (member "knee_rps" l = Some (Int 4_000));
+          (match member "rungs" l with
+          | Some (Arr (r :: _ as rs)) ->
+              Alcotest.(check int) "one entry per rung" 2 (List.length rs);
+              List.iter
+                (fun k ->
+                  check_bool (k ^ " present on rung entries") true
+                    (member k r <> None))
+                [
+                  "offered_rps";
+                  "attainment";
+                  "submitted";
+                  "completed";
+                  "dropped";
+                  "latency_p50_us";
+                  "latency_p99_us";
+                  "queue_spills";
+                  "gen_minor_words_per_req";
+                ]
+          | _ -> Alcotest.fail "ladder figure has no rungs array")
+      | _ -> Alcotest.fail "expected exactly one kind=ladder figure")
   | _ -> Alcotest.fail "dump has no figures array"
 
 let () =
